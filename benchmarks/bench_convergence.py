@@ -1,0 +1,46 @@
+"""Convergence ablation — how many writes each policy needs to reach
+its steady-state write amplification.
+
+Backs two claims the paper makes in prose: multi-log "requires a lot of
+page writes to converge" (it starts as one log and adapts), while MDC's
+priority and sorting work from the first cleaning cycle.  The 80-20
+Zipfian at F=0.8 from cold start, Wamp per 2x-population window.
+"""
+
+from repro.bench.timeseries import wamp_timeseries
+from repro.store import StoreConfig
+from repro.workloads import ZipfianWorkload
+
+
+def test_convergence(benchmark, emit):
+    config = StoreConfig(fill_factor=0.8, sort_buffer_segments=16)
+
+    def run():
+        return wamp_timeseries(
+            config,
+            ["greedy", "multi-log", "mdc"],
+            lambda: ZipfianWorkload.eighty_twenty(config.user_pages, seed=4),
+            n_windows=15,
+            window_multiplier=2.0,
+        )
+
+    ts = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    class _Output:
+        name = "convergence"
+        rendered = ts.rendered(
+            "Convergence: Wamp per window of 2x the page population "
+            "(80-20 Zipfian, F=0.8, cold start)"
+        )
+        data = ts.series
+
+    emit(_Output)
+
+    # MDC settles at least as fast as multi-log, and to a lower level.
+    assert ts.windows_to_converge("mdc", rel_tol=0.15) <= (
+        ts.windows_to_converge("multi-log", rel_tol=0.15) + 1
+    )
+    assert ts.series["mdc"][-1] < ts.series["multi-log"][-1]
+    # Steady state is reached within the run (last two windows agree).
+    for name, curve in ts.series.items():
+        assert abs(curve[-1] - curve[-2]) <= 0.25 * max(curve[-1], 0.1), name

@@ -1,0 +1,35 @@
+"""Figure 3 — MDC ablation breakdown on hot-cold distributions.
+
+Series: greedy, MDC-no-sep-user-GC, MDC-no-sep-user, MDC, MDC-opt, and
+the analytic opt, at F=0.8 over skews 50-50 .. 90-10.
+
+Paper shape to reproduce: at 50-50 greedy is (near) optimal and MDC pays
+a small estimation overhead; as skew grows greedy degrades while MDC
+tracks MDC-opt ~= opt; removing user-write separation hurts more than
+removing GC-write separation.
+"""
+
+import pytest
+
+from repro.bench import fig3_experiment
+
+
+def test_fig3(benchmark, emit):
+    output = benchmark.pedantic(fig3_experiment, rounds=1, iterations=1)
+    emit(output)
+    series = output.data["series"]
+    skews = output.data["skews"]  # (50, 60, 70, 80, 90)
+    at = {m: i for i, m in enumerate(skews)}
+
+    # At high skew the full MDC beats greedy and both no-sep ablations.
+    for m in (80, 90):
+        i = at[m]
+        assert series["mdc"][i] < series["greedy"][i]
+        assert series["mdc"][i] < series["mdc-no-sep-user"][i]
+        assert series["mdc-no-sep-user"][i] <= series["mdc-no-sep-user-gc"][i] * 1.1
+    # MDC-opt aligns with the analytic optimum at every skew.
+    for i in range(len(skews)):
+        assert series["mdc-opt"][i] == pytest.approx(series["opt"][i], rel=0.2)
+    # Greedy's write amplification grows with skew; MDC's shrinks.
+    assert series["greedy"][at[90]] > series["greedy"][at[50]]
+    assert series["mdc"][at[90]] < series["mdc"][at[50]]

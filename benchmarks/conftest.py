@@ -1,0 +1,28 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one table or figure from the paper, prints it
+live (bypassing pytest's capture), and archives the rendered text under
+``benchmarks/results/`` so EXPERIMENTS.md can reference exact runs.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print an experiment's rendering immediately and archive it."""
+
+    def _emit(output):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / ("%s.txt" % output.name)).write_text(
+            output.rendered + "\n"
+        )
+        with capsys.disabled():
+            print()
+            print(output.rendered)
+
+    return _emit

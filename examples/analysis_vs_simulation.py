@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Analysis vs simulation: the paper's Section 8.1 cross-checks.
+
+Two closed-form results are compared against live simulations:
+
+1. the Equation 4 fixpoint for segment emptiness under uniform updates
+   (Table 1's analysis column) vs simulated cleaning;
+2. the Section 3 minimum cost for separated hot/cold data (Table 2) vs
+   simulated MDC-opt.
+
+Run:
+    python examples/analysis_vs_simulation.py
+"""
+
+from repro import StoreConfig, run_simulation
+from repro.analysis import emptiness_fixpoint, table2_row
+from repro.bench import format_table
+from repro.workloads import HotColdWorkload, UniformWorkload
+
+
+def uniform_check() -> None:
+    rows = []
+    for fill in (0.5, 0.7, 0.8, 0.9):
+        predicted = emptiness_fixpoint(fill)
+        config = StoreConfig(
+            n_segments=1024, segment_units=32, fill_factor=fill,
+            clean_trigger=2, clean_batch=4,
+        ).with_reserve_compensation()
+        workload = UniformWorkload(config.user_pages, seed=1)
+        result = run_simulation(config, "mdc-opt", workload, write_multiplier=10)
+        rows.append((fill, predicted, result.mean_cleaned_emptiness))
+    print(
+        format_table(
+            ["fill factor", "E (Equation 4)", "E (simulated)"],
+            rows,
+            title="Uniform updates: fixpoint analysis vs simulation",
+        )
+    )
+
+
+def hotcold_check() -> None:
+    rows = []
+    for skew in (90, 80, 70):
+        analytic = table2_row(skew).min_cost
+        config = StoreConfig(fill_factor=0.8, sort_buffer_segments=16)
+        workload = HotColdWorkload.from_skew(config.user_pages, skew, seed=1)
+        result = run_simulation(config, "mdc-opt", workload, write_multiplier=30)
+        simulated = 2.0 * (1.0 + result.wamp)  # Cost = 2/E = 2(1 + Wamp)
+        rows.append(("%d:%d" % (skew, 100 - skew), analytic, simulated))
+    print(
+        format_table(
+            ["skew", "MinCost (analysis)", "MDC-opt (simulated)"],
+            rows,
+            title="Hot/cold separation: Section 3 minimum vs simulated MDC-opt",
+        )
+    )
+
+
+def main() -> None:
+    uniform_check()
+    print()
+    hotcold_check()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Compare every cleaning policy on a workload of your choice.
+
+Run:
+    python examples/compare_policies.py --dist zipf-80-20 --fill 0.8
+    python examples/compare_policies.py --dist hotcold-90 --fill 0.9
+    python examples/compare_policies.py --dist uniform --fill 0.5 --shifting
+
+Distributions: uniform, zipf-80-20, zipf-90-10, hotcold-<m> (m:1-m),
+or --shifting for a hot set that drifts over time (the estimation
+stress-test the paper attributes TPC-C's difficulty to).
+"""
+
+import argparse
+
+from repro import StoreConfig, run_simulation
+from repro.bench import format_table
+from repro.policies import available_policies
+from repro.workloads import (
+    HotColdWorkload,
+    ShiftingHotSetWorkload,
+    UniformWorkload,
+    ZipfianWorkload,
+)
+
+
+def build_workload(args, n_pages: int):
+    if args.shifting:
+        return ShiftingHotSetWorkload(n_pages, seed=args.seed)
+    if args.dist == "uniform":
+        return UniformWorkload(n_pages, seed=args.seed)
+    if args.dist == "zipf-80-20":
+        return ZipfianWorkload.eighty_twenty(n_pages, seed=args.seed)
+    if args.dist == "zipf-90-10":
+        return ZipfianWorkload.ninety_ten(n_pages, seed=args.seed)
+    if args.dist.startswith("hotcold-"):
+        return HotColdWorkload.from_skew(
+            n_pages, int(args.dist.split("-")[1]), seed=args.seed
+        )
+    raise SystemExit("unknown distribution %r" % args.dist)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dist", default="zipf-80-20")
+    parser.add_argument("--fill", type=float, default=0.8)
+    parser.add_argument("--shifting", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--multiplier", type=float, default=25.0,
+                        help="user writes as a multiple of the page count")
+    parser.add_argument("--policies", nargs="*", default=None,
+                        help="subset of policies (default: all registered)")
+    args = parser.parse_args()
+
+    config = StoreConfig(fill_factor=args.fill, sort_buffer_segments=16)
+    names = args.policies or available_policies()
+    rows = []
+    for name in names:
+        workload = build_workload(args, config.user_pages)
+        result = run_simulation(
+            config, name, workload, write_multiplier=args.multiplier
+        )
+        extra = (
+            "%d logs" % result.extras["n_logs"]
+            if "n_logs" in result.extras
+            else ""
+        )
+        rows.append((name, result.wamp, result.mean_cleaned_emptiness, extra))
+    rows.sort(key=lambda r: r[1])
+    print(
+        format_table(
+            ["policy", "Wamp", "E when cleaned", "notes"],
+            rows,
+            title="%s at fill factor %.2f (best first)" % (args.dist, args.fill),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

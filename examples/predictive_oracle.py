@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Future work from the paper's Section 8.2: a workload-aware oracle.
+
+The paper closes with: "knowledge of workload may make it possible to
+better predict update frequency changes, and knowing update frequency
+... can often improve results further."  This example demonstrates
+exactly that on a *shifting* hot set (the pattern the paper blames for
+TPC-C's estimation gap):
+
+* ``mdc``            — the two-interval up2 estimator (always lags);
+* ``mdc-opt static`` — an oracle fed the long-run average frequencies,
+  which for a shifting hot set are uniform and therefore useless;
+* ``mdc-opt dynamic``— an oracle updated whenever the hot set moves
+  (via ``LogStructuredStore.set_page_frequency``).
+
+Run:
+    python examples/predictive_oracle.py
+"""
+
+from repro.bench import format_table, prepare_store
+from repro.policies import make_policy
+from repro.store import LogStructuredStore, StoreConfig
+from repro.workloads import ShiftingHotSetWorkload
+
+CONFIG = StoreConfig(fill_factor=0.8, sort_buffer_segments=16)
+TOTAL_MULTIPLIER = 25
+SHIFT_EVERY = 20_000
+
+
+def make_workload() -> ShiftingHotSetWorkload:
+    return ShiftingHotSetWorkload(
+        CONFIG.user_pages,
+        update_fraction=0.9,
+        data_fraction=0.1,
+        shift_every=SHIFT_EVERY,
+        seed=11,
+    )
+
+
+def run(policy_name: str, dynamic_oracle: bool) -> float:
+    workload = make_workload()
+    store = prepare_store(CONFIG, make_policy(policy_name), workload)
+    if dynamic_oracle:
+        for pid, f in enumerate(workload.current_frequencies()):
+            store.set_page_frequency(pid, float(f))
+    total = TOTAL_MULTIPLIER * workload.n_pages
+    warmup = total // 2
+    written = 0
+    mark = None
+    # Drive in hot-set periods so the dynamic oracle can refresh at
+    # every shift boundary.
+    while written < total:
+        chunk = min(SHIFT_EVERY, total - written)
+        for batch in workload.batches(chunk):
+            for pid in batch:
+                store.write(pid)
+        written += chunk
+        if dynamic_oracle:
+            for pid, f in enumerate(workload.current_frequencies()):
+                store.set_page_frequency(pid, float(f))
+        if mark is None and written >= warmup:
+            mark = store.stats.snapshot()
+    return store.stats.window_since(mark).write_amplification
+
+
+def main() -> None:
+    rows = [
+        ("mdc (up2 estimator)", run("mdc", dynamic_oracle=False)),
+        ("mdc-opt, static long-run oracle", run("mdc-opt", dynamic_oracle=False)),
+        ("mdc-opt, dynamic workload-aware oracle", run("mdc-opt", dynamic_oracle=True)),
+    ]
+    print(
+        format_table(
+            ["variant", "Wamp"],
+            rows,
+            title="Shifting hot set (90%% of writes, hot set drifts every "
+            "%d updates)" % SHIFT_EVERY,
+        )
+    )
+    print()
+    print("The static oracle sees a uniform long-run average and cannot")
+    print("separate anything; the up2 estimator lags each shift; the")
+    print("workload-aware oracle tracks the shift as Section 8.2 suggests.")
+
+
+if __name__ == "__main__":
+    main()

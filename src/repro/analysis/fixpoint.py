@@ -1,0 +1,107 @@
+"""Age-based cleaning under uniform updates: the fixpoint model
+(Section 2.2, Equations 3-4, Table 1).
+
+With age-based (circular) cleaning, a segment written now is cleaned
+after every other physical segment has been filled once.  With ``P`` user
+pages, fill factor ``F``, and ``N = P * E / F`` intervening writes, the
+probability that a given page of the segment was overwritten is::
+
+    E = 1 - ((P - 1) / P) ** N          (Equation 3)
+
+whose large-``P`` limit is the transcendental fixpoint::
+
+    E = 1 - exp(-E / F)                 (Equation 4)
+
+``E = 0`` is always a (degenerate) solution; the physically meaningful
+one is the unique positive root, which exists for every ``F < 1``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+from repro.analysis import cost_model
+
+#: The fill factors tabulated in the paper's Table 1.
+TABLE1_FILL_FACTORS = (
+    0.975, 0.95, 0.90, 0.85, 0.80, 0.75, 0.70, 0.65,
+    0.60, 0.55, 0.50, 0.45, 0.40, 0.35, 0.30, 0.25, 0.20,
+)
+
+
+def emptiness_fixpoint(fill_factor: float, n_pages: Optional[int] = None,
+                       tol: float = 1e-12) -> float:
+    """Solve for the steady-state emptiness ``E`` at cleaning time.
+
+    Args:
+        fill_factor: ``F`` in (0, 1).
+        n_pages: Use the finite-population Equation 3 with this ``P``;
+            ``None`` (default) uses the ``P → ∞`` limit, Equation 4.
+            The paper notes the two agree once ``P`` exceeds ~30.
+        tol: Bisection interval width at which to stop.
+
+    Returns:
+        The unique positive root, in (0, 1).
+    """
+    if not 0.0 < fill_factor < 1.0:
+        raise ValueError("fill_factor must be in (0, 1), got %r" % (fill_factor,))
+    if n_pages is None:
+        def residual(e: float) -> float:
+            """Equation 4 rearranged to root form."""
+            return e - 1.0 + math.exp(-e / fill_factor)
+    else:
+        if n_pages < 2:
+            raise ValueError("n_pages must be at least 2")
+        log_base = math.log((n_pages - 1) / n_pages)
+
+        def residual(e: float) -> float:
+            """Equation 3 rearranged to root form."""
+            return e - 1.0 + math.exp(n_pages * e / fill_factor * log_base)
+
+    # residual(0) == 0 (the degenerate root); residual is negative just
+    # above it (slope 1 - 1/F < 0) and positive at 1, so bisect.
+    lo, hi = 1e-9, 1.0
+    if residual(lo) >= 0.0:
+        raise ArithmeticError(
+            "no positive emptiness root at F=%r (degenerate configuration)"
+            % (fill_factor,)
+        )
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if residual(mid) < 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+@dataclasses.dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1 (analysis columns)."""
+
+    fill_factor: float
+    slack: float
+    emptiness: float
+    cost: float
+    ratio: float
+    wamp: float
+
+
+def table1_row(fill_factor: float) -> Table1Row:
+    """Compute one analysis row of Table 1 from Equation 4."""
+    e = emptiness_fixpoint(fill_factor)
+    return Table1Row(
+        fill_factor=fill_factor,
+        slack=1.0 - fill_factor,
+        emptiness=e,
+        cost=cost_model.cost_per_segment(e),
+        ratio=cost_model.emptiness_ratio(e, fill_factor),
+        wamp=cost_model.write_amplification(e),
+    )
+
+
+def table1(fill_factors: Sequence[float] = TABLE1_FILL_FACTORS) -> List[Table1Row]:
+    """The full analysis side of Table 1."""
+    return [table1_row(f) for f in fill_factors]

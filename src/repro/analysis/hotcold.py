@@ -1,0 +1,214 @@
+"""Hot/cold separation analysis (paper Section 3, Table 2, and the
+analytic "opt" series of Figure 3).
+
+The gedanken setup: two page populations, each uniformly updated, managed
+in completely separate spaces.  Population ``i`` holds ``Dist_i`` of the
+data and receives ``U_i`` of the updates; the device slack ``1 - F`` is
+divided between them by weights ``g_i`` (``g_1 + g_2 = 1``).  Each
+population then behaves like an independent uniform store with fill
+factor::
+
+    F_i = F * Dist_i / ((1 - F) * g_i + F * Dist_i)
+
+whose emptiness ``E_i`` comes from the Equation 4 fixpoint, so the total
+update-weighted cost is ``Σ U_i * 2 / E_i`` and the total write
+amplification is ``Σ U_i * (1 - E_i) / E_i``.
+
+For the paper's ``m : 1-m`` family (``U_1 * Dist_1 = U_2 * Dist_2``) the
+cost-minimizing split is ``g_1/g_2 = sqrt(R_2/R_1) ≈ 1`` — share the
+slack (nearly) equally — and cost is flat around the optimum, which is
+why the paper's Hot:60% / Hot:40% columns barely move.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from repro.analysis.cost_model import emptiness_ratio, write_amplification
+from repro.analysis.fixpoint import emptiness_fixpoint
+
+#: The skews tabulated in the paper's Table 2 / swept in Figure 3.
+TABLE2_SKEWS = (90, 80, 70, 60, 50)
+
+
+def split_fill_factor(fill_factor: float, dist: float, g: float) -> float:
+    """``F_i`` for a population holding ``dist`` of the data and granted
+    ``g`` of the slack space.
+
+    ``dist = g = 1`` is the degenerate single-population case and
+    returns ``fill_factor`` unchanged.
+    """
+    _check_fraction("fill_factor", fill_factor)
+    if not 0.0 < dist <= 1.0:
+        raise ValueError("dist must be in (0, 1], got %r" % (dist,))
+    if not 0.0 < g <= 1.0:
+        raise ValueError("slack share g must be in (0, 1], got %r" % (g,))
+    return (fill_factor * dist) / ((1.0 - fill_factor) * g + fill_factor * dist)
+
+
+def population_emptiness(fill_factor: float, dist: float, g: float) -> float:
+    """Steady-state ``E_i`` of one separately-managed population."""
+    return emptiness_fixpoint(split_fill_factor(fill_factor, dist, g))
+
+
+def total_cost(
+    fill_factor: float,
+    updates: Sequence[float],
+    dists: Sequence[float],
+    slack_shares: Sequence[float],
+) -> float:
+    """Update-weighted cleaning cost ``Σ U_i * 2 / E_i`` for populations
+    managed separately."""
+    _check_partition("updates", updates)
+    _check_partition("dists", dists)
+    _check_partition("slack_shares", slack_shares)
+    cost = 0.0
+    for u, d, g in zip(updates, dists, slack_shares):
+        e = population_emptiness(fill_factor, d, g)
+        cost += u * 2.0 / e
+    return cost
+
+
+def total_wamp(
+    fill_factor: float,
+    updates: Sequence[float],
+    dists: Sequence[float],
+    slack_shares: Sequence[float],
+) -> float:
+    """Update-weighted write amplification ``Σ U_i * (1 - E_i) / E_i``.
+
+    This is the "opt" series plotted in Figure 3.
+    """
+    _check_partition("updates", updates)
+    _check_partition("dists", dists)
+    _check_partition("slack_shares", slack_shares)
+    wamp = 0.0
+    for u, d, g in zip(updates, dists, slack_shares):
+        e = population_emptiness(fill_factor, d, g)
+        wamp += u * write_amplification(e)
+    return wamp
+
+
+def hotcold_parameters(m_percent: int) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+    """``(updates, dists)`` for the paper's ``m : 1-m`` skew: ``m`` % of
+    updates hit ``100-m`` % of the data (hot population first)."""
+    if not 50 <= m_percent <= 99:
+        raise ValueError("m_percent must be in [50, 99], got %r" % (m_percent,))
+    m = m_percent / 100.0
+    return (m, 1.0 - m), (1.0 - m, m)
+
+
+def optimal_slack_split(
+    fill_factor: float,
+    updates: Sequence[float],
+    dists: Sequence[float],
+    tol: float = 1e-6,
+) -> float:
+    """Numerically find the hot population's cost-minimizing slack share
+    ``g_1`` by golden-section search (cost is unimodal in ``g_1``)."""
+    invphi = (5 ** 0.5 - 1) / 2
+
+    def cost(g1: float) -> float:
+        """Total cost as a function of the hot population's share."""
+        return total_cost(fill_factor, updates, dists, (g1, 1.0 - g1))
+
+    lo, hi = 1e-4, 1.0 - 1e-4
+    a = hi - invphi * (hi - lo)
+    b = lo + invphi * (hi - lo)
+    fa, fb = cost(a), cost(b)
+    while hi - lo > tol:
+        if fa < fb:
+            hi, b, fb = b, a, fa
+            a = hi - invphi * (hi - lo)
+            fa = cost(a)
+        else:
+            lo, a, fa = a, b, fb
+            b = lo + invphi * (hi - lo)
+            fb = cost(b)
+    return 0.5 * (lo + hi)
+
+
+def analytic_split_ratio(
+    fill_factor: float,
+    updates: Sequence[float],
+    dists: Sequence[float],
+) -> float:
+    """The closed-form first-order optimum of Section 3.2::
+
+        g_1 / g_2 = sqrt((U_1 * Dist_1 * R_2) / (U_2 * Dist_2 * R_1))
+
+    evaluated with ``R_i`` at the equal-split fill factors (the paper
+    treats ``R_i`` as constants).  For ``m : 1-m`` skews the update-size
+    products cancel and this reduces to ``sqrt(R_2 / R_1) ≈ 1``.
+    """
+    r = []
+    for d in dists:
+        f_i = split_fill_factor(fill_factor, d, 0.5)
+        e_i = emptiness_fixpoint(f_i)
+        r.append(emptiness_ratio(e_i, f_i))
+    u1, u2 = updates
+    d1, d2 = dists
+    return ((u1 * d1 * r[1]) / (u2 * d2 * r[0])) ** 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class Table2Row:
+    """One row of the paper's Table 2."""
+
+    fill_factor: float
+    skew_label: str
+    min_cost: float
+    optimal_hot_share: float
+    cost_hot_60: float
+    cost_hot_40: float
+
+    @property
+    def min_wamp(self) -> float:
+        """The cost row converted to write amplification (Figure 3's
+        y-axis): ``Wamp = Cost/2 - 1`` since ``Cost = 2/E``."""
+        return self.min_cost / 2.0 - 1.0
+
+
+def table2_row(m_percent: int, fill_factor: float = 0.8) -> Table2Row:
+    """Compute one row of Table 2 (MinCost, Hot:60%, Hot:40%)."""
+    updates, dists = hotcold_parameters(m_percent)
+    g_opt = optimal_slack_split(fill_factor, updates, dists)
+    return Table2Row(
+        fill_factor=fill_factor,
+        skew_label="%d:%d" % (m_percent, 100 - m_percent),
+        min_cost=total_cost(fill_factor, updates, dists, (g_opt, 1.0 - g_opt)),
+        optimal_hot_share=g_opt,
+        cost_hot_60=total_cost(fill_factor, updates, dists, (0.6, 0.4)),
+        cost_hot_40=total_cost(fill_factor, updates, dists, (0.4, 0.6)),
+    )
+
+
+def table2(
+    skews: Sequence[int] = TABLE2_SKEWS, fill_factor: float = 0.8
+) -> List[Table2Row]:
+    """The full analysis side of Table 2."""
+    return [table2_row(m, fill_factor) for m in skews]
+
+
+def opt_wamp(m_percent: int, fill_factor: float = 0.8) -> float:
+    """The analytic minimum write amplification for an ``m : 1-m`` skew —
+    the "opt" line of Figure 3."""
+    updates, dists = hotcold_parameters(m_percent)
+    g_opt = optimal_slack_split(fill_factor, updates, dists)
+    return total_wamp(fill_factor, updates, dists, (g_opt, 1.0 - g_opt))
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 < value < 1.0:
+        raise ValueError("%s must be in (0, 1), got %r" % (name, value))
+
+
+def _check_partition(name: str, values: Sequence[float]) -> None:
+    if len(values) != 2:
+        raise ValueError("%s must have exactly two entries" % name)
+    total = sum(values)
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError("%s must sum to 1, got %r" % (name, total))
+    for v in values:
+        _check_fraction(name + " entry", v)

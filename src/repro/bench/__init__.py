@@ -1,0 +1,46 @@
+"""Experiment harness: simulation driver and table/series formatting."""
+
+from repro.bench.experiments import (
+    ExperimentOutput,
+    ablation_batch_experiment,
+    ablation_estimator_experiment,
+    fig3_experiment,
+    fig4_experiment,
+    fig5_experiment,
+    fig6_experiment,
+    table1_experiment,
+    table2_experiment,
+)
+from repro.bench.charts import bar_chart, line_plot
+from repro.bench.runner import (
+    SimulationResult,
+    drive,
+    prepare_store,
+    run_simulation,
+    run_until_converged,
+    sweep,
+)
+from repro.bench.tables import banner, format_series, format_table
+
+__all__ = [
+    "ExperimentOutput",
+    "SimulationResult",
+    "ablation_batch_experiment",
+    "ablation_estimator_experiment",
+    "bar_chart",
+    "line_plot",
+    "fig3_experiment",
+    "fig4_experiment",
+    "fig5_experiment",
+    "fig6_experiment",
+    "table1_experiment",
+    "table2_experiment",
+    "banner",
+    "drive",
+    "format_series",
+    "format_table",
+    "prepare_store",
+    "run_simulation",
+    "run_until_converged",
+    "sweep",
+]

@@ -1,0 +1,90 @@
+"""Terminal charts for experiment output.
+
+The benchmarks print numeric tables (the ground truth for
+EXPERIMENTS.md); these helpers add a quick visual read — horizontal bar
+charts and multi-series line plots rendered in plain ASCII — so a figure
+of the paper can be eyeballed straight from a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_BAR = "#"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one per label, scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("nothing to chart")
+    if any(v < 0 for v in values):
+        raise ValueError("bar charts require non-negative values")
+    peak = max(values) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = _BAR * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(
+            "%s  %s %.3f%s" % (str(label).rjust(label_w), bar.ljust(width), value, unit)
+        )
+    return "\n".join(lines)
+
+
+def line_plot(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """A multi-series scatter/line plot on a character grid.
+
+    Each series is drawn with its own marker (first letter of its name,
+    uppercased; collisions fall back to digits).  The y-axis is linear
+    from 0 to the global maximum.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    n = len(x_values)
+    if n < 2:
+        raise ValueError("need at least two x values")
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError("series %r length mismatch" % name)
+    peak = max(max(ys) for ys in series.values()) or 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    markers = {}
+    used = set()
+    fallback = iter("0123456789*+@%&")
+    for name in series:
+        mark = name[0].upper()
+        if mark in used:
+            mark = next(fallback)
+        used.add(mark)
+        markers[name] = mark
+    x_lo, x_hi = min(x_values), max(x_values)
+    span = (x_hi - x_lo) or 1.0
+    for name, ys in series.items():
+        mark = markers[name]
+        for x, y in zip(x_values, ys):
+            col = round((x - x_lo) / span * (width - 1))
+            row = height - 1 - round(min(y, peak) / peak * (height - 1))
+            grid[row][col] = mark
+    lines = [title] if title else []
+    for i, row in enumerate(grid):
+        y_label = peak * (height - 1 - i) / (height - 1)
+        lines.append("%8.3f |%s" % (y_label, "".join(row)))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + str(x_lo) + str(x_hi).rjust(width - len(str(x_lo))))
+    legend = "  ".join("%s=%s" % (markers[k], k) for k in series)
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

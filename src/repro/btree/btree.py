@@ -1,0 +1,237 @@
+"""A page-oriented B+-tree over the buffer pool.
+
+Supports insert, point update, point lookup, deletion, and ordered range
+scans — everything the TPC-C transactions need.  Capacities derive from
+per-entry byte sizes (see :mod:`repro.btree.page`), so wide rows (stock,
+customer) produce low-fanout leaves and hot narrow tables (new-order)
+produce high-fanout ones, shaping the page-write skew realistically.
+
+Deletes do not rebalance (underfull leaves are allowed, and an empty
+leaf is unlinked lazily); this is the common engineering shortcut and it
+matches the workload — TPC-C only deletes NEW-ORDER rows, queue-style.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.btree.bufferpool import BufferPool
+from repro.btree.page import INTERNAL, LEAF, Node, entries_per_page, split_internal, split_leaf
+
+
+class BPlusTree:
+    """One table or index.
+
+    Args:
+        pool: Shared buffer pool.
+        key_bytes: Estimated encoded key width.
+        value_bytes: Estimated encoded payload width (0 for pure
+            indexes whose payload is just a key reference).
+        name: For diagnostics.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        key_bytes: int,
+        value_bytes: int,
+        name: str = "tree",
+    ) -> None:
+        self.pool = pool
+        self.name = name
+        self.leaf_capacity = entries_per_page(key_bytes + max(value_bytes, 8))
+        self.internal_capacity = entries_per_page(key_bytes + 8)
+        root = pool.allocate(LEAF)
+        self.root_id = root.page_id
+        self.height = 1
+        self.n_entries = 0
+
+    # -- lookups -----------------------------------------------------------
+
+    def search(self, key: Any) -> Optional[Any]:
+        """Point lookup; None when absent."""
+        leaf = self._descend(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return None
+
+    def __contains__(self, key: Any) -> bool:
+        return self.search(key) is not None
+
+    def __len__(self) -> int:
+        return self.n_entries
+
+    def scan(
+        self, low: Any, high: Any, inclusive: bool = False
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` for ``low <= key < high`` (or ``<=``
+        when ``inclusive``)."""
+        leaf = self._descend(low)
+        idx = bisect.bisect_left(leaf.keys, low)
+        while True:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if key > high or (key == high and not inclusive):
+                    return
+                yield key, leaf.values[idx]
+                idx += 1
+            if leaf.next_leaf < 0:
+                return
+            leaf = self.pool.get(leaf.next_leaf)
+            idx = 0
+
+    def scan_prefix(self, prefix: Tuple) -> Iterator[Tuple[Any, Any]]:
+        """All entries whose (tuple) key starts with ``prefix``."""
+        low = prefix
+        leaf = self._descend(low)
+        idx = bisect.bisect_left(leaf.keys, low)
+        n = len(prefix)
+        while True:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if tuple(key[:n]) != prefix:
+                    return
+                yield key, leaf.values[idx]
+                idx += 1
+            if leaf.next_leaf < 0:
+                return
+            leaf = self.pool.get(leaf.next_leaf)
+            idx = 0
+
+    def last_key_with_prefix(self, prefix: Tuple) -> Optional[Any]:
+        """Largest key starting with ``prefix`` (e.g. a district's max
+        order id); None when the prefix is empty."""
+        last = None
+        for key, _ in self.scan_prefix(prefix):
+            last = key
+        return last
+
+    # -- mutations ----------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> bool:
+        """Insert; returns False (and changes nothing) if the key exists."""
+        return self._put(key, value, overwrite=False, must_exist=False)
+
+    def update(self, key: Any, value: Any) -> bool:
+        """Overwrite an existing key; returns False if absent."""
+        return self._put(key, value, overwrite=True, must_exist=True)
+
+    def upsert(self, key: Any, value: Any) -> None:
+        """Insert or overwrite unconditionally."""
+        self._put(key, value, overwrite=True, must_exist=False)
+
+    def delete(self, key: Any) -> bool:
+        """Remove a key; returns False if absent.  No rebalancing."""
+        leaf = self._descend(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        del leaf.keys[idx]
+        del leaf.values[idx]
+        self.pool.mark_dirty(leaf.page_id)
+        self.n_entries -= 1
+        return True
+
+    # -- internals ------------------------------------------------------------
+
+    def _descend(self, key: Any) -> Node:
+        node = self.pool.get(self.root_id)
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = self.pool.get(node.children[idx])
+        return node
+
+    def _put(self, key: Any, value: Any, overwrite: bool, must_exist: bool) -> bool:
+        pool = self.pool
+        # Descend, remembering the path for splits.
+        path: List[Node] = []
+        node = pool.get(self.root_id)
+        while not node.is_leaf:
+            path.append(node)
+            idx = bisect.bisect_right(node.keys, key)
+            node = pool.get(node.children[idx])
+        leaf = node
+        idx = bisect.bisect_left(leaf.keys, key)
+        present = idx < len(leaf.keys) and leaf.keys[idx] == key
+        if present:
+            if not overwrite:
+                return False
+            leaf.values[idx] = value
+            pool.mark_dirty(leaf.page_id)
+            return True
+        if must_exist:
+            return False
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, value)
+        pool.mark_dirty(leaf.page_id)
+        self.n_entries += 1
+        if len(leaf.keys) > self.leaf_capacity:
+            self._split(leaf, path)
+        return True
+
+    def _split(self, node: Node, path: List[Node]) -> None:
+        pool = self.pool
+        while True:
+            if node.is_leaf:
+                new_node = pool.allocate(LEAF)
+                separator, new_node = split_leaf(node, new_node)
+            else:
+                new_node = pool.allocate(INTERNAL)
+                separator, new_node = split_internal(node, new_node)
+            pool.mark_dirty(node.page_id)
+            pool.mark_dirty(new_node.page_id)
+            if path:
+                parent = path.pop()
+                idx = bisect.bisect_right(parent.keys, separator)
+                parent.keys.insert(idx, separator)
+                parent.children.insert(idx + 1, new_node.page_id)
+                pool.mark_dirty(parent.page_id)
+                if len(parent.keys) <= self.internal_capacity:
+                    return
+                node = parent
+            else:
+                new_root = pool.allocate(INTERNAL)
+                new_root.keys = [separator]
+                new_root.children = [node.page_id, new_node.page_id]
+                self.root_id = new_root.page_id
+                self.height += 1
+                return
+
+    # -- diagnostics --------------------------------------------------------
+
+    def check_structure(self) -> None:
+        """Walk the whole tree verifying ordering and linkage; raises
+        AssertionError on breakage (test/debug aid)."""
+        seen_leaves = []
+
+        def walk(page_id: int, lo: Any, hi: Any, depth: int) -> int:
+            node = self.pool.get(page_id)
+            keys = node.keys
+            assert keys == sorted(keys), "%s: unsorted keys" % node
+            if lo is not None:
+                assert all(k >= lo for k in keys), "%s: key below bound" % node
+            if hi is not None:
+                assert all(k < hi for k in keys), "%s: key above bound" % node
+            if node.is_leaf:
+                seen_leaves.append(node)
+                return 1
+            assert len(node.children) == len(keys) + 1
+            depths = set()
+            bounds = [lo] + list(keys) + [hi]
+            for i, child in enumerate(node.children):
+                depths.add(walk(child, bounds[i], bounds[i + 1], depth + 1))
+            assert len(depths) == 1, "uneven subtree depth below %s" % node
+            return depths.pop() + 1
+
+        height = walk(self.root_id, None, None, 1)
+        assert height == self.height, "recorded height stale"
+        # Leaf chain visits every leaf left-to-right.
+        count = sum(len(leaf.keys) for leaf in seen_leaves)
+        assert count == self.n_entries, "entry count drifted"
+
+    def __repr__(self) -> str:
+        return "<BPlusTree %s entries=%d height=%d>" % (
+            self.name, self.n_entries, self.height,
+        )

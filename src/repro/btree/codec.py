@@ -1,0 +1,148 @@
+"""Byte-level page serialization for B+-tree nodes.
+
+The engine normally keeps evicted nodes as Python objects (only the
+write *trace* matters to the cleaning experiments).  This codec provides
+the real thing — a self-describing binary page image — so the buffer
+pool can round-trip nodes through bytes (``BufferPool(serialize=True)``),
+which the tests use to prove eviction is genuinely lossless and to keep
+the capacity estimates honest against actual encoded sizes.
+
+Layout::
+
+    header:  kind(u8) next_leaf(i64) n_keys(u32) n_children(u32)
+    keys:    tagged values
+    values/children: tagged values / i64 ids
+
+Tagged values support the key/payload types the engine uses: ints,
+floats, strings, bytes, None, and (nested) tuples.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+from repro.btree.page import INTERNAL, LEAF, Node
+
+_HEADER = struct.Struct("<Bqii")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+_T_NONE = 0
+_T_INT = 1
+_T_FLOAT = 2
+_T_STR = 3
+_T_BYTES = 4
+_T_TUPLE = 5
+
+
+class CodecError(ValueError):
+    """Unsupported value type or corrupt page image."""
+
+
+def _encode_value(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif isinstance(value, bool):
+        raise CodecError("booleans are not a storage type")
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        out += _I64.pack(value)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_T_BYTES)
+        out += _U32.pack(len(value))
+        out += bytes(value)
+    elif isinstance(value, tuple):
+        out.append(_T_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_value(item, out)
+    else:
+        raise CodecError("cannot encode %s" % type(value).__name__)
+
+
+def _decode_value(data: bytes, pos: int) -> Tuple[Any, int]:
+    tag = data[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_INT:
+        return _I64.unpack_from(data, pos)[0], pos + 8
+    if tag == _T_FLOAT:
+        return _F64.unpack_from(data, pos)[0], pos + 8
+    if tag == _T_STR:
+        n = _U32.unpack_from(data, pos)[0]
+        pos += 4
+        if pos + n > len(data):
+            raise CodecError("page image truncated inside a string")
+        return data[pos:pos + n].decode("utf-8"), pos + n
+    if tag == _T_BYTES:
+        n = _U32.unpack_from(data, pos)[0]
+        pos += 4
+        if pos + n > len(data):
+            raise CodecError("page image truncated inside a byte string")
+        return bytes(data[pos:pos + n]), pos + n
+    if tag == _T_TUPLE:
+        n = _U32.unpack_from(data, pos)[0]
+        pos += 4
+        items = []
+        for _ in range(n):
+            item, pos = _decode_value(data, pos)
+            items.append(item)
+        return tuple(items), pos
+    raise CodecError("corrupt page image: unknown tag %d" % tag)
+
+
+def encode_node(node: Node) -> bytes:
+    """Serialize a node to a self-describing page image."""
+    out = bytearray()
+    n_children = len(node.children) if node.children is not None else 0
+    out += _HEADER.pack(node.kind, node.next_leaf, len(node.keys), n_children)
+    for key in node.keys:
+        _encode_value(key, out)
+    if node.is_leaf:
+        for value in node.values:
+            _encode_value(value, out)
+    else:
+        for child in node.children:
+            out += _I64.pack(child)
+    return bytes(out)
+
+
+def decode_node(page_id: int, data: bytes) -> Node:
+    """Rebuild a node from :func:`encode_node` output."""
+    try:
+        kind, next_leaf, n_keys, n_children = _HEADER.unpack_from(data, 0)
+        if kind not in (LEAF, INTERNAL):
+            raise CodecError("corrupt page image: bad kind %d" % kind)
+        node = Node(page_id, kind)
+        node.next_leaf = next_leaf
+        pos = _HEADER.size
+        for _ in range(n_keys):
+            key, pos = _decode_value(data, pos)
+            node.keys.append(key)
+        if kind == LEAF:
+            for _ in range(n_keys):
+                value, pos = _decode_value(data, pos)
+                node.values.append(value)
+        else:
+            for _ in range(n_children):
+                node.children.append(_I64.unpack_from(data, pos)[0])
+                pos += 8
+    except (IndexError, struct.error) as exc:
+        raise CodecError("page image truncated or corrupt") from exc
+    return node
+
+
+def encoded_size(node: Node) -> int:
+    """Bytes the node occupies on its page image."""
+    return len(encode_node(node))

@@ -1,0 +1,97 @@
+"""B+-tree node pages.
+
+The paper's TPC-C traces come from "a B+-tree-based storage engine" with
+4 KB pages.  Nodes here are page-sized objects: capacity is derived from
+a byte budget (page size minus a header) divided by the per-entry size,
+so record width — not an arbitrary fanout constant — determines the
+tree's shape, as it would on a real slotted page.
+
+Leaf pages hold ``(key, value)`` pairs and are chained for range scans;
+internal pages hold separator keys and child page ids.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+#: Matches the paper's simulator setup (Section 6.1.1).
+PAGE_BYTES = 4096
+#: Slotted-page header + slot directory overhead estimate.
+PAGE_HEADER_BYTES = 96
+
+LEAF = 0
+INTERNAL = 1
+
+
+def entries_per_page(entry_bytes: int) -> int:
+    """How many fixed-width entries fit in one page."""
+    if entry_bytes < 1:
+        raise ValueError("entry_bytes must be positive")
+    capacity = (PAGE_BYTES - PAGE_HEADER_BYTES) // entry_bytes
+    if capacity < 3:
+        raise ValueError(
+            "entries of %d bytes leave room for only %d per page; "
+            "a B+-tree needs at least 3" % (entry_bytes, capacity)
+        )
+    return capacity
+
+
+class Node:
+    """One B+-tree page (leaf or internal)."""
+
+    __slots__ = ("page_id", "kind", "keys", "values", "children", "next_leaf")
+
+    def __init__(self, page_id: int, kind: int) -> None:
+        self.page_id = page_id
+        self.kind = kind
+        self.keys: List[Any] = []
+        #: Leaf payloads (None on internal nodes).
+        self.values: Optional[List[Any]] = [] if kind == LEAF else None
+        #: Child page ids (None on leaves).  len(children) == len(keys)+1.
+        self.children: Optional[List[int]] = [] if kind == INTERNAL else None
+        #: Right-sibling page id for leaf scans (-1 = none).
+        self.next_leaf = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.kind == LEAF
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __repr__(self) -> str:
+        return "<%s page=%d n=%d>" % (
+            "leaf" if self.is_leaf else "internal",
+            self.page_id,
+            len(self.keys),
+        )
+
+
+def split_leaf(node: Node, new_page: Node) -> Tuple[Any, Node]:
+    """Move the upper half of a full leaf into ``new_page``.
+
+    Returns ``(separator_key, new_page)``; the separator is the first
+    key of the new (right) page, as usual for B+-trees.
+    """
+    mid = len(node.keys) // 2
+    new_page.keys = node.keys[mid:]
+    new_page.values = node.values[mid:]
+    node.keys = node.keys[:mid]
+    node.values = node.values[:mid]
+    new_page.next_leaf = node.next_leaf
+    node.next_leaf = new_page.page_id
+    return new_page.keys[0], new_page
+
+
+def split_internal(node: Node, new_page: Node) -> Tuple[Any, Node]:
+    """Move the upper half of a full internal node into ``new_page``.
+
+    The middle key is pushed up (not copied), B-tree style.
+    """
+    mid = len(node.keys) // 2
+    separator = node.keys[mid]
+    new_page.keys = node.keys[mid + 1:]
+    new_page.children = node.children[mid + 1:]
+    node.keys = node.keys[:mid]
+    node.children = node.children[: mid + 1]
+    return separator, new_page

@@ -1,0 +1,149 @@
+"""Command-line entry point: regenerate any of the paper's experiments.
+
+Usage (installed as ``repro``, or ``python -m repro``):
+
+    repro table1                 # Table 1: fixpoint analysis vs simulation
+    repro table2                 # Table 2: hot/cold minimum cost
+    repro fig3                   # Figure 3: MDC ablation breakdown
+    repro fig4                   # Figure 4: sort-buffer sweep
+    repro fig5 --dist zipf-80-20 # Figure 5: policy comparison
+    repro fig6                   # Figure 6: TPC-C traces
+    repro ablation               # estimator + batch-size ablations
+    repro simulate --policy mdc --dist zipf-80-20 --fill 0.8
+    repro policies               # list registered cleaning policies
+
+Quick variants of the heavy experiments accept ``--quick`` to shrink
+write counts by ~4x (coarser numbers, same shapes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import (
+    ablation_batch_experiment,
+    ablation_estimator_experiment,
+    fig3_experiment,
+    fig4_experiment,
+    fig5_experiment,
+    fig6_experiment,
+    run_simulation,
+    table1_experiment,
+    table2_experiment,
+)
+from repro.bench.experiments import _make_workload, _standard_config
+from repro.policies import available_policies
+from repro.tpcc import TpccScale
+
+
+def _add_quick(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="~4x fewer writes per point (coarser numbers, same shapes)",
+    )
+
+
+def _multiplier(base: float, quick: bool) -> float:
+    return base / 4.0 if quick else base
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch one subcommand; returns exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'Efficiently Reclaiming "
+        "Space in a Log Structured Store' (Lomet & Luo, ICDE 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table 1: analysis vs simulation")
+    _add_quick(p)
+    p = sub.add_parser("table2", help="Table 2: hot/cold minimum cost")
+    _add_quick(p)
+    p = sub.add_parser("fig3", help="Figure 3: MDC ablation breakdown")
+    _add_quick(p)
+    p = sub.add_parser("fig4", help="Figure 4: sort-buffer size sweep")
+    _add_quick(p)
+    p = sub.add_parser("fig5", help="Figure 5: policy comparison")
+    p.add_argument(
+        "--dist",
+        default="zipf-80-20",
+        choices=["uniform", "zipf-80-20", "zipf-90-10"],
+    )
+    _add_quick(p)
+    p = sub.add_parser("fig6", help="Figure 6: TPC-C trace replay")
+    p.add_argument("--warehouses", type=int, default=1)
+    p = sub.add_parser("ablation", help="estimator and batch-size ablations")
+    _add_quick(p)
+
+    p = sub.add_parser("simulate", help="one custom simulation")
+    p.add_argument("--policy", default="mdc", choices=available_policies())
+    p.add_argument("--dist", default="zipf-80-20")
+    p.add_argument("--fill", type=float, default=0.8)
+    p.add_argument("--sort-buffer", type=int, default=16)
+    p.add_argument("--multiplier", type=float, default=25.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--report", action="store_true",
+        help="print the full store report (occupancy, wear, emptiness "
+        "histogram) after the run",
+    )
+
+    sub.add_parser("policies", help="list registered cleaning policies")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        print(table1_experiment(write_multiplier=_multiplier(8, args.quick)))
+    elif args.command == "table2":
+        print(table2_experiment(write_multiplier=_multiplier(30, args.quick)))
+    elif args.command == "fig3":
+        print(fig3_experiment(write_multiplier=_multiplier(30, args.quick)))
+    elif args.command == "fig4":
+        print(fig4_experiment(write_multiplier=_multiplier(30, args.quick)))
+    elif args.command == "fig5":
+        print(
+            fig5_experiment(
+                args.dist, write_multiplier=_multiplier(25, args.quick)
+            )
+        )
+    elif args.command == "fig6":
+        print(fig6_experiment(scale=TpccScale(warehouses=args.warehouses)))
+    elif args.command == "ablation":
+        print(
+            ablation_estimator_experiment(
+                write_multiplier=_multiplier(30, args.quick)
+            )
+        )
+        print()
+        print(
+            ablation_batch_experiment(
+                write_multiplier=_multiplier(30, args.quick)
+            )
+        )
+    elif args.command == "simulate":
+        config = _standard_config(args.fill, args.sort_buffer)
+        if args.report:
+            from repro.bench import drive, prepare_store
+            from repro.store.reporting import describe
+
+            workload = _make_workload(args.dist, config.user_pages, args.seed)
+            store = prepare_store(config, args.policy, workload)
+            drive(store, workload, int(args.multiplier * workload.n_pages))
+            print(describe(store))
+        else:
+            workload = _make_workload(args.dist, config.user_pages, args.seed)
+            result = run_simulation(
+                config, args.policy, workload, write_multiplier=args.multiplier
+            )
+            print(result.summary())
+    elif args.command == "policies":
+        for name in available_policies():
+            print(name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

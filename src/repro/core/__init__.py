@@ -1,0 +1,44 @@
+"""The paper's primary contribution: MDC cleaning.
+
+* :class:`MdcPolicy` — the Minimum Declining Cost policy and its
+  ablation variants.
+* :mod:`repro.core.priority` — the priority functions (MDC decline,
+  greedy, age, cost-benefit) as pure numpy functions.
+* :mod:`repro.core.frequency` — update-frequency estimation and the
+  oracle helpers for the ``-opt`` variants.
+* :mod:`repro.core.sorter` — frequency-sorted packing of write batches.
+"""
+
+from repro.core.frequency import (
+    empirical_frequencies,
+    estimated_upf,
+    generalized_upf,
+    midpoint_carry,
+    normalize_frequencies,
+)
+from repro.core.mdc import ESTIMATOR_EXACT, ESTIMATOR_UP2, MdcPolicy
+from repro.core.priority import (
+    age_priority,
+    cost_benefit_paper_priority,
+    cost_benefit_priority,
+    greedy_priority,
+    mdc_decline,
+    mdc_decline_exact,
+)
+
+__all__ = [
+    "ESTIMATOR_EXACT",
+    "ESTIMATOR_UP2",
+    "MdcPolicy",
+    "age_priority",
+    "cost_benefit_paper_priority",
+    "cost_benefit_priority",
+    "empirical_frequencies",
+    "estimated_upf",
+    "generalized_upf",
+    "greedy_priority",
+    "mdc_decline",
+    "mdc_decline_exact",
+    "midpoint_carry",
+    "normalize_frequencies",
+]

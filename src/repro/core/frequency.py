@@ -1,0 +1,107 @@
+"""Update-frequency estimation (paper Section 4.3 and 5.2.2).
+
+The paper's estimator deliberately avoids per-page statistics: each
+*segment* remembers the times of the last two updates that hit it
+(``up1``, ``up2``), giving the two-interval estimate::
+
+    Upf = 2 / (u_now - up2)
+
+Pages inherit an estimate from their containing segment when they move:
+
+* a page relocated by the cleaner carries its source segment's ``up2``;
+* a page rewritten by the user carries the midpoint
+  ``up2 + 0.5 * (u_now - up2)`` (the paper assumes the unobserved ``up1``
+  sat midway between ``up2`` and now);
+* a never-written page gets the oldest ``up2`` of the batch it is placed
+  with ("pages mostly contain cold data").
+
+The store maintains these rules inline for speed
+(:meth:`repro.store.LogStructuredStore._invalidate` and friends); this
+module provides the same arithmetic as standalone functions for analysis,
+tests, and the oracle helpers used by the ``-opt`` policy variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "estimated_upf",
+    "generalized_upf",
+    "midpoint_carry",
+    "empirical_frequencies",
+    "normalize_frequencies",
+]
+
+
+def estimated_upf(u_now: float, up2: float) -> float:
+    """Two-interval update-frequency estimate ``2 / (u_now - up2)``.
+
+    Clamps the interval to at least one tick so a segment updated twice
+    at the current instant reads as maximally hot rather than dividing
+    by zero.
+    """
+    return 2.0 / max(1.0, u_now - up2)
+
+
+def generalized_upf(n: int, u_now: float, up_n: float) -> float:
+    """The ``n``-interval generalization ``Upf = n / (u_now - up_n)``.
+
+    The paper notes this tracks slowly-changing frequencies worse as
+    ``n`` grows, which is why it settles on ``n = 2``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return n / max(1.0, u_now - up_n)
+
+
+def midpoint_carry(old_up2: float, u_now: float) -> float:
+    """Carried up2 for a user-rewritten page (Section 5.2.2)."""
+    return old_up2 + 0.5 * (u_now - old_up2)
+
+
+def empirical_frequencies(trace: Iterable[int], n_pages: int = 0) -> np.ndarray:
+    """Exact per-page update frequencies measured from a write trace.
+
+    This is how the ``-opt`` variants "pre-analyze page update
+    frequencies" for trace workloads (paper Section 6.3): frequency is
+    the page's share of all writes in the trace.
+
+    Args:
+        trace: Iterable of page ids.
+        n_pages: Minimum length of the returned array (grows further if
+            the trace references higher page ids).
+
+    Returns:
+        Float array where entry ``p`` is ``count(p) / len(trace)``.
+    """
+    counts: Dict[int, int] = {}
+    total = 0
+    top = n_pages - 1
+    for pid in trace:
+        counts[pid] = counts.get(pid, 0) + 1
+        if pid > top:
+            top = pid
+        total += 1
+    freqs = np.zeros(top + 1 if top >= 0 else 0, dtype=float)
+    if total == 0:
+        return freqs
+    for pid, count in counts.items():
+        freqs[pid] = count / total
+    return freqs
+
+
+def normalize_frequencies(weights: Sequence[float]) -> np.ndarray:
+    """Scale per-page update weights so they sum to 1 (a probability
+    distribution over pages, the form the oracle expects)."""
+    arr = np.asarray(weights, dtype=float)
+    if arr.size == 0:
+        return arr
+    if np.any(arr < 0):
+        raise ValueError("frequencies must be non-negative")
+    total = arr.sum()
+    if total == 0:
+        raise ValueError("at least one page must have positive frequency")
+    return arr / total

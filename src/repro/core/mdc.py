@@ -1,0 +1,141 @@
+"""The MDC (Minimum Declining Cost) cleaning policy — the paper's
+primary contribution (Sections 4 and 5).
+
+MDC combines three mechanisms:
+
+1. **Victim order** — clean first the segments whose per-page cleaning
+   cost is expected to decline the *least* if cleaning waited (the
+   Maximality Lemma argument of Section 4.1).  The decline estimate uses
+   the two-interval update-frequency estimator ``Upf = 2/(u_now - up2)``
+   or, for the ``-opt`` oracle variant, exact page update frequencies.
+2. **User-write separation** — user writes pass through a sorting buffer
+   and are packed into segments ordered by their frequency proxy, so
+   hot and cold pages end up in different segments (Section 5.3,
+   Figure 4).
+3. **GC-write separation** — relocated pages are likewise sorted by
+   their carried frequency estimate before being packed into new
+   segments, and are kept apart from fresh user writes.
+
+The ablation variants of Figure 3 are expressed as constructor flags:
+``MdcPolicy(separate_user=False)`` is *MDC-no-sep-user*, and
+``MdcPolicy(separate_user=False, separate_gc=False)`` is
+*MDC-no-sep-user-GC* (identical to greedy except for victim order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import sorter
+from repro.core.priority import mdc_decline, mdc_decline_exact
+from repro.policies.base import CleaningPolicy
+from repro.store.log_store import GC_STREAM
+
+#: Accepted values for the ``estimator`` argument.
+ESTIMATOR_UP2 = "up2"
+ESTIMATOR_EXACT = "exact"
+#: Single-interval estimator (update period = u_now - up1).  The paper
+#: rejects it as "very inaccurate" (Section 4.3); provided for the
+#: ablation benchmark.
+ESTIMATOR_UP1 = "up1"
+
+
+class MdcPolicy(CleaningPolicy):
+    """Minimum Declining Cost cleaning.
+
+    Args:
+        estimator: ``"up2"`` for the paper's two-interval estimator
+            (plain *MDC*), ``"exact"`` to use the oracle frequencies
+            installed via
+            :meth:`repro.store.LogStructuredStore.set_oracle_frequencies`
+            (*MDC-opt*).
+        separate_user: Sort buffered user writes by frequency before
+            packing them into segments.  Requires the store to be
+            configured with ``sort_buffer_segments > 0``; with a zero
+            buffer this flag has no effect (Figure 4's buffer=0 point).
+        separate_gc: Sort relocated pages by frequency before packing.
+    """
+
+    uses_sort_buffer = True
+
+    def __init__(
+        self,
+        estimator: str = ESTIMATOR_UP2,
+        separate_user: bool = True,
+        separate_gc: bool = True,
+    ) -> None:
+        super().__init__()
+        if estimator not in (ESTIMATOR_UP2, ESTIMATOR_EXACT, ESTIMATOR_UP1):
+            raise ValueError("unknown estimator %r" % (estimator,))
+        self.estimator = estimator
+        self.separate_user = separate_user
+        self.separate_gc = separate_gc
+        self.uses_sort_buffer = separate_user
+        self.name = self._derive_name()
+
+    def _derive_name(self) -> str:
+        if self.estimator == ESTIMATOR_EXACT:
+            base = "mdc-opt"
+        elif self.estimator == ESTIMATOR_UP1:
+            base = "mdc-up1"
+        else:
+            base = "mdc"
+        if self.separate_user and self.separate_gc:
+            return base
+        if self.separate_gc:
+            return base + "-no-sep-user"
+        if not self.separate_user:
+            return base + "-no-sep-user-gc"
+        return base + "-no-sep-gc"
+
+    # -- placement -----------------------------------------------------
+
+    def _keys(self, page_ids: Sequence[int]) -> np.ndarray:
+        pages = self.store.pages
+        if self.estimator == ESTIMATOR_EXACT:
+            return sorter.oracle_keys(pages, page_ids)
+        return sorter.up2_keys(pages, page_ids)
+
+    def user_sort_key(self, page_ids: Sequence[int]) -> Optional[Sequence[float]]:
+        if not self.separate_user:
+            return None
+        return self._keys(page_ids)
+
+    def place_gc(
+        self, page_ids: List[int], src_segs: List[int]
+    ) -> Iterable[Tuple[int, int]]:
+        if self.separate_gc and len(page_ids) > 1:
+            page_ids = sorter.order_by_key(page_ids, self._keys(page_ids))
+        return [(pid, GC_STREAM) for pid in page_ids]
+
+    # -- victim selection ------------------------------------------------
+
+    def rank(self, candidates: Sequence[int]) -> np.ndarray:
+        segs = self.store.segments
+        capacity = segs.capacity
+        live_units = segs.live_units
+        live_count = segs.live_count
+        avail = np.array(
+            [capacity - live_units[s] for s in candidates], dtype=float
+        )
+        count = np.array([live_count[s] for s in candidates], dtype=float)
+        if self.estimator == ESTIMATOR_EXACT:
+            freq_sum = segs.freq_sum
+            freqs = np.array([freq_sum[s] for s in candidates], dtype=float)
+            return mdc_decline_exact(avail, count, capacity, freqs)
+        clock = self.store.clock
+        anchor = segs.up1 if self.estimator == ESTIMATOR_UP1 else segs.up2
+        age_since_update = np.array(
+            [clock - anchor[s] for s in candidates], dtype=float
+        )
+        return mdc_decline(avail, count, capacity, age_since_update)
+
+    def describe(self) -> str:
+        return "%s (estimator=%s, sep_user=%s, sep_gc=%s)" % (
+            self.name,
+            self.estimator,
+            self.separate_user,
+            self.separate_gc,
+        )

@@ -1,0 +1,141 @@
+"""Cleaning-priority functions (the heart of the paper).
+
+All functions return arrays where **lower value = clean earlier**, so a
+priority is an ascending sort key over candidate segments.  They are pure
+numpy functions over column arrays, usable both by the policy classes and
+directly in analysis/tests.
+
+The paper's central result (Section 4) is the *minimum declining cost*
+(MDC) order: process first the segments whose per-page cleaning cost will
+decline the least if we wait.  For a segment of size ``B`` with available
+space ``A``, live pages ``C`` and penultimate update time ``up2``, the
+transformed decline (Section 5.1.3) is::
+
+    -d(Cost)/du  ∝  ((B - A) / A)^2  *  1 / (C * (u_now - up2))
+
+The two-interval estimator ``Upf = 2 / (u_now - up2)`` is already folded
+in.  The oracle variant replaces the estimator with exact per-page update
+frequencies; substituting ``Upf = freq_sum / C`` into the Section 4.2
+derivation gives::
+
+    -d(Cost)/du  ∝  ((B - A) / (A * C))^2  *  freq_sum
+
+(The two coincide for fixed-size pages, where ``B - A = C``.)
+
+Edge conventions shared by every priority here:
+
+* ``C == 0`` (fully empty segment): priority ``-inf`` — reclaiming it is
+  free, always do it first.
+* ``A == 0`` (no reclaimable space): priority ``+inf`` — cleaning it
+  gains nothing, defer as long as possible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "age_priority",
+    "cost_benefit_priority",
+    "cost_benefit_paper_priority",
+    "greedy_priority",
+    "mdc_decline",
+    "mdc_decline_exact",
+]
+
+
+def _with_edges(priority: np.ndarray, avail: np.ndarray, live_count: np.ndarray) -> np.ndarray:
+    """Apply the shared C==0 / A==0 edge conventions."""
+    priority = np.where(avail == 0, np.inf, priority)
+    return np.where(live_count == 0, -np.inf, priority)
+
+
+def mdc_decline(
+    avail: np.ndarray,
+    live_count: np.ndarray,
+    capacity: float,
+    age_since_up2: np.ndarray,
+) -> np.ndarray:
+    """Minimum-declining-cost priority with the two-interval estimator.
+
+    Args:
+        avail: ``A`` per segment (reclaimable units).
+        live_count: ``C`` per segment.
+        capacity: ``B`` (segment size in units).
+        age_since_up2: ``u_now - up2`` per segment, in update ticks.
+    """
+    avail = np.asarray(avail, dtype=float)
+    live_count = np.asarray(live_count, dtype=float)
+    age = np.maximum(np.asarray(age_since_up2, dtype=float), 1.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = (capacity - avail) / avail
+        decline = ratio * ratio / (live_count * age)
+    return _with_edges(decline, avail, live_count)
+
+
+def mdc_decline_exact(
+    avail: np.ndarray,
+    live_count: np.ndarray,
+    capacity: float,
+    freq_sum: np.ndarray,
+) -> np.ndarray:
+    """MDC priority with exact update frequencies (the ``-opt`` variants).
+
+    ``freq_sum`` is the sum of exact per-page update frequencies of the
+    live pages in each segment; tiny negative values from floating-point
+    subtraction during invalidation are clamped to zero.
+    """
+    avail = np.asarray(avail, dtype=float)
+    live_count = np.asarray(live_count, dtype=float)
+    freq_sum = np.maximum(np.asarray(freq_sum, dtype=float), 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = (capacity - avail) / (avail * live_count)
+        decline = ratio * ratio * freq_sum
+    return _with_edges(decline, avail, live_count)
+
+
+def greedy_priority(avail: np.ndarray) -> np.ndarray:
+    """Greedy: clean the segment with the most available space first."""
+    return -np.asarray(avail, dtype=float)
+
+
+def age_priority(seal_time: np.ndarray) -> np.ndarray:
+    """Age-based: clean the segment sealed longest ago first."""
+    return np.asarray(seal_time, dtype=float)
+
+
+def cost_benefit_priority(
+    avail: np.ndarray,
+    capacity: float,
+    age: np.ndarray,
+) -> np.ndarray:
+    """LFS cost-benefit (Rosenblum & Ousterhout): clean the segment with
+    the largest ``benefit/cost = (E * age) / (2 - E)``.
+
+    ``E = A / B`` is the empty fraction; the denominator ``2 - E`` is the
+    cost of reading the whole segment and re-writing its ``1 - E`` live
+    fraction.  Returned negated so that larger benefit sorts first.
+    """
+    emptiness = np.asarray(avail, dtype=float) / capacity
+    age = np.asarray(age, dtype=float)
+    return -(emptiness * age) / (2.0 - emptiness)
+
+
+def cost_benefit_paper_priority(
+    avail: np.ndarray,
+    capacity: float,
+    age: np.ndarray,
+) -> np.ndarray:
+    """The cost-benefit formula exactly as printed in the paper's
+    Section 6.1.3: ``(1 - E) * age / E`` with ``E`` the *empty* fraction.
+
+    Read literally this prefers fuller segments (it is the Rosenblum
+    formula with ``E`` meaning utilization); we keep it available so the
+    discrepancy can be measured.  Larger value sorts first.
+    """
+    emptiness = np.asarray(avail, dtype=float) / capacity
+    age = np.asarray(age, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        benefit = (1.0 - emptiness) * age / emptiness
+    benefit = np.where(emptiness == 0.0, np.inf, benefit)
+    return -benefit

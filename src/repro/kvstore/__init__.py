@@ -1,0 +1,5 @@
+"""Log-structured key-value store: the paper's value-log use case."""
+
+from repro.kvstore.kv import KVError, LogStructuredKVStore
+
+__all__ = ["KVError", "LogStructuredKVStore"]

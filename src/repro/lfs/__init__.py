@@ -1,0 +1,5 @@
+"""Log-structured file system: the original LFS application [23]."""
+
+from repro.lfs.filesystem import FsError, Inode, LogStructuredFileSystem
+
+__all__ = ["FsError", "Inode", "LogStructuredFileSystem"]

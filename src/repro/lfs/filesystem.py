@@ -1,0 +1,312 @@
+"""A log-structured file system over the segment-cleaned store.
+
+Log structuring was "invented for and used initially in file systems"
+(paper Section 1; Rosenblum & Ousterhout's LFS [23]).  This module is
+that original application, built on the repository's substrate: files
+are block arrays, every block write appends to the log through the
+store (so rewriting a block relocates it), and reclaiming segment space
+is the cleaning problem MDC solves.
+
+Simplifications, in the same spirit as the rest of the simulator:
+
+* the namespace (directories) and the inode map live in RAM — in a real
+  LFS they are themselves log data, but their traffic is negligible
+  next to file blocks and they would obscure the measurement;
+* block *contents* are kept in a RAM shadow so reads can be verified
+  end-to-end, while every block's placement, relocation, and
+  reclamation happens in the simulated log for real.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import posixpath
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.policies import make_policy
+from repro.policies.base import CleaningPolicy
+from repro.store import LogStructuredStore, StoreConfig
+
+
+class FsError(Exception):
+    """File-system errors (missing paths, directory misuse...)."""
+
+
+@dataclasses.dataclass
+class Inode:
+    """One file: a growable array of log blocks."""
+
+    ino: int
+    #: block index -> store page id (None for holes in sparse files).
+    blocks: List[Optional[int]]
+    size: int = 0
+
+    @property
+    def allocated_blocks(self) -> int:
+        """Blocks that occupy device space (holes excluded)."""
+        return sum(1 for b in self.blocks if b is not None)
+
+
+class LogStructuredFileSystem:
+    """A minimal LFS: hierarchical namespace, byte-addressed files,
+    pluggable segment cleaning.
+
+    Args:
+        config: Geometry of the simulated device; one store unit is one
+            file block of ``block_bytes``.
+        policy: Cleaning policy name or instance (default ``"mdc"``).
+        block_bytes: File-block size (the paper's pages are 4 KB).
+    """
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        policy: Union[str, CleaningPolicy] = "mdc",
+        block_bytes: int = 4096,
+    ) -> None:
+        if block_bytes < 1:
+            raise FsError("block_bytes must be positive")
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self.block_bytes = block_bytes
+        self.store = LogStructuredStore(config, policy)
+        self._inodes: Dict[int, Inode] = {}
+        #: absolute dir path -> {entry name -> ino (files) or None (dirs)}
+        self._dirs: Dict[str, Dict[str, Optional[int]]] = {"/": {}}
+        self._next_ino = 1
+        self._free_pages: List[int] = []
+        self._next_page = 0
+        #: RAM shadow of block contents, keyed by store page id.
+        self._shadow: Dict[int, bytes] = {}
+
+    # -- namespace ---------------------------------------------------------
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        if not path.startswith("/"):
+            raise FsError("paths must be absolute, got %r" % (path,))
+        norm = posixpath.normpath(path)
+        return norm
+
+    def _split(self, path: str) -> Tuple[str, str]:
+        norm = self._normalize(path)
+        parent, name = posixpath.split(norm)
+        if not name:
+            raise FsError("cannot operate on the root directory")
+        return parent, name
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory (parent must exist)."""
+        parent, name = self._split(path)
+        entries = self._dir_entries(parent)
+        if name in entries:
+            raise FsError("%s already exists" % path)
+        entries[name] = None
+        self._dirs[posixpath.join(parent, name)] = {}
+
+    def _dir_entries(self, path: str) -> Dict[str, Optional[int]]:
+        norm = self._normalize(path) if path != "/" else "/"
+        try:
+            return self._dirs[norm]
+        except KeyError:
+            raise FsError("no such directory: %s" % path) from None
+
+    def listdir(self, path: str = "/") -> List[str]:
+        """Sorted entry names of a directory."""
+        return sorted(self._dir_entries(path))
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` names an existing file or directory."""
+        try:
+            parent, name = self._split(path)
+            return name in self._dir_entries(parent)
+        except FsError:
+            return path in ("/",)
+
+    def _inode_of(self, path: str) -> Inode:
+        parent, name = self._split(path)
+        entries = self._dir_entries(parent)
+        if name not in entries:
+            raise FsError("no such file: %s" % path)
+        ino = entries[name]
+        if ino is None:
+            raise FsError("%s is a directory" % path)
+        return self._inodes[ino]
+
+    # -- file lifecycle --------------------------------------------------
+
+    def create(self, path: str) -> int:
+        """Create an empty file; returns its inode number."""
+        parent, name = self._split(path)
+        entries = self._dir_entries(parent)
+        if name in entries:
+            raise FsError("%s already exists" % path)
+        ino = self._next_ino
+        self._next_ino += 1
+        self._inodes[ino] = Inode(ino=ino, blocks=[])
+        entries[name] = ino
+        return ino
+
+    def unlink(self, path: str) -> None:
+        """Delete a file; all its blocks become reclaimable."""
+        parent, name = self._split(path)
+        entries = self._dir_entries(parent)
+        ino = entries.get(name)
+        if ino is None:
+            raise FsError(
+                "no such file: %s" % path if name not in entries
+                else "%s is a directory" % path
+            )
+        inode = self._inodes.pop(ino)
+        for page in inode.blocks:
+            if page is not None:
+                self._trim_page(page)
+        del entries[name]
+
+    def truncate(self, path: str, size: int) -> None:
+        """Shrink or (sparsely) grow a file to ``size`` bytes."""
+        if size < 0:
+            raise FsError("size must be non-negative")
+        inode = self._inode_of(path)
+        keep = -(-size // self.block_bytes)  # ceil
+        for page in inode.blocks[keep:]:
+            if page is not None:
+                self._trim_page(page)
+        del inode.blocks[keep:]
+        inode.blocks.extend([None] * (keep - len(inode.blocks)))
+        if size < inode.size:
+            # Trim the tail of the (now) last block's shadow.
+            last = keep - 1
+            if last >= 0 and inode.blocks[last] is not None:
+                offset = size - last * self.block_bytes
+                page = inode.blocks[last]
+                self._shadow[page] = self._shadow[page][:offset]
+        inode.size = size
+
+    # -- I/O ------------------------------------------------------------
+
+    def write(self, path: str, offset: int, data: bytes) -> int:
+        """Write ``data`` at ``offset``; returns bytes written.
+
+        Every touched block is (re)written to the log — an overwrite in
+        the middle of a file relocates those blocks, never updates in
+        place.
+        """
+        if offset < 0:
+            raise FsError("offset must be non-negative")
+        inode = self._inode_of(path)
+        data = bytes(data)
+        pos = offset
+        remaining = data
+        while remaining:
+            block_idx = pos // self.block_bytes
+            within = pos % self.block_bytes
+            take = min(self.block_bytes - within, len(remaining))
+            self._write_block(inode, block_idx, within, remaining[:take])
+            remaining = remaining[take:]
+            pos += take
+        inode.size = max(inode.size, offset + len(data))
+        return len(data)
+
+    def read(self, path: str, offset: int = 0, length: Optional[int] = None) -> bytes:
+        """Read up to ``length`` bytes from ``offset`` (to EOF when
+        omitted); holes read as zero bytes."""
+        if offset < 0:
+            raise FsError("offset must be non-negative")
+        inode = self._inode_of(path)
+        end = inode.size if length is None else min(inode.size, offset + length)
+        if offset >= end:
+            return b""
+        out = bytearray()
+        pos = offset
+        while pos < end:
+            block_idx = pos // self.block_bytes
+            within = pos % self.block_bytes
+            take = min(self.block_bytes - within, end - pos)
+            block = self._block_bytes(inode, block_idx)
+            out += block[within:within + take]
+            pos += take
+        return bytes(out)
+
+    def stat(self, path: str) -> Dict[str, int]:
+        """Inode number, byte size, and allocated block count."""
+        inode = self._inode_of(path)
+        return {
+            "ino": inode.ino,
+            "size": inode.size,
+            "blocks": inode.allocated_blocks,
+        }
+
+    def walk(self, path: str = "/") -> Iterator[Tuple[str, List[str], List[str]]]:
+        """Like :func:`os.walk` over the namespace."""
+        entries = self._dir_entries(path)
+        dirs = sorted(n for n, ino in entries.items() if ino is None)
+        files = sorted(n for n, ino in entries.items() if ino is not None)
+        yield path, dirs, files
+        for d in dirs:
+            child = posixpath.join(path, d)
+            yield from self.walk(child)
+
+    # -- internals -----------------------------------------------------------
+
+    def _write_block(self, inode: Inode, block_idx: int, within: int, chunk: bytes) -> None:
+        while len(inode.blocks) <= block_idx:
+            inode.blocks.append(None)
+        page = inode.blocks[block_idx]
+        if page is None:
+            page = self._free_pages.pop() if self._free_pages else self._next_page
+            if page == self._next_page:
+                self._next_page += 1
+            inode.blocks[block_idx] = page
+            old = b""
+        else:
+            old = self._shadow.get(page, b"")
+        block = bytearray(old.ljust(within, b"\0"))
+        block[within:within + len(chunk)] = chunk
+        self._shadow[page] = bytes(block)
+        self.store.write(page)
+
+    def _block_bytes(self, inode: Inode, block_idx: int) -> bytes:
+        if block_idx >= len(inode.blocks) or inode.blocks[block_idx] is None:
+            return b"\0" * self.block_bytes
+        raw = self._shadow.get(inode.blocks[block_idx], b"")
+        return raw.ljust(self.block_bytes, b"\0")
+
+    def _trim_page(self, page: int) -> None:
+        self.store.trim(page)
+        self._shadow.pop(page, None)
+        self._free_pages.append(page)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def write_amplification(self) -> float:
+        """Cleaning writes per file-block write, since mount."""
+        return self.store.stats.write_amplification
+
+    def df(self) -> Dict[str, float]:
+        """Device occupancy (like ``df``)."""
+        cfg = self.store.config
+        live = sum(self.store.segments.live_units)
+        if self.store.buffer is not None:
+            live += self.store.buffer.used_units
+        return {
+            "files": len(self._inodes),
+            "used_blocks": live,
+            "device_blocks": cfg.device_units,
+            "utilization": live / cfg.device_units,
+        }
+
+    def check_consistency(self) -> None:
+        """Every allocated block maps to a live store page and pages are
+        never shared between files (test/debug aid)."""
+        seen = set()
+        for inode in self._inodes.values():
+            for page in inode.blocks:
+                if page is None:
+                    continue
+                assert page not in seen, "block shared between files"
+                seen.add(page)
+                seg, _ = self.store.pages.location(page)
+                assert seg != -1, "file block lost by the store"
+        self.store.check_invariants()

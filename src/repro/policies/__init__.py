@@ -1,0 +1,34 @@
+"""Cleaning policies: the paper's algorithm line-up.
+
+Construct by name with :func:`make_policy`; names match the labels in the
+paper's figures (``"age"``, ``"greedy"``, ``"cost-benefit"``,
+``"multi-log"``, ``"multi-log-opt"``, ``"mdc"``, ``"mdc-opt"``, plus the
+Figure 3 ablations ``"mdc-no-sep-user"`` and ``"mdc-no-sep-user-gc"``).
+"""
+
+from repro.core.mdc import MdcPolicy
+from repro.policies.age import AgePolicy
+from repro.policies.base import CleaningPolicy
+from repro.policies.cost_benefit import CostBenefitPaperPolicy, CostBenefitPolicy
+from repro.policies.greedy import GreedyPolicy
+from repro.policies.multilog import MultiLogPolicy
+from repro.policies.registry import (
+    FIGURE3_POLICIES,
+    FIGURE5_POLICIES,
+    available_policies,
+    make_policy,
+)
+
+__all__ = [
+    "AgePolicy",
+    "CleaningPolicy",
+    "CostBenefitPaperPolicy",
+    "CostBenefitPolicy",
+    "FIGURE3_POLICIES",
+    "FIGURE5_POLICIES",
+    "GreedyPolicy",
+    "MdcPolicy",
+    "MultiLogPolicy",
+    "available_policies",
+    "make_policy",
+]

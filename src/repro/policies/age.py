@@ -1,0 +1,27 @@
+"""Age-based cleaning (paper Section 2.2).
+
+Always clean the oldest segment — the one written longest ago.  This is
+the circular-buffer cleaner: it is optimal under a uniform update
+distribution (where the oldest segment is, with high probability, also
+the emptiest) and very poor under skew, because it repeatedly relocates
+cold data that was never going to be overwritten.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.priority import age_priority
+from repro.policies.base import CleaningPolicy
+
+
+class AgePolicy(CleaningPolicy):
+    """Clean strictly in seal-time order."""
+
+    name = "age"
+
+    def rank(self, candidates: Sequence[int]) -> np.ndarray:
+        seal_time = self.store.segments.seal_time
+        return age_priority([seal_time[s] for s in candidates])

@@ -1,0 +1,147 @@
+"""The cleaning-policy protocol.
+
+A policy makes the two decisions the paper studies, and only those:
+
+1. **Placement** — which open segment (stream) each page write goes to,
+   and whether/how batches of writes are sorted by update frequency
+   before packing (``route_user`` / ``user_sort_key`` / ``place_gc``).
+2. **Victim selection** — which sealed segments to clean next
+   (``rank`` / ``select_victims``).
+
+Everything mechanical (page table, space accounting, sealing, the
+cleaning cycle itself) lives in the store, so policies stay small and
+directly comparable — exactly the paper's experimental methodology.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.store.log_store import GC_STREAM, LogStructuredStore
+
+
+class CleaningPolicy(abc.ABC):
+    """Base class for cleaning policies.
+
+    Subclasses usually only implement :meth:`rank`; the default
+    :meth:`select_victims` turns the ranking into a victim batch with a
+    net-space-gain guarantee.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+    #: Whether user writes should pass through the store's sorting buffer
+    #: (only the frequency-separating MDC variants use it).
+    uses_sort_buffer = False
+
+    def __init__(self) -> None:
+        self.store: Optional[LogStructuredStore] = None
+
+    def bind(self, store: LogStructuredStore) -> None:
+        """Called once by the store's constructor."""
+        self.store = store
+
+    # -- placement -----------------------------------------------------
+
+    def route_user(self, page_id: int) -> int:
+        """Stream (open segment) for a user write.  Default: one stream."""
+        return 0
+
+    def user_sort_key(self, page_ids: Sequence[int]) -> Optional[Sequence[float]]:
+        """Sort keys for a drained write-buffer batch; ``None`` keeps the
+        arrival order (no frequency separation of user writes)."""
+        return None
+
+    def place_gc(
+        self, page_ids: List[int], src_segs: List[int]
+    ) -> Iterable[Tuple[int, int]]:
+        """Order and route relocated pages.
+
+        ``src_segs`` is parallel to ``page_ids``: the (already freed)
+        segment each page came from, for policies that route survivors by
+        their source's properties.  Returns ``(page_id, stream)`` pairs
+        in emission order.  Default: keep collection order, write
+        everything to the dedicated GC stream (standard LFS practice —
+        survivors do not mix with fresh user writes in the same segment).
+        """
+        return [(pid, GC_STREAM) for pid in page_ids]
+
+    def on_segment_open(self, seg: int, stream: int) -> None:
+        """Notification that ``seg`` became the open segment of
+        ``stream``; policies that tag segments (multi-log) override."""
+
+    def min_free_target(self) -> int:
+        """Free-segment level cleaning must restore.
+
+        At least the configured trigger; policies that write through many
+        streams (multi-log) need headroom for one open segment per
+        stream so a single cleaning cycle cannot exhaust the reserve.
+        """
+        return self.store.config.clean_trigger
+
+    # -- victim selection ------------------------------------------------
+
+    @abc.abstractmethod
+    def rank(self, candidates: Sequence[int]) -> np.ndarray:
+        """Priority per candidate segment; lower = clean earlier."""
+
+    def select_victims(
+        self, candidates: Sequence[int], n: Optional[int] = None
+    ) -> List[int]:
+        """Pick a victim batch by ascending :meth:`rank`.
+
+        Takes the configured batch size, then keeps extending the batch
+        until the reclaimable space in it is at least one whole segment,
+        so a cleaning cycle always makes net forward progress.  Returns
+        an empty list when nothing at all is reclaimable.
+        """
+        store = self.store
+        if n is None:
+            n = store.config.clean_batch
+        priorities = np.asarray(self.rank(candidates), dtype=float)
+        order = np.argsort(priorities, kind="stable")
+        segs = store.segments
+        capacity = segs.capacity
+        live_units = segs.live_units
+        victims: List[int] = []
+        reclaim = 0
+        for idx in order:
+            if len(victims) >= n and reclaim >= capacity:
+                break
+            seg = candidates[idx]
+            victims.append(seg)
+            reclaim += capacity - live_units[seg]
+        if reclaim == 0:
+            return []
+        return victims
+
+    # -- persistence ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable policy state for store checkpoints.
+
+        The default is empty: most policies keep all their bookkeeping
+        in the store's own tables.  Policies with private state
+        (multi-log's frequency classes) override both hooks.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore what :meth:`state_dict` produced."""
+        if state:
+            raise ValueError(
+                "%s has no private state but the checkpoint carries %r"
+                % (self.name, sorted(state))
+            )
+
+    # -- introspection ---------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line description used in experiment logs."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return "<%s policy>" % self.name

@@ -1,0 +1,75 @@
+"""Name-based construction of cleaning policies.
+
+The names match the labels used in the paper's figures, so a benchmark
+sweep is written as ``for name in FIGURE5_POLICIES: make_policy(name)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.mdc import MdcPolicy
+from repro.policies.age import AgePolicy
+from repro.policies.base import CleaningPolicy
+from repro.policies.cost_benefit import CostBenefitPaperPolicy, CostBenefitPolicy
+from repro.policies.greedy import GreedyPolicy
+from repro.policies.multilog import MultiLogPolicy
+
+_FACTORIES: Dict[str, Callable[..., CleaningPolicy]] = {
+    "age": AgePolicy,
+    "greedy": GreedyPolicy,
+    "cost-benefit": CostBenefitPolicy,
+    "cost-benefit-paper": CostBenefitPaperPolicy,
+    "multi-log": lambda **kw: MultiLogPolicy(exact=False, **kw),
+    "multi-log-opt": lambda **kw: MultiLogPolicy(exact=True, **kw),
+    "mdc": lambda **kw: MdcPolicy(estimator="up2", **kw),
+    "mdc-opt": lambda **kw: MdcPolicy(estimator="exact", **kw),
+    "mdc-up1": lambda **kw: MdcPolicy(estimator="up1", **kw),
+    "mdc-no-sep-user": lambda **kw: MdcPolicy(
+        estimator="up2", separate_user=False, **kw
+    ),
+    "mdc-no-sep-user-gc": lambda **kw: MdcPolicy(
+        estimator="up2", separate_user=False, separate_gc=False, **kw
+    ),
+}
+
+#: The algorithm line-up of Figures 5 and 6.
+FIGURE5_POLICIES: List[str] = [
+    "age",
+    "greedy",
+    "cost-benefit",
+    "multi-log",
+    "multi-log-opt",
+    "mdc",
+    "mdc-opt",
+]
+
+#: The ablation line-up of Figure 3 (plus the analytic "opt" series,
+#: which is computed, not simulated).
+FIGURE3_POLICIES: List[str] = [
+    "greedy",
+    "mdc-no-sep-user-gc",
+    "mdc-no-sep-user",
+    "mdc",
+    "mdc-opt",
+]
+
+
+def available_policies() -> List[str]:
+    """All registered policy names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def make_policy(name: str, **kwargs) -> CleaningPolicy:
+    """Construct a policy by its paper-figure name.
+
+    Extra keyword arguments are forwarded to the policy constructor
+    (e.g. ``make_policy("multi-log", max_logs=32)``).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown policy %r; available: %s" % (name, ", ".join(available_policies()))
+        ) from None
+    return factory(**kwargs)

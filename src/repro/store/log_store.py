@@ -1,0 +1,531 @@
+"""The log-structured store simulator.
+
+This is the substrate every experiment in the paper runs on.  Like the
+paper's simulator (Section 6.1.1), it "only writes page IDs instead of
+page contents": the unit of obsolescence is the page, the unit of
+reclamation is the segment, and the store tracks which slots hold current
+versions so that the cleaning cost (page moves, write amplification) can
+be measured exactly.
+
+Responsibilities are split as follows:
+
+* the **store** owns all state — page table, segment table, free list,
+  open segments, the update-count clock, statistics — and implements the
+  mechanical write / seal / allocate / clean-cycle machinery;
+* the attached **cleaning policy** makes the two decisions the paper
+  studies: *where to place pages* (stream routing and frequency sorting)
+  and *which segments to clean next* (the priority order).
+
+The "clock" is the user-update counter (paper Section 4.2): one tick per
+user write, so update-frequency estimates are immune to wall-clock
+artifacts such as load variation.
+
+Cleaning cycle
+--------------
+
+When the number of free segments falls below ``config.clean_trigger`` the
+store cleans a batch of victims chosen by the policy: their live pages are
+staged in memory, the source segments are freed, and the pages are
+re-written through the policy's GC placement hook.  Staging in memory
+means relocation never deadlocks on free space — a batch with any empty
+space makes net progress.  Each relocated page counts toward
+``gc_writes`` (the numerator of write amplification).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import List, Optional, Sequence
+
+from repro.store.buffer import SortBuffer
+from repro.store.config import StoreConfig
+from repro.store.errors import OutOfSpaceError, PageSizeError
+from repro.store.pagetable import IN_BUFFER, IN_FLIGHT, NEVER_WRITTEN, PageTable
+from repro.store.segments import FREE, OPEN, SEALED, SegmentTable
+from repro.store.stats import StoreStats
+
+#: Stream id used by policies that send relocated (GC) pages to their own
+#: open segment, separate from user writes.
+GC_STREAM = -1
+
+
+class LogStructuredStore:
+    """A simulated log-structured store with a pluggable cleaning policy.
+
+    Args:
+        config: Device geometry and cleaning parameters.
+        policy: A cleaning policy (see :mod:`repro.policies`).  The store
+            calls ``policy.bind(store)`` immediately.
+
+    Example:
+        >>> from repro.store import LogStructuredStore, StoreConfig
+        >>> from repro.policies import make_policy
+        >>> cfg = StoreConfig(n_segments=64, segment_units=32, fill_factor=0.5)
+        >>> store = LogStructuredStore(cfg, make_policy("greedy"))
+        >>> store.load_sequential(cfg.user_pages)
+        >>> for page in range(100):
+        ...     store.write(page % cfg.user_pages)
+        >>> store.stats.user_writes >= 100
+        True
+    """
+
+    def __init__(self, config: StoreConfig, policy) -> None:
+        self.config = config
+        self.segments = SegmentTable(config.n_segments, config.segment_units)
+        self.pages = PageTable()
+        self.stats = StoreStats()
+        self.clock = 0
+        #: FIFO free pool.  Order does not affect cleaning economics,
+        #: but first-in-first-out rotation spreads erases evenly across
+        #: segments (real FTLs do this for wear leveling); a LIFO stack
+        #: would park a trigger's worth of segments forever.
+        self.free_list = deque(range(config.n_segments))
+        #: stream id -> currently open segment.  Invariant: every segment
+        #: in this mapping has state OPEN.
+        self.open_segments = {}
+        self.policy = policy
+        self._cleaning = False
+        #: Fallback "coldish" up2 for first-writes placed outside a sorted
+        #: batch (Section 5.2.2, "First Write").
+        self._cold_up2 = 0.0
+        if config.sort_buffer_segments > 0 and policy.uses_sort_buffer:
+            self.buffer: Optional[SortBuffer] = SortBuffer(
+                config.sort_buffer_segments * config.segment_units
+            )
+        else:
+            self.buffer = None
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    # Public write API
+    # ------------------------------------------------------------------
+
+    def write(self, page_id: int, size: int = 1) -> None:
+        """Apply one user update to ``page_id``.
+
+        The previous version (if any) is invalidated, the update clock
+        ticks, and the new version is placed either in the sorting buffer
+        or directly into an open segment via the policy's routing.
+        """
+        if size < 1 or size > self.config.segment_units:
+            raise PageSizeError(
+                "page size %d outside [1, %d]" % (size, self.config.segment_units)
+            )
+        pages = self.pages
+        if page_id >= len(pages.seg):
+            pages.ensure(page_id)
+        self.clock += 1
+        self.stats.user_writes += 1
+
+        old_seg = pages.seg[page_id]
+        if old_seg >= 0:
+            self._invalidate(page_id, old_seg)
+            # The old slot is dead from this moment; cleaning can run
+            # before the new version lands (buffer flush or direct emit),
+            # so the stale pointer must not advertise the page as live.
+            pages.seg[page_id] = IN_FLIGHT
+        elif old_seg == IN_BUFFER:
+            # Midpoint rule applied to the page's own carried estimate.
+            carried = pages.carried_up2[page_id]
+            if carried == carried:  # not NaN
+                pages.carried_up2[page_id] = carried + 0.5 * (self.clock - carried)
+
+        buffer = self.buffer
+        if buffer is not None:
+            if old_seg == IN_BUFFER:
+                buffer.replace(page_id, size)
+            else:
+                if not buffer.fits(size):
+                    self.flush()
+                buffer.add(page_id, size)
+                pages.seg[page_id] = IN_BUFFER
+            pages.size[page_id] = size
+        else:
+            pages.size[page_id] = size
+            if not (pages.carried_up2[page_id] == pages.carried_up2[page_id]):
+                pages.carried_up2[page_id] = self._cold_up2
+            self._emit(page_id, self.policy.route_user(page_id), is_gc=False)
+        pages.last_write[page_id] = self.clock
+
+    def load_sequential(self, n_pages: int, sizes: Optional[Sequence[int]] = None) -> None:
+        """Write pages ``0 .. n_pages-1`` once each (the initial fill).
+
+        These count as user writes; benchmarks exclude the load phase by
+        measuring write amplification over a post-warm-up window.
+        """
+        if sizes is None:
+            for pid in range(n_pages):
+                self.write(pid)
+        else:
+            for pid in range(n_pages):
+                self.write(pid, sizes[pid])
+
+    def trim(self, page_id: int) -> bool:
+        """Discard a page's current version without writing a new one
+        (an SSD TRIM / a key-value delete).
+
+        Frees the page's space for the cleaner immediately.  Counts as
+        an update event on the containing segment — a delete is activity
+        — and ticks the clock.  Returns False when the page holds no
+        current version.
+        """
+        pages = self.pages
+        if page_id >= len(pages.seg):
+            return False
+        old_seg = pages.seg[page_id]
+        if old_seg == NEVER_WRITTEN:
+            return False
+        self.clock += 1
+        self.stats.trims += 1
+        if old_seg >= 0:
+            self._invalidate(page_id, old_seg)
+        elif old_seg == IN_BUFFER:
+            self.buffer.remove(page_id)
+        pages.seg[page_id] = NEVER_WRITTEN
+        return True
+
+    def flush(self) -> None:
+        """Drain the sorting buffer into segments, sorted by the policy's
+        user sort key (MDC sorts by carried ``up2``; Section 5.3)."""
+        buffer = self.buffer
+        if buffer is None or len(buffer) == 0:
+            return
+        pids = buffer.drain()
+        self._resolve_first_writes(pids)
+        keys = self.policy.user_sort_key(pids)
+        if keys is not None:
+            pids = [pid for _, pid in sorted(zip(keys, pids))]
+        policy = self.policy
+        for pid in pids:
+            self._emit(pid, policy.route_user(pid), is_gc=False)
+
+    def set_oracle_frequencies(self, freqs: Sequence[float]) -> None:
+        """Install exact per-page update frequencies for the ``-opt``
+        policy variants (the paper's "exact page update frequency").
+
+        Must be called before any page covered by ``freqs`` is written,
+        so segment ``freq_sum`` accounting stays consistent; to change a
+        frequency mid-run use :meth:`set_page_frequency`.
+        """
+        self.pages.ensure(len(freqs) - 1)
+        oracle = self.pages.oracle_freq
+        for pid, f in enumerate(freqs):
+            oracle[pid] = float(f)
+
+    def set_page_frequency(self, page_id: int, freq: float) -> None:
+        """Change one page's oracle frequency mid-run.
+
+        Supports *dynamic* oracles — the paper's closing observation
+        that "knowledge of workload may make it possible to better
+        predict update frequency changes" (Section 8.2).  If the page is
+        currently live in a segment, that segment's frequency sum is
+        adjusted so MDC-opt's victim ranking stays consistent.
+        """
+        pages = self.pages
+        if page_id >= len(pages.seg):
+            pages.ensure(page_id)
+        old = pages.oracle_freq[page_id]
+        seg = pages.seg[page_id]
+        if seg >= 0:
+            self.segments.freq_sum[seg] += freq - old
+        pages.oracle_freq[page_id] = freq
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+
+    @property
+    def free_segment_count(self) -> int:
+        """Segments currently in the free pool."""
+        return len(self.free_list)
+
+    def sealed_segments(self) -> List[int]:
+        """Ids of all sealed (cleanable) segments."""
+        state = self.segments.state
+        return [s for s in range(len(state)) if state[s] == SEALED]
+
+    def fill_factor_now(self) -> float:
+        """Current fraction of device units holding live data."""
+        live = sum(self.segments.live_units)
+        if self.buffer is not None:
+            live += self.buffer.used_units
+        return live / self.config.device_units
+
+    def live_page_count(self) -> int:
+        """Pages holding a current version anywhere (device or buffer)."""
+        return sum(1 for s in self.pages.seg if s != NEVER_WRITTEN)
+
+    def wear_summary(self) -> dict:
+        """Per-segment erase (reclaim) statistics — flash wear, in the
+        SSD framing.  ``cv`` is the coefficient of variation: 0 means
+        perfectly even wear."""
+        counts = self.segments.erase_count
+        n = len(counts)
+        total = sum(counts)
+        mean = total / n
+        if mean > 0.0:
+            var = sum((c - mean) ** 2 for c in counts) / n
+            cv = var ** 0.5 / mean
+        else:
+            cv = 0.0
+        return {
+            "total_erases": total,
+            "mean": mean,
+            "max": max(counts),
+            "min": min(counts),
+            "cv": cv,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals: invalidation, placement, sealing, allocation
+    # ------------------------------------------------------------------
+
+    def _invalidate(self, page_id: int, seg: int) -> None:
+        """The current version of ``page_id`` in ``seg`` became obsolete."""
+        segs = self.segments
+        pages = self.pages
+        segs.live_count[seg] -= 1
+        segs.live_units[seg] -= pages.size[page_id]
+        segs.freq_sum[seg] -= pages.oracle_freq[page_id]
+        # Carry the page's update history forward (Section 5.2.2,
+        # "Non-first Write"): prior up1 assumed midway between now and the
+        # containing segment's up2, and it becomes the page's new up2.
+        seg_up2 = segs.up2[seg]
+        pages.carried_up2[page_id] = seg_up2 + 0.5 * (self.clock - seg_up2)
+        # Advance the segment's last-two-updates pair (Section 4.3).
+        segs.up2[seg] = segs.up1[seg]
+        segs.up1[seg] = self.clock
+
+    def _resolve_first_writes(self, pids: List[int]) -> None:
+        """Give never-before-written pages a "coldish" up2: the oldest up2
+        in the batch being processed (Section 5.2.2, "First Write")."""
+        carried = self.pages.carried_up2
+        known = [carried[p] for p in pids if carried[p] == carried[p]]
+        cold = min(known) if known else self._cold_up2
+        self._cold_up2 = cold
+        for pid in pids:
+            if not (carried[pid] == carried[pid]):
+                carried[pid] = cold
+
+    def _emit(self, page_id: int, stream: int, is_gc: bool) -> None:
+        """Append ``page_id`` to the open segment of ``stream``, sealing
+        and re-allocating as needed.
+
+        Sealing removes the stream's map entry *before* any cleaning can
+        run: cleaning relocates pages through this same method and (for
+        policies whose GC shares streams with user writes) may re-open
+        the very stream we are emitting to, so the open segment is
+        re-fetched after the cleaning opportunity instead of being
+        allocated eagerly — otherwise the recursion's segment would be
+        orphaned in the OPEN state.
+        """
+        segs = self.segments
+        pages = self.pages
+        size = pages.size[page_id]
+        seg = self.open_segments.get(stream)
+        if seg is not None and segs.used_units[seg] + size > segs.capacity:
+            self._seal(seg)
+            del self.open_segments[stream]
+            seg = None
+        if seg is None:
+            if not is_gc and not self._cleaning:
+                self._clean_until_replenished()
+                # Cleaning may have re-opened this very stream (GC can
+                # share streams with user writes); re-fetch.
+                seg = self.open_segments.get(stream)
+                if seg is not None and segs.used_units[seg] + size > segs.capacity:
+                    self._seal(seg)
+                    del self.open_segments[stream]
+                    seg = None
+            if seg is None:
+                seg = self._allocate()
+                self.open_segments[stream] = seg
+                self.policy.on_segment_open(seg, stream)
+        slot = len(segs.slots[seg])
+        segs.slots[seg].append(page_id)
+        segs.slot_sizes[seg].append(size)
+        pages.seg[page_id] = seg
+        pages.slot[page_id] = slot
+        segs.live_count[seg] += 1
+        segs.live_units[seg] += size
+        segs.used_units[seg] += size
+        segs.up2_sum[seg] += pages.carried_up2[page_id]
+        segs.freq_sum[seg] += pages.oracle_freq[page_id]
+        if is_gc:
+            self.stats.gc_writes += 1
+        else:
+            self.stats.user_device_writes += 1
+
+    def _seal(self, seg: int) -> None:
+        """Close a full segment: fix its seal time and initialize its
+        update-history pair from the pages it received (Section 5.2.2,
+        "Garbage Collection Writes")."""
+        segs = self.segments
+        segs.state[seg] = SEALED
+        segs.seal_time[seg] = self.clock
+        n_written = len(segs.slots[seg])
+        up2 = segs.up2_sum[seg] / n_written
+        # The clock only moves forward; an averaged estimate can still
+        # exceed "now" only through float noise — clamp defensively.
+        up2 = min(up2, float(self.clock))
+        segs.up2[seg] = up2
+        # up1 assumed midway between up2 and now, matching the paper's
+        # midpoint assumption for unobserved last-update times.
+        segs.up1[seg] = up2 + 0.5 * (self.clock - up2)
+
+    def _clean_until_replenished(self) -> None:
+        """Run cleaning cycles until the free pool recovers to the
+        trigger.
+
+        A single cycle nets only the victims' empty fraction, which for
+        small batches (multi-log cleans one segment at a time) can be
+        less than one segment, so the loop is required.  Cycles that
+        reclaim no space at all are bounded so a degenerate policy fails
+        fast instead of looping forever.
+        """
+        trigger = max(self.config.clean_trigger, self.policy.min_free_target())
+        stalled = 0
+        while len(self.free_list) < trigger:
+            reclaimed_units = self.clean()
+            if reclaimed_units == 0:
+                stalled += 1
+                if stalled > 2:
+                    raise OutOfSpaceError(
+                        "cleaning is not reclaiming space (policy=%s, free=%d)"
+                        % (getattr(self.policy, "name", "?"), len(self.free_list))
+                    )
+            else:
+                stalled = 0
+
+    def _allocate(self) -> int:
+        """Pop a free segment and mark it open."""
+        if not self.free_list:
+            raise OutOfSpaceError(
+                "no free segments (fill factor too high or policy reclaimed nothing)"
+            )
+        seg = self.free_list.popleft()
+        self.segments.state[seg] = OPEN
+        return seg
+
+    # ------------------------------------------------------------------
+    # Cleaning
+    # ------------------------------------------------------------------
+
+    def clean(self, n_victims: Optional[int] = None) -> int:
+        """Run one cleaning cycle; returns the units of space reclaimed
+        (the victims' total available space).
+
+        Victims are chosen by the policy; their live pages are staged,
+        the victims freed, and the pages relocated through the policy's
+        GC placement (which sorts / routes them by update frequency for
+        the separating policies).
+        """
+        segs = self.segments
+        pages = self.pages
+        self._cleaning = True
+        try:
+            candidates = self.sealed_segments()
+            if not candidates:
+                raise OutOfSpaceError("nothing to clean: no sealed segments")
+            victims = self.policy.select_victims(candidates, n_victims)
+            if not victims:
+                raise OutOfSpaceError("policy selected no victims")
+            moved: List[int] = []
+            sources: List[int] = []
+            stats = self.stats
+            reclaimed_units = 0
+            for victim in victims:
+                if segs.state[victim] != SEALED:
+                    raise OutOfSpaceError(
+                        "policy selected non-sealed victim %d (%s)"
+                        % (victim, segs.state_name(victim))
+                    )
+                stats.segments_cleaned += 1
+                stats.cleaned_emptiness_sum += segs.emptiness(victim)
+                reclaimed_units += segs.available_units(victim)
+                live = pages.live_pages_of(segs, victim)
+                # GC'd pages carry their source segment's up2
+                # (Section 5.2.2, "Garbage Collection Writes").
+                src_up2 = segs.up2[victim]
+                for pid in live:
+                    pages.carried_up2[pid] = src_up2
+                moved.extend(live)
+                sources.extend([victim] * len(live))
+            placements = list(self.policy.place_gc(moved, sources))
+            for victim in victims:
+                segs.reset(victim)
+                self.free_list.append(victim)
+            for pid, stream in placements:
+                self._emit(pid, stream, is_gc=True)
+            stats.clean_cycles += 1
+            return reclaimed_units
+        finally:
+            self._cleaning = False
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests; cheap enough for debugging runs)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify internal consistency; raises AssertionError on breakage.
+
+        Checked invariants:
+        * every segment is in exactly one of free list / open map / sealed;
+        * per-segment live counts and unit accounting match slot liveness;
+        * every live page-table entry points at a matching slot;
+        * total live units never exceed device capacity.
+        """
+        segs = self.segments
+        pages = self.pages
+        n = len(segs)
+        free = set(self.free_list)
+        assert len(free) == len(self.free_list), "duplicate segments in free list"
+        open_now = set(self.open_segments.values())
+        for s in range(n):
+            st = segs.state[s]
+            if s in free:
+                assert st == FREE, segs.describe(s)
+            elif s in open_now:
+                assert st == OPEN, segs.describe(s)
+            else:
+                assert st == SEALED or st == FREE, segs.describe(s)
+            live = pages.live_pages_of(segs, s)
+            assert segs.live_count[s] == len(live), segs.describe(s)
+            live_units = sum(pages.size[p] for p in live)
+            assert segs.live_units[s] == live_units, segs.describe(s)
+            freq_sum = sum(pages.oracle_freq[p] for p in live)
+            assert abs(segs.freq_sum[s] - freq_sum) < 1e-6 * max(1.0, freq_sum), (
+                segs.describe(s)
+            )
+            assert segs.used_units[s] <= segs.capacity, segs.describe(s)
+            assert segs.live_units[s] <= segs.used_units[s], segs.describe(s)
+        total_live = sum(segs.live_units)
+        assert total_live <= self.config.device_units
+        for pid in range(len(pages.seg)):
+            seg = pages.seg[pid]
+            if seg >= 0:
+                assert segs.slots[seg][pages.slot[pid]] == pid, (
+                    "page %d points at slot that holds another page" % pid
+                )
+            elif seg == IN_BUFFER:
+                assert self.buffer is not None and pid in self.buffer
+
+    def __repr__(self) -> str:
+        return (
+            "<LogStructuredStore segs=%d free=%d clock=%d user_writes=%d "
+            "gc_writes=%d policy=%s>"
+            % (
+                self.config.n_segments,
+                len(self.free_list),
+                self.clock,
+                self.stats.user_writes,
+                self.stats.gc_writes,
+                getattr(self.policy, "name", type(self.policy).__name__),
+            )
+        )
+
+
+def segments_needed(units: int, segment_units: int) -> int:
+    """Number of whole segments needed to hold ``units`` of data."""
+    return int(math.ceil(units / segment_units))

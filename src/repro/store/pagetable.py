@@ -1,0 +1,89 @@
+"""Page table: the dynamic page-id to (segment, slot) mapping.
+
+Log structuring never updates in place; every write relocates its page, so
+the mapping is re-pointed on every write (the LFS inode map / FTL mapping
+table).  A page's old slot is implicitly invalidated by the re-pointing: a
+slot is live iff the table still points at it.
+
+Besides the location, the table carries the per-page values the cleaning
+policies need:
+
+* ``carried_up2`` — the page's update-history estimate carried between
+  segments (Section 5.2.2 of the paper),
+* ``last_write`` — previous update timestamp (multi-log's estimator),
+* ``size`` — page size in units (1 for the fixed-size experiments),
+* ``oracle_freq`` — exact update frequency, populated by workloads that
+  know it, consumed only by the ``-opt`` policy variants.
+
+The table grows on demand so trace workloads (TPC-C) can allocate new
+pages while running.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Location sentinel: page has never been written.
+NEVER_WRITTEN = -1
+#: Location sentinel: the page's current version sits in the user-write
+#: sorting buffer (RAM), not in any segment.
+IN_BUFFER = -2
+#: Location sentinel: the page is being placed right now (its old slot is
+#: already invalidated, its new slot not yet assigned).  Cleaning can run
+#: between the two moments — the sentinel keeps the stale old pointer
+#: from making the page look live in a victim segment.
+IN_FLIGHT = -3
+
+#: carried_up2 sentinel: no update history yet; resolved to a "coldish"
+#: value when the page is first placed (Section 5.2.2, "First Write").
+NO_HISTORY = float("nan")
+
+
+class PageTable:
+    """Column-wise per-page state, indexed by dense integer page ids."""
+
+    __slots__ = ("seg", "slot", "carried_up2", "last_write", "size", "oracle_freq")
+
+    def __init__(self, n_pages: int = 0) -> None:
+        self.seg: List[int] = [NEVER_WRITTEN] * n_pages
+        self.slot: List[int] = [0] * n_pages
+        self.carried_up2: List[float] = [NO_HISTORY] * n_pages
+        self.last_write: List[int] = [0] * n_pages
+        self.size: List[int] = [1] * n_pages
+        self.oracle_freq: List[float] = [0.0] * n_pages
+
+    def __len__(self) -> int:
+        return len(self.seg)
+
+    def ensure(self, page_id: int) -> None:
+        """Grow the table so ``page_id`` is addressable."""
+        missing = page_id + 1 - len(self.seg)
+        if missing > 0:
+            self.seg.extend([NEVER_WRITTEN] * missing)
+            self.slot.extend([0] * missing)
+            self.carried_up2.extend([NO_HISTORY] * missing)
+            self.last_write.extend([0] * missing)
+            self.size.extend([1] * missing)
+            self.oracle_freq.extend([0.0] * missing)
+
+    def is_live_slot(self, seg: int, slot: int, page_id: int) -> bool:
+        """True iff segment ``seg`` slot ``slot`` holds the current version
+        of ``page_id``."""
+        return self.seg[page_id] == seg and self.slot[page_id] == slot
+
+    def location(self, page_id: int):
+        """Return ``(seg, slot)``; ``seg`` may be a sentinel (< 0)."""
+        return self.seg[page_id], self.slot[page_id]
+
+    def live_pages_of(self, segments, seg: int) -> List[int]:
+        """All page ids whose current version lives in ``seg``.
+
+        ``segments`` is the :class:`~repro.store.segments.SegmentTable`
+        owning the slot lists.
+        """
+        seg_col, slot_col = self.seg, self.slot
+        return [
+            pid
+            for slot, pid in enumerate(segments.slots[seg])
+            if seg_col[pid] == seg and slot_col[pid] == slot
+        ]

@@ -1,0 +1,153 @@
+"""Checkpoint / restore of a running store.
+
+Long experiments (full-scale Table 1 rows take hours in pure Python) can
+be checkpointed to a single ``.npz`` file and resumed later — or the
+converged state of one run can seed many policy-comparison runs.
+
+What is saved: config, clock, statistics, the complete page and segment
+tables, the free pool, open segments, the sorting buffer's contents,
+and the policy's ``state_dict()`` (policies whose state lives outside
+the store tables — multi-log's classes — override the state hooks; the
+MDC family needs nothing, its bookkeeping *is* the tables).
+
+Restoring requires constructing the same policy type; the file records
+the policy name so mismatches fail loudly rather than corrupt silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.store.config import StoreConfig
+from repro.store.errors import StoreError
+from repro.store.log_store import LogStructuredStore
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(StoreError):
+    """Checkpoint file is malformed or does not match the target."""
+
+
+def save_store(store: LogStructuredStore, path: Union[str, pathlib.Path]) -> None:
+    """Write a complete checkpoint of ``store`` to ``path`` (.npz)."""
+    store.flush()  # simplest sound treatment of in-flight buffer pages
+    segs = store.segments
+    pages = store.pages
+    slot_lengths = np.array([len(s) for s in segs.slots], dtype=np.int64)
+    flat_slots = np.array(
+        [pid for slots in segs.slots for pid in slots], dtype=np.int64
+    )
+    flat_sizes = np.array(
+        [size for sizes in segs.slot_sizes for size in sizes], dtype=np.int64
+    )
+    stats = store.stats
+    meta = {
+        "version": FORMAT_VERSION,
+        "config": dataclasses.asdict(store.config),
+        "policy": store.policy.name,
+        "clock": store.clock,
+        "cold_up2": store._cold_up2,
+        "stats": {
+            "user_writes": stats.user_writes,
+            "user_device_writes": stats.user_device_writes,
+            "gc_writes": stats.gc_writes,
+            "trims": stats.trims,
+            "segments_cleaned": stats.segments_cleaned,
+            "cleaned_emptiness_sum": stats.cleaned_emptiness_sum,
+            "clean_cycles": stats.clean_cycles,
+        },
+        "open_segments": {str(k): v for k, v in store.open_segments.items()},
+        "policy_state": store.policy.state_dict(),
+    }
+    np.savez_compressed(
+        str(path),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        page_seg=np.array(pages.seg, dtype=np.int64),
+        page_slot=np.array(pages.slot, dtype=np.int64),
+        page_carried_up2=np.array(pages.carried_up2, dtype=np.float64),
+        page_last_write=np.array(pages.last_write, dtype=np.int64),
+        page_size=np.array(pages.size, dtype=np.int64),
+        page_oracle=np.array(pages.oracle_freq, dtype=np.float64),
+        seg_state=np.array(segs.state, dtype=np.int64),
+        seg_live_count=np.array(segs.live_count, dtype=np.int64),
+        seg_live_units=np.array(segs.live_units, dtype=np.int64),
+        seg_used_units=np.array(segs.used_units, dtype=np.int64),
+        seg_seal_time=np.array(segs.seal_time, dtype=np.int64),
+        seg_up1=np.array(segs.up1, dtype=np.float64),
+        seg_up2=np.array(segs.up2, dtype=np.float64),
+        seg_up2_sum=np.array(segs.up2_sum, dtype=np.float64),
+        seg_freq_sum=np.array(segs.freq_sum, dtype=np.float64),
+        seg_erase_count=np.array(segs.erase_count, dtype=np.int64),
+        slot_lengths=slot_lengths,
+        flat_slots=flat_slots,
+        flat_sizes=flat_sizes,
+        free_list=np.array(list(store.free_list), dtype=np.int64),
+    )
+
+
+def load_store(path: Union[str, pathlib.Path], policy) -> LogStructuredStore:
+    """Rebuild a store from a checkpoint, attaching ``policy``.
+
+    The policy must be the same registered kind that was saved.
+    """
+    data = np.load(str(path))
+    meta = json.loads(bytes(data["meta"]).decode())
+    if meta.get("version") != FORMAT_VERSION:
+        raise PersistenceError(
+            "unsupported checkpoint version %r" % (meta.get("version"),)
+        )
+    if policy.name != meta["policy"]:
+        raise PersistenceError(
+            "checkpoint was taken with policy %r, got %r"
+            % (meta["policy"], policy.name)
+        )
+    config = StoreConfig(**meta["config"])
+    store = LogStructuredStore(config, policy)
+    store.clock = int(meta["clock"])
+    store._cold_up2 = float(meta["cold_up2"])
+    for field, value in meta["stats"].items():
+        setattr(store.stats, field, value)
+
+    pages = store.pages
+    pages.ensure(len(data["page_seg"]) - 1)
+    pages.seg[:] = data["page_seg"].tolist()
+    pages.slot[:] = data["page_slot"].tolist()
+    pages.carried_up2[:] = data["page_carried_up2"].tolist()
+    pages.last_write[:] = data["page_last_write"].tolist()
+    pages.size[:] = data["page_size"].tolist()
+    pages.oracle_freq[:] = data["page_oracle"].tolist()
+
+    segs = store.segments
+    segs.state[:] = data["seg_state"].tolist()
+    segs.live_count[:] = data["seg_live_count"].tolist()
+    segs.live_units[:] = data["seg_live_units"].tolist()
+    segs.used_units[:] = data["seg_used_units"].tolist()
+    segs.seal_time[:] = data["seg_seal_time"].tolist()
+    segs.up1[:] = data["seg_up1"].tolist()
+    segs.up2[:] = data["seg_up2"].tolist()
+    segs.up2_sum[:] = data["seg_up2_sum"].tolist()
+    segs.freq_sum[:] = data["seg_freq_sum"].tolist()
+    segs.erase_count[:] = data["seg_erase_count"].tolist()
+    flat_slots = data["flat_slots"].tolist()
+    flat_sizes = data["flat_sizes"].tolist()
+    offset = 0
+    for seg_id, length in enumerate(data["slot_lengths"].tolist()):
+        segs.slots[seg_id] = flat_slots[offset:offset + length]
+        segs.slot_sizes[seg_id] = flat_sizes[offset:offset + length]
+        offset += length
+
+    store.free_list.clear()
+    store.free_list.extend(int(s) for s in data["free_list"].tolist())
+    store.open_segments.clear()
+    for stream, seg in meta["open_segments"].items():
+        store.open_segments[int(stream)] = int(seg)
+        policy.on_segment_open(int(seg), int(stream))
+    policy.load_state_dict(meta["policy_state"])
+    store.check_invariants()
+    return store

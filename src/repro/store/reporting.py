@@ -1,0 +1,117 @@
+"""Store introspection reports (debugging / analysis aids).
+
+The checkerboard of Figure 1 — segments part current, part obsolete —
+is the whole cleaning problem; these helpers make it visible: emptiness
+histograms over sealed segments, a one-screen store summary, and the
+per-segment dump the tests print on failures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.store.log_store import LogStructuredStore
+from repro.store.segments import SEALED
+
+
+def emptiness_histogram(
+    store: LogStructuredStore, buckets: int = 10
+) -> List[int]:
+    """Counts of sealed segments per emptiness band ``[i/b, (i+1)/b)``.
+
+    The shape tells a policy story at a glance: a uniform store shows a
+    single hump; a well-separated skewed store is bimodal (nearly-full
+    cold segments plus rapidly-emptying hot ones).
+    """
+    if buckets < 1:
+        raise ValueError("buckets must be positive")
+    counts = [0] * buckets
+    segs = store.segments
+    for s in range(len(segs)):
+        if segs.state[s] != SEALED:
+            continue
+        e = segs.emptiness(s)
+        idx = min(buckets - 1, int(e * buckets))
+        counts[idx] += 1
+    return counts
+
+
+def checkerboard(store: LogStructuredStore, segment: int) -> str:
+    """Figure 1 in ASCII: ``#`` = current page, ``.`` = obsolete slot."""
+    segs = store.segments
+    pages = store.pages
+    cells = []
+    for slot, pid in enumerate(segs.slots[segment]):
+        cells.append("#" if pages.is_live_slot(segment, slot, pid) else ".")
+    return "".join(cells)
+
+
+def describe(store: LogStructuredStore) -> str:
+    """One-screen summary: occupancy, cleaning stats, wear, histogram."""
+    cfg = store.config
+    stats = store.stats
+    wear = store.wear_summary()
+    hist = emptiness_histogram(store)
+    peak = max(hist) or 1
+    hist_rows = "\n".join(
+        "  E in [%.1f, %.1f): %-4d %s"
+        % (i / 10, (i + 1) / 10, n, "#" * round(20 * n / peak))
+        for i, n in enumerate(hist)
+    )
+    return (
+        "store: %d segments x %d units (fill target %.2f, now %.3f)\n"
+        "policy: %s\n"
+        "writes: %d user (%d to device), %d GC, %d trims -> Wamp %.3f\n"
+        "cleaning: %d cycles, %d segments, mean E when cleaned %.3f\n"
+        "wear: %d erases (min %d / mean %.1f / max %d, cv %.2f)\n"
+        "sealed-segment emptiness histogram:\n%s"
+        % (
+            cfg.n_segments,
+            cfg.segment_units,
+            cfg.fill_factor,
+            store.fill_factor_now(),
+            getattr(store.policy, "describe", lambda: store.policy.name)(),
+            stats.user_writes,
+            stats.user_device_writes,
+            stats.gc_writes,
+            stats.trims,
+            stats.write_amplification,
+            stats.clean_cycles,
+            stats.segments_cleaned,
+            (stats.cleaned_emptiness_sum / stats.segments_cleaned)
+            if stats.segments_cleaned else 0.0,
+            wear["total_erases"],
+            wear["min"],
+            wear["mean"],
+            wear["max"],
+            wear["cv"],
+            hist_rows,
+        )
+    )
+
+
+def temperature_report(store: LogStructuredStore) -> Dict[str, float]:
+    """How well the store has separated hot from cold: the coefficient
+    of variation of per-segment update rates (``freq_sum`` when an
+    oracle is installed, live-count-normalized up2 recency otherwise).
+
+    Higher is better — perfect mixing drives it toward zero.
+    """
+    segs = store.segments
+    rates = []
+    for s in range(len(segs)):
+        if segs.state[s] != SEALED or segs.live_count[s] == 0:
+            continue
+        if segs.freq_sum[s] > 0:
+            rates.append(segs.freq_sum[s] / segs.live_count[s])
+        else:
+            age = max(1.0, store.clock - segs.up2[s])
+            rates.append(2.0 / age)
+    if not rates:
+        return {"segments": 0, "cv": 0.0}
+    mean = sum(rates) / len(rates)
+    var = sum((r - mean) ** 2 for r in rates) / len(rates)
+    return {
+        "segments": len(rates),
+        "cv": (var ** 0.5 / mean) if mean else 0.0,
+    }

@@ -1,0 +1,133 @@
+"""Per-segment metadata for the log-structured store.
+
+Section 5.1 of the paper identifies the information a cleaner must keep
+for each segment:
+
+* ``A`` — available (reclaimable) storage in the segment,
+* ``C`` — number of pages containing current state,
+* ``up2`` — the penultimate update time of pages in the segment,
+
+plus global values ``B`` (segment size) and ``u_now`` (the update-count
+clock).  This module keeps those, together with the auxiliary values the
+different cleaning policies need: seal time (for age and cost-benefit),
+the last update time ``up1`` (so ``up2`` can be advanced as updates
+arrive), and the running sum of exact page update frequencies for the
+oracle-assisted ``-opt`` policy variants.
+
+The metadata is stored column-wise in plain Python lists: the write path
+touches one scalar per field per write, and CPython list indexing is
+faster than numpy scalar indexing.  Policies that want vectorized math
+snapshot the columns they need with :func:`numpy.asarray` over the
+(small) candidate set at cleaning time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Segment states.
+FREE = 0
+OPEN = 1
+SEALED = 2
+
+_STATE_NAMES = {FREE: "free", OPEN: "open", SEALED: "sealed"}
+
+
+class SegmentTable:
+    """Column-wise metadata for all physical segments."""
+
+    __slots__ = (
+        "capacity",
+        "state",
+        "live_count",
+        "live_units",
+        "used_units",
+        "seal_time",
+        "up1",
+        "up2",
+        "up2_sum",
+        "freq_sum",
+        "slots",
+        "slot_sizes",
+        "erase_count",
+    )
+
+    def __init__(self, n_segments: int, capacity: int) -> None:
+        self.capacity = capacity
+        self.state: List[int] = [FREE] * n_segments
+        #: C — live (current) pages in the segment.
+        self.live_count: List[int] = [0] * n_segments
+        #: capacity - A — units occupied by live pages.
+        self.live_units: List[int] = [0] * n_segments
+        #: Units appended so far (the write cursor); never decreases while
+        #: the segment is open, unlike ``live_units``.
+        self.used_units: List[int] = [0] * n_segments
+        #: Update-clock value when the segment was sealed.
+        self.seal_time: List[int] = [0] * n_segments
+        #: Times of the last two updates that hit (invalidated a page of)
+        #: the segment.  ``Upf = 2 / (u_now - up2)`` per Section 4.3.
+        self.up1: List[float] = [0.0] * n_segments
+        self.up2: List[float] = [0.0] * n_segments
+        #: Sum of carried per-page up2 estimates of appended pages; at seal
+        #: time the average initializes the segment's up2 (Section 5.2.2).
+        self.up2_sum: List[float] = [0.0] * n_segments
+        #: Sum of exact per-page update frequencies of live pages; only
+        #: maintained when the store has a frequency oracle attached.
+        self.freq_sum: List[float] = [0.0] * n_segments
+        #: Append-ordered page ids per segment.  A slot ``i`` of segment
+        #: ``s`` is live iff the page table still maps ``slots[s][i]`` to
+        #: ``(s, i)``.
+        self.slots: List[List[int]] = [[] for _ in range(n_segments)]
+        #: Unit sizes parallel to ``slots`` (needed to reconstruct space
+        #: accounting for variable-size pages).
+        self.slot_sizes: List[List[int]] = [[] for _ in range(n_segments)]
+        #: Times this segment has been reclaimed — in SSD terms, its
+        #: erase count (flash wear).  Never reset.
+        self.erase_count: List[int] = [0] * n_segments
+
+    def __len__(self) -> int:
+        return len(self.state)
+
+    def reset(self, seg: int) -> None:
+        """Return a segment to FREE state (an erase, in SSD terms)."""
+        self.erase_count[seg] += 1
+        self.state[seg] = FREE
+        self.live_count[seg] = 0
+        self.live_units[seg] = 0
+        self.used_units[seg] = 0
+        self.seal_time[seg] = 0
+        self.up1[seg] = 0.0
+        self.up2[seg] = 0.0
+        self.up2_sum[seg] = 0.0
+        self.freq_sum[seg] = 0.0
+        self.slots[seg] = []
+        self.slot_sizes[seg] = []
+
+    def available_units(self, seg: int) -> int:
+        """``A`` — reclaimable space of a segment, in units."""
+        return self.capacity - self.live_units[seg]
+
+    def emptiness(self, seg: int) -> float:
+        """``E = A / B`` — the fraction of the segment that is empty."""
+        return self.available_units(seg) / self.capacity
+
+    def state_name(self, seg: int) -> str:
+        """Human-readable state (``free`` / ``open`` / ``sealed``)."""
+        return _STATE_NAMES[self.state[seg]]
+
+    def describe(self, seg: int) -> str:
+        """Human-readable one-line summary (debugging aid)."""
+        return (
+            "segment %d: %s, C=%d, A=%d/%d, E=%.3f, sealed@%d, up1=%.0f, up2=%.0f"
+            % (
+                seg,
+                self.state_name(seg),
+                self.live_count[seg],
+                self.available_units(seg),
+                self.capacity,
+                self.emptiness(seg),
+                self.seal_time[seg],
+                self.up1[seg],
+                self.up2[seg],
+            )
+        )

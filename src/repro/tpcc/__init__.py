@@ -1,0 +1,42 @@
+"""TPC-C benchmark implementation over the B+-tree engine.
+
+Used to synthesize the I/O traces of the paper's Section 6.3 TPC-C
+experiment (the original traces are not published).
+"""
+
+from repro.tpcc.consistency import ConsistencyViolation, check_consistency
+from repro.tpcc.database import TpccDatabase
+from repro.tpcc.driver import DriverStats, TpccDriver
+from repro.tpcc.loader import load_database
+from repro.tpcc.random_gen import TpccRandom
+from repro.tpcc.schema import ROW_BYTES, TRANSACTION_MIX, TpccScale
+from repro.tpcc.trace_gen import TpccTrace, generate_tpcc_trace
+from repro.tpcc.transactions import (
+    TRANSACTIONS,
+    delivery,
+    new_order,
+    order_status,
+    payment,
+    stock_level,
+)
+
+__all__ = [
+    "ConsistencyViolation",
+    "DriverStats",
+    "check_consistency",
+    "ROW_BYTES",
+    "TRANSACTIONS",
+    "TRANSACTION_MIX",
+    "TpccDatabase",
+    "TpccDriver",
+    "TpccRandom",
+    "TpccScale",
+    "TpccTrace",
+    "delivery",
+    "generate_tpcc_trace",
+    "load_database",
+    "new_order",
+    "order_status",
+    "payment",
+    "stock_level",
+]

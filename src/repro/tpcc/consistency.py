@@ -1,0 +1,115 @@
+"""TPC-C consistency conditions (spec clause 3.3.2).
+
+The spec defines database-wide invariants that must hold after any mix
+of transactions; they are the strongest correctness oracle available
+for a TPC-C implementation.  Implemented here:
+
+1. ``W_YTD = sum(D_YTD)`` for every warehouse (condition 1);
+2. ``D_NEXT_O_ID - 1 = max(O_ID) = max(NO_O_ID)`` per district
+   (condition 2, with the NEW-ORDER clause applying only to non-empty
+   queues);
+3. NEW-ORDER rows form a contiguous O_ID range per district
+   (condition 3);
+4. ``sum(O_OL_CNT) = count(ORDER-LINE)`` per district (condition 4);
+5. every NEW-ORDER row has exactly one ORDER row (condition 5's
+   existence half);
+6. every ORDER's O_OL_CNT matches its actual ORDER-LINE rows
+   (condition 6).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.tpcc.database import TpccDatabase
+from repro.tpcc.schema import TpccScale
+
+
+class ConsistencyViolation(AssertionError):
+    """A TPC-C consistency condition failed."""
+
+
+def check_consistency(db: TpccDatabase, scale: TpccScale) -> List[str]:
+    """Verify conditions 1-6; returns the list of checks performed.
+
+    Raises :class:`ConsistencyViolation` on the first failure.
+    """
+    performed = []
+    for w_id in range(1, scale.warehouses + 1):
+        _condition_1(db, scale, w_id)
+        performed.append("W%d: W_YTD = sum(D_YTD)" % w_id)
+        for d_id in range(1, scale.districts_per_warehouse + 1):
+            _conditions_2_and_3(db, w_id, d_id)
+            _condition_4(db, w_id, d_id)
+            _conditions_5_and_6(db, w_id, d_id)
+        performed.append("W%d: per-district order-id and order-line checks" % w_id)
+    return performed
+
+
+def _fail(condition: int, detail: str) -> None:
+    raise ConsistencyViolation("TPC-C consistency %d violated: %s" % (condition, detail))
+
+
+def _condition_1(db: TpccDatabase, scale: TpccScale, w_id: int) -> None:
+    w_ytd = db.warehouse.search((w_id,))[1]
+    d_ytd = sum(
+        db.district.search((w_id, d_id))[1]
+        for d_id in range(1, scale.districts_per_warehouse + 1)
+    )
+    if abs(w_ytd - d_ytd) > 1e-6 * max(1.0, abs(w_ytd)):
+        _fail(1, "W%d: W_YTD=%.2f, sum(D_YTD)=%.2f" % (w_id, w_ytd, d_ytd))
+
+
+def _conditions_2_and_3(db: TpccDatabase, w_id: int, d_id: int) -> None:
+    next_o_id = db.district.search((w_id, d_id))[2]
+    order_ids = [key[2] for key, _ in db.order.scan_prefix((w_id, d_id))]
+    if order_ids and max(order_ids) != next_o_id - 1:
+        _fail(
+            2,
+            "district (%d,%d): D_NEXT_O_ID-1=%d but max(O_ID)=%d"
+            % (w_id, d_id, next_o_id - 1, max(order_ids)),
+        )
+    queue = [key[2] for key, _ in db.new_order.scan_prefix((w_id, d_id))]
+    if queue:
+        if max(queue) != next_o_id - 1:
+            _fail(
+                2,
+                "district (%d,%d): max(NO_O_ID)=%d != D_NEXT_O_ID-1=%d"
+                % (w_id, d_id, max(queue), next_o_id - 1),
+            )
+        if max(queue) - min(queue) + 1 != len(queue):
+            _fail(
+                3,
+                "district (%d,%d): NEW-ORDER ids not contiguous "
+                "(min=%d max=%d count=%d)"
+                % (w_id, d_id, min(queue), max(queue), len(queue)),
+            )
+
+
+def _condition_4(db: TpccDatabase, w_id: int, d_id: int) -> None:
+    declared = sum(
+        row[3] for _, row in db.order.scan_prefix((w_id, d_id))
+    )
+    actual = sum(1 for _ in db.order_line.scan_prefix((w_id, d_id)))
+    if declared != actual:
+        _fail(
+            4,
+            "district (%d,%d): sum(O_OL_CNT)=%d, order-line rows=%d"
+            % (w_id, d_id, declared, actual),
+        )
+
+
+def _conditions_5_and_6(db: TpccDatabase, w_id: int, d_id: int) -> None:
+    for key, _ in db.new_order.scan_prefix((w_id, d_id)):
+        order = db.order.search(key)
+        if order is None:
+            _fail(5, "NEW-ORDER %r has no ORDER row" % (key,))
+        if order[2] != 0:
+            _fail(5, "queued order %r already has a carrier" % (key,))
+    for key, order in db.order.scan_prefix((w_id, d_id)):
+        lines = sum(1 for _ in db.order_line.scan_prefix(key))
+        if lines != order[3]:
+            _fail(
+                6,
+                "order %r declares %d lines but has %d" % (key, order[3], lines),
+            )

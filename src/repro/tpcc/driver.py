@@ -1,0 +1,88 @@
+"""TPC-C workload driver: the standard transaction mix against one
+database, with per-type counters and periodic checkpointing.
+
+Checkpointing matters for trace realism: with only LRU eviction, pages
+hotter than the cache never reach disk at all.  Real engines flush dirty
+pages periodically (fuzzy checkpoints), which is what puts the hot
+B+-tree pages — district counters, NEW-ORDER queue heads — into the
+write trace over and over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.tpcc.database import TpccDatabase
+from repro.tpcc.random_gen import TpccRandom
+from repro.tpcc.schema import TRANSACTION_MIX, TpccScale
+from repro.tpcc.transactions import TRANSACTIONS
+
+
+@dataclasses.dataclass
+class DriverStats:
+    """Per-type commit counters plus rollbacks and checkpoints."""
+
+    committed: Dict[str, int]
+    rolled_back: int = 0
+    checkpoints: int = 0
+
+    @property
+    def total(self) -> int:
+        """All transactions attempted (committed plus rolled back)."""
+        return sum(self.committed.values()) + self.rolled_back
+
+
+class TpccDriver:
+    """Runs the weighted transaction mix (clause 5.2.4)."""
+
+    def __init__(
+        self,
+        db: TpccDatabase,
+        scale: TpccScale,
+        rng: TpccRandom,
+        checkpoint_every: int = 1000,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        self.db = db
+        self.scale = scale
+        self.rng = rng
+        self.checkpoint_every = checkpoint_every
+        self.stats = DriverStats(committed={name: 0 for name, _ in TRANSACTION_MIX})
+        self._since_checkpoint = 0
+        self._mix_names = [name for name, _ in TRANSACTION_MIX]
+        self._mix_cdf = []
+        acc = 0.0
+        for _, weight in TRANSACTION_MIX:
+            acc += weight
+            self._mix_cdf.append(acc)
+
+    def _pick_transaction(self) -> str:
+        u = self.rng.random() * self._mix_cdf[-1]
+        for name, bound in zip(self._mix_names, self._mix_cdf):
+            if u <= bound:
+                return name
+        return self._mix_names[-1]
+
+    def run_one(self) -> str:
+        """Execute one transaction from the mix; returns its name."""
+        name = self._pick_transaction()
+        w_id = self.rng.uniform(1, self.scale.warehouses)
+        committed = TRANSACTIONS[name](self.db, self.rng, self.scale, w_id)
+        if committed:
+            self.stats.committed[name] += 1
+        else:
+            self.stats.rolled_back += 1
+        self._since_checkpoint += 1
+        if self.checkpoint_every and self._since_checkpoint >= self.checkpoint_every:
+            self.db.checkpoint()
+            self.stats.checkpoints += 1
+            self._since_checkpoint = 0
+        return name
+
+    def run(self, n_transactions: int) -> DriverStats:
+        """Execute ``n_transactions`` from the mix; returns the stats."""
+        for _ in range(n_transactions):
+            self.run_one()
+        return self.stats

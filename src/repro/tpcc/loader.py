@@ -1,0 +1,108 @@
+"""TPC-C initial population (spec clause 4.3.3, scaled).
+
+Row tuples (field order):
+
+* warehouse:  (name, ytd)
+* district:   (name, ytd, next_o_id)
+* customer:   (first, last, balance, ytd_payment, payment_cnt,
+               delivery_cnt, credit, data)
+* history:    (amount, data)
+* order:      (c_id, entry_d, carrier_id, ol_cnt, all_local)
+* new_order:  ()
+* order_line: (i_id, supply_w_id, delivery_d, quantity, amount, dist_info)
+* item:       (name, price, data)
+* stock:      (quantity, ytd, order_cnt, remote_cnt, data)
+"""
+
+from __future__ import annotations
+
+from repro.tpcc.database import TpccDatabase
+from repro.tpcc.random_gen import TpccRandom
+from repro.tpcc.schema import TpccScale
+
+
+def load_database(
+    db: TpccDatabase, scale: TpccScale, rng: TpccRandom, checkpoint: bool = True
+) -> None:
+    """Populate all tables; optionally checkpoint at the end so the load
+    phase's dirty pages do not bleed into the measured trace."""
+    _load_items(db, scale, rng)
+    for w_id in range(1, scale.warehouses + 1):
+        _load_warehouse(db, scale, rng, w_id)
+    if checkpoint:
+        db.checkpoint()
+
+
+def _load_items(db: TpccDatabase, scale: TpccScale, rng: TpccRandom) -> None:
+    for i_id in range(1, scale.items + 1):
+        db.item.insert(
+            (i_id,),
+            (rng.alnum_string(14, 24), rng.amount(1.0, 100.0), rng.alnum_string(26, 50)),
+        )
+
+
+def _load_warehouse(
+    db: TpccDatabase, scale: TpccScale, rng: TpccRandom, w_id: int
+) -> None:
+    # Spec: W_YTD = 300,000 = 10 districts x 30,000; scaled district
+    # counts must keep consistency condition 1 (W_YTD = sum(D_YTD)).
+    w_ytd = 30_000.0 * scale.districts_per_warehouse
+    db.warehouse.insert((w_id,), (rng.alnum_string(6, 10), w_ytd))
+    for i_id in range(1, scale.items + 1):
+        db.stock.insert(
+            (w_id, i_id),
+            (rng.uniform(10, 100), 0, 0, 0, rng.alnum_string(26, 50)),
+        )
+    for d_id in range(1, scale.districts_per_warehouse + 1):
+        _load_district(db, scale, rng, w_id, d_id)
+
+
+def _load_district(
+    db: TpccDatabase, scale: TpccScale, rng: TpccRandom, w_id: int, d_id: int
+) -> None:
+    n_customers = scale.customers_per_district
+    n_orders = scale.initial_orders_per_district
+    db.district.insert(
+        (w_id, d_id), (rng.alnum_string(6, 10), 30_000.0, n_orders + 1)
+    )
+    for c_id in range(1, n_customers + 1):
+        # Spec: first 1000 customers get sequential last names; the rest
+        # are NURand-distributed.  Scaled populations use the same rule.
+        if c_id <= min(1000, n_customers):
+            last = TpccRandom.last_name_for(c_id - 1)
+        else:
+            last = rng.last_name()
+        first = rng.alnum_string(8, 16)
+        credit = "BC" if rng.random() < 0.1 else "GC"
+        db.customer.insert(
+            (w_id, d_id, c_id),
+            (first, last, -10.0, 10.0, 1, 0, credit, rng.alnum_string(50, 100)),
+        )
+        db.customer_by_name.insert((w_id, d_id, last, first, c_id), c_id)
+        db.history.insert(
+            (w_id, d_id, c_id, db.next_history_seq()),
+            (10.0, rng.alnum_string(12, 24)),
+        )
+    # Initial orders: one per customer (in permuted customer order, per
+    # spec), the last third of which are still undelivered (NEW-ORDER).
+    customers = list(range(1, n_orders + 1))
+    rng.shuffle(customers)
+    undelivered_from = n_orders - n_orders // 3 + 1
+    for o_id, c_id in enumerate(customers, start=1):
+        ol_cnt = rng.uniform(5, 15)
+        delivered = o_id < undelivered_from
+        carrier = rng.uniform(1, 10) if delivered else 0
+        db.order.insert(
+            (w_id, d_id, o_id), (c_id, o_id, carrier, ol_cnt, 1)
+        )
+        db.order_by_customer.insert((w_id, d_id, c_id, o_id), o_id)
+        for number in range(1, ol_cnt + 1):
+            i_id = rng.uniform(1, scale.items)
+            amount = 0.0 if delivered else rng.amount(0.01, 9999.99)
+            delivery_d = o_id if delivered else 0
+            db.order_line.insert(
+                (w_id, d_id, o_id, number),
+                (i_id, w_id, delivery_d, 5, amount, rng.alnum_string(24, 24)),
+            )
+        if not delivered:
+            db.new_order.insert((w_id, d_id, o_id), ())

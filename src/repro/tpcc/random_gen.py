@@ -1,0 +1,91 @@
+"""TPC-C random input generation (spec clause 2.1.6 and 4.3.2).
+
+The signature piece is NURand — the non-uniform distribution used for
+customer and item selection — which is what gives TPC-C its skewed,
+roughly 80-20 page access pattern (the property the paper's Section 6.3
+relies on).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+#: Clause 4.3.2.3 last-name syllables.
+LAST_NAME_SYLLABLES = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+    "ESE", "ANTI", "CALLY", "ATION", "EING",
+)
+
+#: NURand constants from clause 2.1.6.1.
+NURAND_A_CUSTOMER_ID = 1023
+NURAND_A_ITEM_ID = 8191
+NURAND_A_LAST_NAME = 255
+
+
+class TpccRandom:
+    """Seeded source of all TPC-C random inputs."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        # The spec's per-run constant C for each NURand variant.
+        self._c_customer = self._rng.randint(0, NURAND_A_CUSTOMER_ID)
+        self._c_item = self._rng.randint(0, NURAND_A_ITEM_ID)
+        self._c_last = self._rng.randint(0, NURAND_A_LAST_NAME)
+
+    def uniform(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return self._rng.randint(low, high)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def nurand(self, a: int, x: int, y: int, c: int) -> int:
+        """Clause 2.1.6: ``(((rand(0,A) | rand(x,y)) + C) % (y-x+1)) + x``."""
+        return (
+            ((self._rng.randint(0, a) | self._rng.randint(x, y)) + c)
+            % (y - x + 1)
+        ) + x
+
+    def customer_id(self, n_customers: int) -> int:
+        """Non-uniform customer id in [1, n_customers]."""
+        return self.nurand(NURAND_A_CUSTOMER_ID, 1, n_customers, self._c_customer)
+
+    def item_id(self, n_items: int) -> int:
+        """Non-uniform item id in [1, n_items]."""
+        return self.nurand(NURAND_A_ITEM_ID, 1, n_items, self._c_item)
+
+    def last_name(self, max_index: int = 999) -> str:
+        """A syllable-composed last name for a NURand(255) index."""
+        num = self.nurand(NURAND_A_LAST_NAME, 0, max_index, self._c_last)
+        return self.last_name_for(num)
+
+    @staticmethod
+    def last_name_for(num: int) -> str:
+        """Deterministic name for an index (used by the loader)."""
+        return (
+            LAST_NAME_SYLLABLES[(num // 100) % 10]
+            + LAST_NAME_SYLLABLES[(num // 10) % 10]
+            + LAST_NAME_SYLLABLES[num % 10]
+        )
+
+    def alnum_string(self, low: int, high: int) -> str:
+        """Random alphanumeric string of length in [low, high]."""
+        length = self._rng.randint(low, high)
+        return "".join(
+            self._rng.choice("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789")
+            for _ in range(length)
+        )
+
+    def amount(self, low: float, high: float) -> float:
+        """A money amount with two decimals."""
+        return round(self._rng.uniform(low, high), 2)
+
+    def choice(self, seq: Sequence):
+        """Uniform choice from a sequence."""
+        return self._rng.choice(seq)
+
+    def shuffle(self, seq: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._rng.shuffle(seq)

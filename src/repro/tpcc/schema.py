@@ -1,0 +1,116 @@
+"""TPC-C schema: the nine tables, their key shapes and row widths.
+
+Rows are stored as plain tuples (the engine never serializes contents);
+what matters to the storage engine — and therefore to the page-write
+trace — is each table's *encoded row width*, which determines leaf
+fanout and hence how many rows share a page.  The widths below follow
+the TPC-C specification's per-table row sizes.
+
+Field order of each row tuple is documented next to its builder in
+:mod:`repro.tpcc.loader` / :mod:`repro.tpcc.transactions`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+#: Approximate encoded row widths (bytes), per the TPC-C spec.
+ROW_BYTES = {
+    "warehouse": 89,
+    "district": 95,
+    "customer": 655,
+    "history": 46,
+    "new_order": 8,
+    "order": 24,
+    "order_line": 54,
+    "item": 82,
+    "stock": 306,
+}
+
+#: Encoded key widths (composite integer keys).
+KEY_BYTES = {
+    "warehouse": 8,
+    "district": 10,
+    "customer": 12,
+    "customer_by_name": 34,  # includes the padded last/first name
+    "history": 16,
+    "new_order": 14,
+    "order": 14,
+    "order_by_customer": 16,
+    "order_line": 16,
+    "item": 8,
+    "stock": 12,
+}
+
+#: Secondary indexes: key width only; payload is the primary key.
+INDEX_PAYLOAD_BYTES = 12
+
+
+@dataclasses.dataclass(frozen=True)
+class TpccScale:
+    """Cardinalities, scalable below spec size for fast experiments.
+
+    The TPC-C spec fixes ``items = 100_000``, ``districts = 10``,
+    ``customers_per_district = 3_000``, ``initial_orders_per_district =
+    3_000``; the defaults here are a 1/10-ish scale that preserves the
+    table-size *ratios* (and therefore the hot/cold page structure).
+    """
+
+    warehouses: int = 1
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 300
+    initial_orders_per_district: int = 300
+    items: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.warehouses < 1:
+            raise ValueError("warehouses must be >= 1")
+        if self.districts_per_warehouse < 1:
+            raise ValueError("districts_per_warehouse must be >= 1")
+        if self.customers_per_district < 3:
+            raise ValueError("customers_per_district must be >= 3")
+        if self.initial_orders_per_district > self.customers_per_district:
+            raise ValueError("initial orders cannot exceed customers")
+        if self.items < 10:
+            raise ValueError("items must be >= 10")
+
+    @classmethod
+    def spec(cls, warehouses: int = 1) -> "TpccScale":
+        """Full specification cardinalities."""
+        return cls(
+            warehouses=warehouses,
+            districts_per_warehouse=10,
+            customers_per_district=3000,
+            initial_orders_per_district=3000,
+            items=100_000,
+        )
+
+    def approximate_rows(self) -> int:
+        """Total initial row count across all tables."""
+        w = self.warehouses
+        d = w * self.districts_per_warehouse
+        c = d * self.customers_per_district
+        o = d * self.initial_orders_per_district
+        return (
+            w                  # warehouse
+            + d                # district
+            + c                # customer
+            + c                # history (one per customer)
+            + o                # order
+            + o * 10           # ~10 order lines per order
+            + o // 3           # last third are new orders
+            + self.items       # item
+            + w * self.items   # stock
+        )
+
+
+#: The five transaction types with the standard mix weights
+#: (TPC-C clause 5.2.4).
+TRANSACTION_MIX: Tuple[Tuple[str, float], ...] = (
+    ("new_order", 0.45),
+    ("payment", 0.43),
+    ("order_status", 0.04),
+    ("delivery", 0.04),
+    ("stock_level", 0.04),
+)

@@ -1,0 +1,214 @@
+"""The five TPC-C transactions (spec clause 2.4-2.8), executed directly
+against the B+-tree tables.
+
+Each function returns ``True`` on commit and ``False`` on the specified
+rollback path (1 % of New-Order transactions roll back on an unused
+item id).  There is no concurrency: the driver is a single stream, which
+is all the I/O trace needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tpcc.database import TpccDatabase
+from repro.tpcc.random_gen import TpccRandom
+from repro.tpcc.schema import TpccScale
+
+
+def _pick_customer(
+    db: TpccDatabase,
+    rng: TpccRandom,
+    scale: TpccScale,
+    w_id: int,
+    d_id: int,
+) -> int:
+    """60 % of lookups go by last name (pick the median match, per
+    spec), 40 % by customer id."""
+    n = scale.customers_per_district
+    if rng.random() < 0.6:
+        last = rng.last_name(min(999, n - 1))
+        matches = [
+            c_id
+            for _, c_id in db.customer_by_name.scan_prefix((w_id, d_id, last))
+        ]
+        if matches:
+            return matches[len(matches) // 2]
+        # A scaled-down population may miss some names; fall through.
+    return rng.customer_id(n)
+
+
+def new_order(
+    db: TpccDatabase, rng: TpccRandom, scale: TpccScale, w_id: int
+) -> bool:
+    """Clause 2.4: enter an order with 5-15 lines, updating stock."""
+    d_id = rng.uniform(1, scale.districts_per_warehouse)
+    c_id = rng.customer_id(scale.customers_per_district)
+    ol_cnt = rng.uniform(5, 15)
+    rollback = rng.uniform(1, 100) == 1
+
+    # Reads: warehouse tax, district (and its order counter), customer.
+    assert db.warehouse.search((w_id,)) is not None
+    d_key = (w_id, d_id)
+    district = db.district.search(d_key)
+    o_id = district[2]
+    assert db.customer.search((w_id, d_id, c_id)) is not None
+
+    lines = []
+    for number in range(1, ol_cnt + 1):
+        if rollback and number == ol_cnt:
+            return False  # unused item id -> whole transaction rolls back
+        i_id = rng.item_id(scale.items)
+        supply_w = w_id
+        if scale.warehouses > 1 and rng.random() < 0.01:
+            while True:
+                supply_w = rng.uniform(1, scale.warehouses)
+                if supply_w != w_id:
+                    break
+        item = db.item.search((i_id,))
+        stock_key = (supply_w, i_id)
+        stock = db.stock.search(stock_key)
+        quantity = rng.uniform(1, 10)
+        new_qty = stock[0] - quantity
+        if new_qty < 10:
+            new_qty += 91
+        remote = 0 if supply_w == w_id else 1
+        db.stock.update(
+            stock_key,
+            (new_qty, stock[1] + quantity, stock[2] + 1, stock[3] + remote, stock[4]),
+        )
+        lines.append((number, i_id, supply_w, quantity, quantity * item[1]))
+
+    db.district.update(d_key, (district[0], district[1], o_id + 1))
+    all_local = int(all(line[2] == w_id for line in lines))
+    db.order.insert((w_id, d_id, o_id), (c_id, o_id, 0, len(lines), all_local))
+    db.order_by_customer.insert((w_id, d_id, c_id, o_id), o_id)
+    db.new_order.insert((w_id, d_id, o_id), ())
+    for number, i_id, supply_w, quantity, amount in lines:
+        db.order_line.insert(
+            (w_id, d_id, o_id, number),
+            (i_id, supply_w, 0, quantity, amount, ""),
+        )
+    return True
+
+
+def payment(
+    db: TpccDatabase, rng: TpccRandom, scale: TpccScale, w_id: int
+) -> bool:
+    """Clause 2.5: pay against a customer, updating W/D/C ytd and
+    appending history."""
+    d_id = rng.uniform(1, scale.districts_per_warehouse)
+    amount = rng.amount(1.0, 5000.0)
+
+    # 15 % of payments are for a remote customer (when possible).
+    c_w, c_d = w_id, d_id
+    if scale.warehouses > 1 and rng.random() < 0.15:
+        while True:
+            c_w = rng.uniform(1, scale.warehouses)
+            if c_w != w_id:
+                break
+        c_d = rng.uniform(1, scale.districts_per_warehouse)
+    c_id = _pick_customer(db, rng, scale, c_w, c_d)
+
+    wh = db.warehouse.search((w_id,))
+    db.warehouse.update((w_id,), (wh[0], wh[1] + amount))
+    district = db.district.search((w_id, d_id))
+    db.district.update((w_id, d_id), (district[0], district[1] + amount, district[2]))
+    c_key = (c_w, c_d, c_id)
+    cust = db.customer.search(c_key)
+    data = cust[7]
+    if cust[6] == "BC":  # bad credit: prepend payment info to c_data
+        data = ("%d,%d,%d,%.2f|" % (c_id, c_d, c_w, amount) + data)[:500]
+    db.customer.update(
+        c_key,
+        (cust[0], cust[1], cust[2] - amount, cust[3] + amount,
+         cust[4] + 1, cust[5], cust[6], data),
+    )
+    db.history.insert(
+        (c_w, c_d, c_id, db.next_history_seq()), (amount, "payment")
+    )
+    return True
+
+
+def order_status(
+    db: TpccDatabase, rng: TpccRandom, scale: TpccScale, w_id: int
+) -> bool:
+    """Clause 2.6 (read only): a customer's most recent order and its
+    lines."""
+    d_id = rng.uniform(1, scale.districts_per_warehouse)
+    c_id = _pick_customer(db, rng, scale, w_id, d_id)
+    db.customer.search((w_id, d_id, c_id))
+    last = db.order_by_customer.last_key_with_prefix((w_id, d_id, c_id))
+    if last is None:
+        return True  # customer has no orders yet
+    o_id = last[3]
+    order = db.order.search((w_id, d_id, o_id))
+    assert order is not None
+    for _ in db.order_line.scan_prefix((w_id, d_id, o_id)):
+        pass
+    return True
+
+
+def delivery(
+    db: TpccDatabase, rng: TpccRandom, scale: TpccScale, w_id: int
+) -> bool:
+    """Clause 2.7: deliver the oldest undelivered order of every
+    district — the queue consumer that makes old pages go cold."""
+    carrier = rng.uniform(1, 10)
+    for d_id in range(1, scale.districts_per_warehouse + 1):
+        oldest: Optional[tuple] = None
+        for key, _ in db.new_order.scan_prefix((w_id, d_id)):
+            oldest = key
+            break
+        if oldest is None:
+            continue  # district queue empty; skip, per spec
+        o_id = oldest[2]
+        db.new_order.delete(oldest)
+        o_key = (w_id, d_id, o_id)
+        order = db.order.search(o_key)
+        db.order.update(o_key, (order[0], order[1], carrier, order[3], order[4]))
+        c_id = order[0]
+        total = 0.0
+        for ol_key, line in list(db.order_line.scan_prefix((w_id, d_id, o_id))):
+            total += line[4]
+            db.order_line.update(
+                ol_key, (line[0], line[1], db.history_seq, line[3], line[4], line[5])
+            )
+        c_key = (w_id, d_id, c_id)
+        cust = db.customer.search(c_key)
+        db.customer.update(
+            c_key,
+            (cust[0], cust[1], cust[2] + total, cust[3],
+             cust[4], cust[5] + 1, cust[6], cust[7]),
+        )
+    return True
+
+
+def stock_level(
+    db: TpccDatabase, rng: TpccRandom, scale: TpccScale, w_id: int
+) -> bool:
+    """Clause 2.8 (read only): count recently-sold items below a stock
+    threshold."""
+    d_id = rng.uniform(1, scale.districts_per_warehouse)
+    threshold = rng.uniform(10, 20)
+    district = db.district.search((w_id, d_id))
+    next_o_id = district[2]
+    seen = set()
+    for o_id in range(max(1, next_o_id - 20), next_o_id):
+        for _, line in db.order_line.scan_prefix((w_id, d_id, o_id)):
+            seen.add(line[0])
+    low = 0
+    for i_id in seen:
+        stock = db.stock.search((w_id, i_id))
+        if stock is not None and stock[0] < threshold:
+            low += 1
+    return True
+
+
+TRANSACTIONS = {
+    "new_order": new_order,
+    "payment": payment,
+    "order_status": order_status,
+    "delivery": delivery,
+    "stock_level": stock_level,
+}

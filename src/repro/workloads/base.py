@@ -1,0 +1,62 @@
+"""Workload protocol: streams of page updates with known statistics.
+
+A workload knows its page population and (for the synthetic
+distributions) the exact per-page update probability — which is exactly
+what the paper's ``-opt`` policy variants consume as their oracle.
+Generators yield page ids in **batches** (numpy arrays) so the sampling
+cost is vectorized away from the per-write simulation loop.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+import numpy as np
+
+DEFAULT_BATCH = 1 << 14
+
+
+class Workload(abc.ABC):
+    """A reproducible stream of page updates."""
+
+    def __init__(self, n_pages: int, seed: int = 0) -> None:
+        if n_pages < 1:
+            raise ValueError("n_pages must be positive")
+        self.n_pages = n_pages
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @abc.abstractmethod
+    def frequencies(self) -> np.ndarray:
+        """Exact per-page update probability (sums to 1).
+
+        For non-stationary workloads this is the long-run average; the
+        docstring of each such workload says so explicitly, because it is
+        what makes oracle-based policies degrade there (as the paper
+        observes for TPC-C's shifting pattern).
+        """
+
+    @abc.abstractmethod
+    def _sample(self, n: int) -> np.ndarray:
+        """Draw ``n`` page ids."""
+
+    def batches(self, n_writes: int, batch: int = DEFAULT_BATCH) -> Iterator[np.ndarray]:
+        """Yield ``n_writes`` page ids in arrays of at most ``batch``."""
+        remaining = n_writes
+        while remaining > 0:
+            take = batch if remaining > batch else remaining
+            yield self._sample(take)
+            remaining -= take
+
+    def reset(self) -> None:
+        """Restart the stream from the seed (full reproducibility)."""
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def name(self) -> str:
+        """Display name used in experiment results."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return "<%s n_pages=%d seed=%d>" % (self.name, self.n_pages, self.seed)

@@ -1,0 +1,133 @@
+"""Workload combinators: mixtures and phases.
+
+Real storage workloads are rarely one clean distribution; these
+combinators compose the primitives:
+
+* :class:`MixedWorkload` — a weighted blend (e.g. 70 % Zipfian user
+  traffic plus 30 % uniform background scans);
+* :class:`PhasedWorkload` — sequential regimes (e.g. a bulk-load phase,
+  then OLTP churn), generalizing the shifting hot set to arbitrary
+  phase schedules.
+
+Both expose the exact long-run ``frequencies()`` (the oracle view), with
+the same caveat as the shifting workload: for non-stationary phases the
+long-run average can mislead a static oracle — which is the point of
+the paper's Section 8.2 discussion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+
+class MixedWorkload(Workload):
+    """A weighted mixture of component workloads over one page space.
+
+    Every component must cover the same ``n_pages``; each write is drawn
+    from component ``i`` with probability ``weights[i]``.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[Workload],
+        weights: Sequence[float],
+        seed: int = 0,
+    ) -> None:
+        if not components:
+            raise ValueError("need at least one component")
+        if len(components) != len(weights):
+            raise ValueError("one weight per component")
+        if any(w <= 0 for w in weights):
+            raise ValueError("weights must be positive")
+        n_pages = components[0].n_pages
+        if any(c.n_pages != n_pages for c in components):
+            raise ValueError("components must share one page space")
+        super().__init__(n_pages, seed)
+        self.components = list(components)
+        total = float(sum(weights))
+        self.weights = [w / total for w in weights]
+        self._cdf = np.cumsum(self.weights)
+
+    def frequencies(self) -> np.ndarray:
+        out = np.zeros(self.n_pages)
+        for component, weight in zip(self.components, self.weights):
+            out += weight * component.frequencies()
+        return out
+
+    def _sample(self, n: int) -> np.ndarray:
+        choice = np.searchsorted(self._cdf, self._rng.random(n), side="right")
+        choice = np.minimum(choice, len(self.components) - 1)
+        out = np.empty(n, dtype=np.int64)
+        for i, component in enumerate(self.components):
+            mask = choice == i
+            count = int(mask.sum())
+            if count:
+                out[mask] = component._sample(count)
+        return out
+
+    def reset(self) -> None:
+        super().reset()
+        for component in self.components:
+            component.reset()
+
+
+class PhasedWorkload(Workload):
+    """Sequential phases: ``(workload, n_writes)`` pairs, cycled.
+
+    After the last phase the schedule wraps around, so the stream is
+    infinite like every other workload.
+    """
+
+    def __init__(
+        self,
+        phases: Sequence[Tuple[Workload, int]],
+        seed: int = 0,
+    ) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        if any(length <= 0 for _, length in phases):
+            raise ValueError("phase lengths must be positive")
+        n_pages = phases[0][0].n_pages
+        if any(w.n_pages != n_pages for w, _ in phases):
+            raise ValueError("phases must share one page space")
+        super().__init__(n_pages, seed)
+        self.phases: List[Tuple[Workload, int]] = list(phases)
+        self._phase_idx = 0
+        self._into_phase = 0
+
+    @property
+    def current_phase(self) -> Workload:
+        return self.phases[self._phase_idx][0]
+
+    def frequencies(self) -> np.ndarray:
+        """Long-run average, weighted by phase length per cycle."""
+        total = sum(length for _, length in self.phases)
+        out = np.zeros(self.n_pages)
+        for workload, length in self.phases:
+            out += (length / total) * workload.frequencies()
+        return out
+
+    def _sample(self, n: int) -> np.ndarray:
+        out = np.empty(n, dtype=np.int64)
+        filled = 0
+        while filled < n:
+            workload, length = self.phases[self._phase_idx]
+            take = min(n - filled, length - self._into_phase)
+            out[filled:filled + take] = workload._sample(take)
+            filled += take
+            self._into_phase += take
+            if self._into_phase >= length:
+                self._into_phase = 0
+                self._phase_idx = (self._phase_idx + 1) % len(self.phases)
+        return out
+
+    def reset(self) -> None:
+        super().reset()
+        self._phase_idx = 0
+        self._into_phase = 0
+        for workload, _ in self.phases:
+            workload.reset()

@@ -1,0 +1,108 @@
+"""Shifting hot-set workload.
+
+The paper observes (Section 6.3) that TPC-C "has a shifting pattern where
+hot pages become cold over time", and that this degrades
+timestamp-based frequency estimation.  This synthetic workload isolates
+that effect: a hot-cold distribution whose hot set slides through a
+(seeded, permuted) page ordering every ``shift_every`` updates.
+
+Because the hot set visits the whole population, the long-run per-page
+frequency is (near) uniform — so the "exact frequency" oracle is actively
+misleading here, which is precisely the phenomenon the paper attributes
+its TPC-C estimation gap to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+
+class ShiftingHotSetWorkload(Workload):
+    """Hot-cold updates with a hot set that slides over time.
+
+    Args:
+        n_pages: Page population.
+        update_fraction: Fraction of updates hitting the current hot set.
+        data_fraction: Size of the hot set as a fraction of pages.
+        shift_every: Updates between hot-set advances.
+        shift_pages: How many pages enter/leave the hot set per advance.
+    """
+
+    def __init__(
+        self,
+        n_pages: int,
+        update_fraction: float = 0.8,
+        data_fraction: float = 0.2,
+        shift_every: int = 10_000,
+        shift_pages: int = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_pages, seed)
+        if not 0.0 < update_fraction < 1.0:
+            raise ValueError("update_fraction must be in (0, 1)")
+        if not 0.0 < data_fraction < 1.0:
+            raise ValueError("data_fraction must be in (0, 1)")
+        if shift_every < 1:
+            raise ValueError("shift_every must be positive")
+        self.update_fraction = update_fraction
+        self.data_fraction = data_fraction
+        self.shift_every = shift_every
+        self._hot_size = max(1, int(data_fraction * n_pages))
+        self.shift_pages = (
+            max(1, self._hot_size // 8) if shift_pages is None else shift_pages
+        )
+        order_rng = np.random.default_rng(seed ^ 0x2545F491)
+        self._order = order_rng.permutation(n_pages)
+        self._hot_start = 0
+        self._since_shift = 0
+
+    def frequencies(self) -> np.ndarray:
+        """Long-run average: uniform, because the hot window visits every
+        page.  (This is the oracle's blind spot — see module docstring.)"""
+        return np.full(self.n_pages, 1.0 / self.n_pages)
+
+    def current_hot_pages(self) -> np.ndarray:
+        """Page ids of the hot window right now."""
+        idx = (self._hot_start + np.arange(self._hot_size)) % self.n_pages
+        return self._order[idx]
+
+    def current_frequencies(self) -> np.ndarray:
+        """Instantaneous per-page update probabilities.
+
+        What a *workload-aware* (dynamic) oracle would report right now
+        — the paper's Section 8.2 suggestion — as opposed to the
+        misleading long-run :meth:`frequencies`.  Note the cold draw
+        samples the whole population, so hot pages also receive a share
+        of the cold mass.
+        """
+        freqs = np.full(self.n_pages, (1.0 - self.update_fraction) / self.n_pages)
+        freqs[self.current_hot_pages()] += self.update_fraction / self._hot_size
+        return freqs
+
+    def _sample(self, n: int) -> np.ndarray:
+        out = np.empty(n, dtype=np.int64)
+        filled = 0
+        while filled < n:
+            take = min(n - filled, self.shift_every - self._since_shift)
+            hot = self.current_hot_pages()
+            hot_mask = self._rng.random(take) < self.update_fraction
+            n_hot = int(hot_mask.sum())
+            chunk = np.empty(take, dtype=np.int64)
+            chunk[hot_mask] = hot[self._rng.integers(0, len(hot), size=n_hot)]
+            # Cold draws sample the whole population; the hot set is small
+            # enough that the overlap barely perturbs the distribution.
+            chunk[~hot_mask] = self._rng.integers(0, self.n_pages, size=take - n_hot)
+            out[filled : filled + take] = chunk
+            filled += take
+            self._since_shift += take
+            if self._since_shift >= self.shift_every:
+                self._since_shift = 0
+                self._hot_start = (self._hot_start + self.shift_pages) % self.n_pages
+        return out
+
+    def reset(self) -> None:
+        super().reset()
+        self._hot_start = 0
+        self._since_shift = 0

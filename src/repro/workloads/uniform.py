@@ -1,0 +1,22 @@
+"""Uniform update distribution: every page equally likely (Upf = 1).
+
+The baseline of the paper's Section 2 analysis and Figure 5a.  Under it,
+age-based and greedy cleaning are optimal and the Table 1 fixpoint
+predicts the emptiness at cleaning time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+
+class UniformWorkload(Workload):
+    """Independent uniform page updates."""
+
+    def frequencies(self) -> np.ndarray:
+        return np.full(self.n_pages, 1.0 / self.n_pages)
+
+    def _sample(self, n: int) -> np.ndarray:
+        return self._rng.integers(0, self.n_pages, size=n)

@@ -1,0 +1,66 @@
+"""Zipfian update distribution (paper Section 6.2, Figures 4, 5b, 5c).
+
+Page update probabilities follow ``p(rank i) ∝ 1 / i^θ``.  The paper
+evaluates θ = 0.99 (which it calls the "80-20 Zipfian") and θ = 1.35
+(the "90-10 Zipfian").  Unlike the two-population hot-cold distribution,
+every page has a unique update frequency, which is why the paper uses it
+to exercise the sorting buffer (Figure 4).
+
+Rank-to-page assignment is a seeded random permutation, so hot pages are
+scattered across the id space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+#: The paper's named skews.
+ZIPF_80_20 = 0.99
+ZIPF_90_10 = 1.35
+
+
+class ZipfianWorkload(Workload):
+    """Zipf-distributed page updates with factor ``theta``."""
+
+    def __init__(self, n_pages: int, theta: float = ZIPF_80_20, seed: int = 0) -> None:
+        super().__init__(n_pages, seed)
+        if theta <= 0.0:
+            raise ValueError("theta must be positive")
+        self.theta = theta
+        ranks = np.arange(1, n_pages + 1, dtype=float)
+        weights = ranks ** -theta
+        probs = weights / weights.sum()
+        perm_rng = np.random.default_rng(seed ^ 0x5851F42D)
+        #: rank i (0-based) -> page id.
+        self._rank_to_page = perm_rng.permutation(n_pages)
+        self._probs_by_rank = probs
+        self._cdf = np.cumsum(probs)
+        self._cdf[-1] = 1.0  # guard float round-off at the tail
+
+    @classmethod
+    def eighty_twenty(cls, n_pages: int, seed: int = 0) -> "ZipfianWorkload":
+        """The paper's "80-20 Zipfian" (θ = 0.99)."""
+        return cls(n_pages, theta=ZIPF_80_20, seed=seed)
+
+    @classmethod
+    def ninety_ten(cls, n_pages: int, seed: int = 0) -> "ZipfianWorkload":
+        """The paper's "90-10 Zipfian" (θ = 1.35)."""
+        return cls(n_pages, theta=ZIPF_90_10, seed=seed)
+
+    def frequencies(self) -> np.ndarray:
+        freqs = np.empty(self.n_pages, dtype=float)
+        freqs[self._rank_to_page] = self._probs_by_rank
+        return freqs
+
+    def update_share_of_top(self, data_fraction: float) -> float:
+        """Fraction of updates hitting the hottest ``data_fraction`` of
+        pages (e.g. ~0.8 at 0.2 for θ = 0.99 and large populations)."""
+        k = max(1, int(data_fraction * self.n_pages))
+        return float(self._probs_by_rank[:k].sum())
+
+    def _sample(self, n: int) -> np.ndarray:
+        u = self._rng.random(n)
+        ranks = np.searchsorted(self._cdf, u, side="right")
+        return self._rank_to_page[ranks]

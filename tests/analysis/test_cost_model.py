@@ -1,0 +1,49 @@
+"""Equations 1-2 and their inversions."""
+
+import pytest
+
+from repro.analysis import cost_model
+
+
+class TestCost:
+    def test_equation_1(self):
+        # Section 2.1 example: F=0.8 gives E>=0.2 hence IO/seg <= 10.
+        assert cost_model.cost_per_segment(0.2) == pytest.approx(10.0)
+
+    def test_cost_decomposition(self):
+        e = 0.25
+        reads = cost_model.cleaning_reads(e)
+        gc_writes = cost_model.cleaning_writes(e)
+        # reads + gc writes + the 1 write of new data = 2/E.
+        assert reads + gc_writes + 1.0 == pytest.approx(
+            cost_model.cost_per_segment(e)
+        )
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_rejects_degenerate_emptiness(self, bad):
+        with pytest.raises(ValueError):
+            cost_model.cost_per_segment(bad)
+
+
+class TestWamp:
+    def test_equation_2(self):
+        assert cost_model.write_amplification(0.5) == pytest.approx(1.0)
+        assert cost_model.write_amplification(1.0) == 0.0
+
+    def test_inversion_roundtrip(self):
+        for e in (0.05, 0.2, 0.5, 0.9):
+            w = cost_model.write_amplification(e)
+            assert cost_model.emptiness_from_wamp(w) == pytest.approx(e)
+
+    def test_inversion_rejects_negative(self):
+        with pytest.raises(ValueError):
+            cost_model.emptiness_from_wamp(-0.1)
+
+
+class TestRatio:
+    def test_r_definition(self):
+        assert cost_model.emptiness_ratio(0.375, 0.8) == pytest.approx(1.875)
+
+    def test_rejects_bad_fill(self):
+        with pytest.raises(ValueError):
+            cost_model.emptiness_ratio(0.5, 1.0)

@@ -1,0 +1,99 @@
+"""Equation 3/4 fixpoints, checked against the paper's Table 1."""
+
+import math
+
+import pytest
+
+from repro.analysis import fixpoint
+
+#: Table 1 of the paper: F -> (E, Cost, R, Wamp).  E and R are printed to
+#: 2-3 significant digits there, so comparisons use matching tolerances.
+PAPER_TABLE1 = {
+    0.975: (0.048, 41.7, 1.94, 19.8),
+    0.95: (0.094, 21.3, 1.92, 9.64),
+    0.90: (0.19, 10.5, 1.92, 4.26),
+    0.85: (0.29, 6.90, 1.90, 2.45),
+    0.80: (0.375, 5.33, 1.88, 1.66),
+    0.75: (0.45, 4.44, 1.80, 1.22),
+    0.70: (0.53, 3.78, 1.77, 0.887),
+    0.65: (0.60, 3.33, 1.71, 0.666),
+    0.60: (0.67, 2.99, 1.68, 0.493),
+    0.55: (0.74, 2.70, 1.64, 0.351),
+    0.50: (0.80, 2.50, 1.60, 0.250),
+    0.45: (0.85, 2.35, 1.55, 0.176),
+    0.40: (0.89, 2.24, 1.49, 0.124),
+    0.35: (0.93, 2.15, 1.43, 0.075),
+    0.30: (0.96, 2.08, 1.37, 0.042),
+    0.25: (0.98, 2.04, 1.31, 0.020),
+    0.20: (0.993, 2.014, 1.24, 0.007),
+}
+
+
+class TestFixpoint:
+    def test_satisfies_equation_4(self):
+        for f in (0.3, 0.5, 0.8, 0.95):
+            e = fixpoint.emptiness_fixpoint(f)
+            assert e == pytest.approx(1.0 - math.exp(-e / f), abs=1e-9)
+
+    def test_root_is_positive_and_below_one(self):
+        for f in (0.1, 0.5, 0.99):
+            e = fixpoint.emptiness_fixpoint(f)
+            assert 0.0 < e < 1.0
+
+    def test_monotone_in_fill_factor(self):
+        values = [fixpoint.emptiness_fixpoint(f / 100) for f in range(10, 100, 5)]
+        assert values == sorted(values, reverse=True)
+
+    def test_finite_population_converges_to_limit(self):
+        limit = fixpoint.emptiness_fixpoint(0.8)
+        finite = fixpoint.emptiness_fixpoint(0.8, n_pages=100_000)
+        assert finite == pytest.approx(limit, rel=1e-3)
+
+    def test_small_population_deviates(self):
+        # The paper notes P > ~30 is enough; P=2 is visibly different.
+        limit = fixpoint.emptiness_fixpoint(0.8)
+        tiny = fixpoint.emptiness_fixpoint(0.8, n_pages=2)
+        assert abs(tiny - limit) > 0.01
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -1.0])
+    def test_rejects_degenerate_fill(self, bad):
+        with pytest.raises(ValueError):
+            fixpoint.emptiness_fixpoint(bad)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            fixpoint.emptiness_fixpoint(0.8, n_pages=1)
+
+
+class TestTable1:
+    @pytest.mark.parametrize("f", sorted(PAPER_TABLE1))
+    def test_emptiness_matches_paper(self, f):
+        # The paper prints E to 2 significant digits (its own simulated
+        # MDC-opt column matches our fixpoint more closely than its
+        # rounded analysis column, e.g. 0.606 vs "0.60" at F=0.65).
+        e_paper = PAPER_TABLE1[f][0]
+        row = fixpoint.table1_row(f)
+        assert row.emptiness == pytest.approx(e_paper, abs=8e-3)
+
+    @pytest.mark.parametrize("f", sorted(PAPER_TABLE1))
+    def test_cost_matches_paper(self, f):
+        cost_paper = PAPER_TABLE1[f][1]
+        row = fixpoint.table1_row(f)
+        assert row.cost == pytest.approx(cost_paper, rel=0.06)
+
+    @pytest.mark.parametrize("f", sorted(PAPER_TABLE1))
+    def test_ratio_matches_paper(self, f):
+        r_paper = PAPER_TABLE1[f][2]
+        row = fixpoint.table1_row(f)
+        assert row.ratio == pytest.approx(r_paper, rel=0.04)
+
+    @pytest.mark.parametrize("f", sorted(PAPER_TABLE1))
+    def test_wamp_matches_paper(self, f):
+        w_paper = PAPER_TABLE1[f][3]
+        row = fixpoint.table1_row(f)
+        assert row.wamp == pytest.approx(w_paper, rel=0.07, abs=5e-3)
+
+    def test_default_table_covers_paper_grid(self):
+        rows = fixpoint.table1()
+        assert [r.fill_factor for r in rows] == list(fixpoint.TABLE1_FILL_FACTORS)
+        assert len(rows) == 17

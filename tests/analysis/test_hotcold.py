@@ -1,0 +1,123 @@
+"""Section 3 hot/cold separation analysis, checked against Table 2."""
+
+import pytest
+
+from repro.analysis import hotcold
+
+#: Table 2 of the paper (F = 0.8): skew -> (MinCost, Hot:60%, Hot:40%).
+PAPER_TABLE2 = {
+    90: (2.96, 3.06, 2.99),
+    80: (4.00, 4.12, 4.11),
+    70: (4.80, 4.90, 4.86),
+    60: (5.23, 5.38, 5.38),
+    50: (5.38, 5.46, 5.46),
+}
+
+
+class TestSplitFillFactor:
+    def test_formula(self):
+        # F=0.8, hot set holds 20% of data, half the slack: F_1 =
+        # .16 / (.1 + .16).
+        f1 = hotcold.split_fill_factor(0.8, 0.2, 0.5)
+        assert f1 == pytest.approx(0.16 / 0.26)
+
+    def test_more_slack_lowers_fill(self):
+        f_less = hotcold.split_fill_factor(0.8, 0.2, 0.3)
+        f_more = hotcold.split_fill_factor(0.8, 0.2, 0.7)
+        assert f_more < f_less
+
+    def test_rejects_bad_shares(self):
+        with pytest.raises(ValueError):
+            hotcold.split_fill_factor(0.8, 0.2, 0.0)
+        with pytest.raises(ValueError):
+            hotcold.split_fill_factor(1.2, 0.2, 0.5)
+
+
+class TestParameters:
+    def test_m_one_minus_m(self):
+        updates, dists = hotcold.hotcold_parameters(80)
+        assert updates == pytest.approx((0.8, 0.2))
+        assert dists == pytest.approx((0.2, 0.8))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            hotcold.hotcold_parameters(49)
+        with pytest.raises(ValueError):
+            hotcold.hotcold_parameters(100)
+
+
+class TestOptimalSplit:
+    def test_equal_split_for_m_family(self):
+        # Section 3.2: g1/g2 = sqrt(R2/R1) ~ 1 for m:1-m skews.
+        for m in (90, 80, 70, 60):
+            updates, dists = hotcold.hotcold_parameters(m)
+            g = hotcold.optimal_slack_split(0.8, updates, dists)
+            assert g == pytest.approx(0.5, abs=0.06)
+
+    def test_analytic_ratio_near_one(self):
+        updates, dists = hotcold.hotcold_parameters(80)
+        ratio = hotcold.analytic_split_ratio(0.8, updates, dists)
+        assert ratio == pytest.approx(1.0, abs=0.1)
+
+    def test_cost_is_flat_near_optimum(self):
+        # The paper notes cost "does not change very much over a range
+        # of space divisions".
+        updates, dists = hotcold.hotcold_parameters(80)
+        c50 = hotcold.total_cost(0.8, updates, dists, (0.5, 0.5))
+        c60 = hotcold.total_cost(0.8, updates, dists, (0.6, 0.4))
+        assert abs(c60 - c50) / c50 < 0.05
+
+
+class TestTable2:
+    @pytest.mark.parametrize("m", sorted(PAPER_TABLE2))
+    def test_min_cost_matches_paper(self, m):
+        row = hotcold.table2_row(m)
+        assert row.min_cost == pytest.approx(PAPER_TABLE2[m][0], rel=0.03)
+
+    @pytest.mark.parametrize("m", sorted(PAPER_TABLE2))
+    def test_hot60_matches_paper(self, m):
+        row = hotcold.table2_row(m)
+        assert row.cost_hot_60 == pytest.approx(PAPER_TABLE2[m][1], rel=0.03)
+
+    @pytest.mark.parametrize("m", sorted(PAPER_TABLE2))
+    def test_hot40_matches_paper(self, m):
+        row = hotcold.table2_row(m)
+        assert row.cost_hot_40 == pytest.approx(PAPER_TABLE2[m][2], rel=0.03)
+
+    def test_skew_reduces_cost(self):
+        rows = hotcold.table2()
+        costs = [r.min_cost for r in rows]  # 90, 80, 70, 60, 50
+        assert costs == sorted(costs)
+
+    def test_uniform_limit_matches_table1(self):
+        # At 50:50 the two populations are identical, so separation buys
+        # nothing: cost equals the unseparated uniform cost 2/E(0.8).
+        from repro.analysis import emptiness_fixpoint
+        uniform_cost = 2.0 / emptiness_fixpoint(0.8)
+        row = hotcold.table2_row(50)
+        assert row.min_cost == pytest.approx(uniform_cost, rel=0.01)
+
+
+class TestOptWamp:
+    def test_wamp_is_cost_transform(self):
+        row = hotcold.table2_row(80)
+        # Total Wamp equals sum U_i (1-E_i)/E_i which is Cost/2 - 1 when
+        # the U_i sum to one.
+        assert hotcold.opt_wamp(80) == pytest.approx(row.min_wamp, abs=0.02)
+
+    def test_matches_figure3_reading(self):
+        # Figure 3's "opt" series: ~0.5 at 90-10, ~1.0 at 80-20,
+        # rising toward the uniform value (~1.7) at 50-50.
+        assert hotcold.opt_wamp(90) == pytest.approx(0.5, abs=0.1)
+        assert hotcold.opt_wamp(80) == pytest.approx(1.0, abs=0.1)
+        assert hotcold.opt_wamp(50) == pytest.approx(1.69, abs=0.05)
+
+
+class TestValidation:
+    def test_partitions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            hotcold.total_cost(0.8, (0.8, 0.1), (0.2, 0.8), (0.5, 0.5))
+
+    def test_exactly_two_populations(self):
+        with pytest.raises(ValueError):
+            hotcold.total_cost(0.8, (0.5, 0.3, 0.2), (0.2, 0.3, 0.5), (0.4, 0.3, 0.3))

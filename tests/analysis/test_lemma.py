@@ -1,0 +1,55 @@
+"""The Maximality Lemma (Appendix A) and the MDC ordering argument."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis import lemma
+
+
+class TestPairedSums:
+    def test_same_order_maximizes_small_case(self):
+        x = [1.0, 2.0, 3.0]
+        y = [10.0, 20.0, 30.0]
+        best = lemma.max_paired_sum(x, y)
+        for perm in itertools.permutations(y):
+            assert lemma.paired_sum(x, perm) <= best + 1e-12
+
+    def test_opposite_order_minimizes_small_case(self):
+        x = [1.0, 2.0, 3.0]
+        y = [10.0, 20.0, 30.0]
+        worst = lemma.min_paired_sum(x, y)
+        for perm in itertools.permutations(y):
+            assert lemma.paired_sum(x, perm) >= worst - 1e-12
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            lemma.paired_sum([1.0], [1.0, 2.0])
+
+
+class TestMdcOrdering:
+    def test_ascending_decline_minimizes_total_cost(self):
+        rng = np.random.default_rng(11)
+        costs = rng.uniform(10, 100, size=6)
+        declines = rng.uniform(0.1, 5.0, size=6)
+        best_order = lemma.mdc_order(declines)
+        best = lemma.mdc_processing_cost(
+            costs[best_order], declines[best_order]
+        )
+        for perm in itertools.permutations(range(6)):
+            perm = np.asarray(perm)
+            total = lemma.mdc_processing_cost(costs[perm], declines[perm])
+            assert total >= best - 1e-9
+
+    def test_declines_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            lemma.mdc_processing_cost([1.0], [-1.0])
+
+    def test_interval_scales_linearly(self):
+        costs = np.array([10.0, 20.0])
+        declines = np.array([1.0, 2.0])
+        c1 = lemma.mdc_processing_cost(costs, declines, interval=1.0)
+        c2 = lemma.mdc_processing_cost(costs, declines, interval=2.0)
+        # Only the decline term doubles.
+        assert (costs.sum() - c2) == pytest.approx(2 * (costs.sum() - c1))

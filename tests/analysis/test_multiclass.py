@@ -1,0 +1,121 @@
+"""The k-population generalization of the Section 3 analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import hotcold
+from repro.analysis.multiclass import (
+    bucketize_frequencies,
+    distribution_opt_wamp,
+    optimal_slack_shares,
+    separated_wamp,
+)
+from repro.workloads import HotColdWorkload, ZipfianWorkload
+
+
+class TestOptimalShares:
+    def test_reduces_to_paper_two_population_result(self):
+        # m:1-m -> equal split (Section 3.2).
+        updates, dists = hotcold.hotcold_parameters(80)
+        shares = optimal_slack_shares(0.8, updates, dists)
+        assert shares[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_matches_golden_section_optimum(self):
+        updates, dists = (0.7, 0.3), (0.1, 0.9)
+        g_scan = hotcold.optimal_slack_split(0.8, updates, dists)
+        shares = optimal_slack_shares(0.8, updates, dists)
+        assert shares[0] == pytest.approx(g_scan, abs=0.03)
+
+    def test_single_population(self):
+        assert optimal_slack_shares(0.8, (1.0,), (1.0,)).tolist() == [1.0]
+
+    def test_shares_sum_to_one(self):
+        updates = np.array([0.5, 0.3, 0.15, 0.05])
+        dists = np.array([0.05, 0.15, 0.3, 0.5])
+        shares = optimal_slack_shares(0.8, updates, dists)
+        assert shares.sum() == pytest.approx(1.0)
+        assert np.all(shares > 0)
+
+    def test_hotter_smaller_population_gets_disproportionate_slack(self):
+        # 50% of updates to 5% of data: the hot set's slack share is
+        # far above its data share (0.05), though below 0.5 — optimal
+        # slack scales with sqrt(U * Dist), and it matches the exact
+        # one-dimensional optimizer.
+        updates = (0.5, 0.5)
+        dists = (0.05, 0.95)
+        shares = optimal_slack_shares(0.8, updates, dists)
+        assert shares[0] > 2 * dists[0]
+        exact = hotcold.optimal_slack_split(0.8, updates, dists)
+        assert shares[0] == pytest.approx(exact, abs=0.03)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            optimal_slack_shares(0.8, (0.6, 0.3), (0.5, 0.5))  # sums != 1
+        with pytest.raises(ValueError):
+            optimal_slack_shares(0.8, (1.0, 0.0), (0.5, 0.5))  # zero entry
+
+
+class TestSeparatedWamp:
+    def test_two_population_matches_hotcold_module(self):
+        updates, dists = hotcold.hotcold_parameters(90)
+        ours = separated_wamp(0.8, updates, dists)
+        theirs = hotcold.opt_wamp(90, 0.8)
+        assert ours == pytest.approx(theirs, rel=0.02)
+
+    def test_optimal_shares_beat_arbitrary_shares(self):
+        updates = (0.6, 0.3, 0.1)
+        dists = (0.1, 0.3, 0.6)
+        best = separated_wamp(0.8, updates, dists)
+        uniform_shares = (1 / 3, 1 / 3, 1 / 3)
+        assert best <= separated_wamp(0.8, updates, dists, uniform_shares) * (
+            1 + 1e-3
+        )
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError):
+            separated_wamp(0.8, (0.5, 0.5), (0.5, 0.5), shares=(0.9, 0.2))
+
+
+class TestBucketize:
+    def test_hotcold_buckets_recover_populations(self):
+        wl = HotColdWorkload.from_skew(1000, 80, seed=1)
+        updates, dists = bucketize_frequencies(wl.frequencies(), 2)
+        # Coldest bucket: 80% of pages with 20% of updates.
+        assert dists[0] == pytest.approx(0.8, abs=0.01)
+        assert updates[0] == pytest.approx(0.2, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bucketize_frequencies([], 1)
+        with pytest.raises(ValueError):
+            bucketize_frequencies([0.5, 0.5], 3)
+        with pytest.raises(ValueError):
+            bucketize_frequencies([0.0, 0.0], 1)
+
+
+class TestDistributionOptWamp:
+    def test_matches_figure3_opt_for_hotcold(self):
+        wl = HotColdWorkload.from_skew(2000, 90, seed=2)
+        bound = distribution_opt_wamp(wl.frequencies(), 0.8, k=2)
+        assert bound == pytest.approx(hotcold.opt_wamp(90, 0.8), rel=0.03)
+
+    def test_more_buckets_never_hurt(self):
+        wl = ZipfianWorkload.eighty_twenty(2000, seed=3)
+        freqs = wl.frequencies()
+        coarse = distribution_opt_wamp(freqs, 0.8, k=2)
+        fine = distribution_opt_wamp(freqs, 0.8, k=16)
+        assert fine <= coarse * (1 + 1e-6)
+
+    def test_zipf_bound_below_uniform(self):
+        from repro.analysis import emptiness_fixpoint, write_amplification
+        wl = ZipfianWorkload.eighty_twenty(2000, seed=3)
+        bound = distribution_opt_wamp(wl.frequencies(), 0.8, k=16)
+        uniform = write_amplification(emptiness_fixpoint(0.8))
+        assert bound < uniform
+
+    def test_90_10_zipf_more_separable_than_80_20(self):
+        mild = ZipfianWorkload.eighty_twenty(2000, seed=3)
+        steep = ZipfianWorkload.ninety_ten(2000, seed=3)
+        assert distribution_opt_wamp(steep.frequencies(), 0.8) < (
+            distribution_opt_wamp(mild.frequencies(), 0.8)
+        )

@@ -1,0 +1,66 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.bench.charts import bar_chart, line_plot
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_value_has_no_bar(self):
+        out = bar_chart(["x", "y"], [0.0, 3.0], width=10)
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_values_printed(self):
+        out = bar_chart(["mdc"], [0.531], unit=" Wamp")
+        assert "0.531 Wamp" in out
+
+    def test_title(self):
+        out = bar_chart(["a"], [1.0], title="Figure 3")
+        assert out.splitlines()[0] == "Figure 3"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestLinePlot:
+    def test_markers_for_each_series(self):
+        out = line_plot(
+            [0.5, 0.8], {"mdc": [0.2, 0.7], "greedy": [0.3, 1.9]}
+        )
+        assert "M" in out
+        assert "G" in out
+        assert "M=mdc" in out
+        assert "G=greedy" in out
+
+    def test_marker_collision_falls_back(self):
+        out = line_plot([0, 1], {"mdc": [1, 2], "multi": [2, 3]})
+        legend = out.splitlines()[-1]
+        markers = [part.split("=")[0] for part in legend.split()]
+        assert len(set(markers)) == 2
+
+    def test_higher_values_plot_higher(self):
+        out = line_plot([0, 1], {"s": [0.0, 10.0]}, height=5, width=11)
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        top_row = rows[0]
+        bottom_row = rows[-1]
+        assert top_row.rstrip().endswith("S")
+        assert bottom_row.startswith("S")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([1], {"s": [1]})
+        with pytest.raises(ValueError):
+            line_plot([1, 2], {})
+        with pytest.raises(ValueError):
+            line_plot([1, 2], {"s": [1, 2, 3]})

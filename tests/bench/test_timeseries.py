@@ -1,0 +1,62 @@
+"""Windowed Wamp time series."""
+
+import pytest
+
+from repro.bench.timeseries import TimeSeries, wamp_timeseries
+from repro.store import StoreConfig
+from repro.workloads import UniformWorkload
+
+
+class TestTimeSeriesHelpers:
+    def test_windows_to_converge(self):
+        ts = TimeSeries(
+            window_writes=100,
+            series={"p": [5.0, 2.0, 1.1, 1.0, 1.02, 0.99]},
+        )
+        # 1.1 is 11% above the final 0.99; convergence starts at 1.0.
+        assert ts.windows_to_converge("p", rel_tol=0.1) == 3
+        assert ts.windows_to_converge("p", rel_tol=0.2) == 2
+
+    def test_oscillating_curve_converges_only_at_the_end(self):
+        ts = TimeSeries(window_writes=10, series={"p": [1.0, 5.0, 1.0, 5.0]})
+        assert ts.windows_to_converge("p", rel_tol=0.01) == 3
+
+    def test_rendered_contains_axis(self):
+        ts = TimeSeries(window_writes=100, series={"p": [1.0, 2.0]})
+        out = ts.rendered("T")
+        assert "writes" in out and "100" in out and "200" in out
+
+
+class TestMeasurement:
+    def test_curves_have_requested_windows(self):
+        cfg = StoreConfig(
+            n_segments=64, segment_units=16, fill_factor=0.7,
+            clean_trigger=3, clean_batch=4,
+        )
+        ts = wamp_timeseries(
+            cfg,
+            ["greedy", "age"],
+            lambda: UniformWorkload(cfg.user_pages, seed=2),
+            n_windows=4,
+            window_multiplier=1.5,
+        )
+        assert set(ts.series) == {"greedy", "age"}
+        assert all(len(c) == 4 for c in ts.series.values())
+        assert ts.window_writes == int(1.5 * cfg.user_pages)
+
+    def test_uniform_greedy_settles_near_fixpoint(self):
+        from repro.analysis import emptiness_fixpoint
+
+        cfg = StoreConfig(
+            n_segments=256, segment_units=32, fill_factor=0.7,
+            clean_trigger=3, clean_batch=4,
+        )
+        ts = wamp_timeseries(
+            cfg,
+            ["greedy"],
+            lambda: UniformWorkload(cfg.user_pages, seed=2),
+            n_windows=6,
+            window_multiplier=3.0,
+        )
+        e = emptiness_fixpoint(0.7)
+        assert ts.series["greedy"][-1] == pytest.approx((1 - e) / e, rel=0.15)

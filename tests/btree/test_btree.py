@@ -1,0 +1,176 @@
+"""B+-tree correctness: ordering, splits, scans, deletes, persistence
+across buffer-pool evictions."""
+
+import random
+
+import pytest
+
+from repro.btree import BPlusTree, BufferPool, entries_per_page
+
+
+def make_tree(pool_pages=1000, key_bytes=16, value_bytes=64):
+    pool = BufferPool(pool_pages)
+    return BPlusTree(pool, key_bytes=key_bytes, value_bytes=value_bytes)
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = make_tree()
+        assert len(tree) == 0
+        assert tree.search(1) is None
+        assert 1 not in tree
+
+    def test_insert_and_search(self):
+        tree = make_tree()
+        assert tree.insert(5, "five")
+        assert tree.search(5) == "five"
+        assert 5 in tree
+        assert len(tree) == 1
+
+    def test_duplicate_insert_rejected(self):
+        tree = make_tree()
+        tree.insert(5, "a")
+        assert not tree.insert(5, "b")
+        assert tree.search(5) == "a"
+        assert len(tree) == 1
+
+    def test_update_requires_existence(self):
+        tree = make_tree()
+        assert not tree.update(1, "x")
+        tree.insert(1, "x")
+        assert tree.update(1, "y")
+        assert tree.search(1) == "y"
+
+    def test_upsert(self):
+        tree = make_tree()
+        tree.upsert(1, "a")
+        tree.upsert(1, "b")
+        assert tree.search(1) == "b"
+        assert len(tree) == 1
+
+    def test_delete(self):
+        tree = make_tree()
+        tree.insert(1, "a")
+        assert tree.delete(1)
+        assert tree.search(1) is None
+        assert not tree.delete(1)
+        assert len(tree) == 0
+
+
+class TestSplits:
+    def test_many_inserts_stay_sorted(self):
+        tree = make_tree()
+        keys = list(range(2000))
+        random.Random(1).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k * 10)
+        assert len(tree) == 2000
+        assert tree.height > 1
+        tree.check_structure()
+        for k in (0, 999, 1999):
+            assert tree.search(k) == k * 10
+
+    def test_reverse_order_inserts(self):
+        tree = make_tree()
+        for k in reversed(range(1000)):
+            tree.insert(k, k)
+        tree.check_structure()
+        assert [k for k, _ in tree.scan(0, 1000)] == list(range(1000))
+
+    def test_wide_rows_split_sooner(self):
+        narrow = make_tree(value_bytes=8)
+        wide = make_tree(value_bytes=600)
+        for k in range(200):
+            narrow.insert(k, "v")
+            wide.insert(k, "v")
+        assert wide.height >= narrow.height
+        assert wide.pool.allocated_pages > narrow.pool.allocated_pages
+
+    def test_capacity_derives_from_entry_bytes(self):
+        assert entries_per_page(100) == (4096 - 96) // 100
+        with pytest.raises(ValueError):
+            entries_per_page(4096)
+
+
+class TestScans:
+    def test_range_scan_half_open(self):
+        tree = make_tree()
+        for k in range(100):
+            tree.insert(k, -k)
+        out = list(tree.scan(10, 20))
+        assert [k for k, _ in out] == list(range(10, 20))
+        out = list(tree.scan(10, 20, inclusive=True))
+        assert out[-1] == (20, -20)
+
+    def test_scan_crosses_leaves(self):
+        tree = make_tree(value_bytes=600)  # small leaves
+        for k in range(500):
+            tree.insert(k, k)
+        assert [k for k, _ in tree.scan(0, 499, inclusive=True)] == list(range(500))
+
+    def test_prefix_scan_composite_keys(self):
+        tree = make_tree()
+        for w in range(3):
+            for d in range(4):
+                tree.insert((w, d), w * 10 + d)
+        out = list(tree.scan_prefix((1,)))
+        assert [k for k, _ in out] == [(1, 0), (1, 1), (1, 2), (1, 3)]
+
+    def test_last_key_with_prefix(self):
+        tree = make_tree()
+        for o in range(5):
+            tree.insert((2, 7, o), o)
+        assert tree.last_key_with_prefix((2, 7)) == (2, 7, 4)
+        assert tree.last_key_with_prefix((9, 9)) is None
+
+
+class TestDeleteHeavy:
+    def test_queue_pattern_like_new_order(self):
+        # TPC-C's NEW-ORDER table: insert at the tail, delete from the
+        # head, forever.
+        tree = make_tree(value_bytes=8)
+        head = 0
+        tail = 0
+        for _ in range(3000):
+            tree.insert(tail, "row")
+            tail += 1
+            if tail - head > 50:
+                assert tree.delete(head)
+                head += 1
+        assert len(tree) == tail - head
+        assert [k for k, _ in tree.scan(0, tail)] == list(range(head, tail))
+
+
+class TestEvictionPersistence:
+    def test_data_survives_tiny_pool(self):
+        # Pool far smaller than the tree: every operation churns through
+        # evictions and disk reads, which must be lossless.
+        pool = BufferPool(8)
+        tree = BPlusTree(pool, key_bytes=16, value_bytes=64)
+        keys = list(range(1500))
+        random.Random(2).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k + 7)
+        for k in (0, 42, 777, 1499):
+            assert tree.search(k) == k + 7
+        tree.check_structure()
+        assert pool.stats.evictions > 0
+        assert pool.stats.page_writes > 0
+
+    def test_write_back_records_trace(self):
+        pool = BufferPool(8)
+        tree = BPlusTree(pool, key_bytes=16, value_bytes=64)
+        for k in range(2000):
+            tree.insert(k, k)
+        trace = pool.recorder.to_array()
+        assert len(trace) == pool.stats.page_writes
+        assert len(trace) > 0
+
+    def test_checkpoint_flushes_dirty(self):
+        pool = BufferPool(100)
+        tree = BPlusTree(pool, key_bytes=16, value_bytes=64)
+        for k in range(50):
+            tree.insert(k, k)
+        written = pool.checkpoint()
+        assert written > 0
+        assert pool.checkpoint() == 0  # nothing dirty anymore

@@ -1,0 +1,135 @@
+"""Binary page codec: round trips and serialized buffer-pool mode."""
+
+import random
+
+import pytest
+
+from repro.btree import BPlusTree, BufferPool, INTERNAL, LEAF, Node, PAGE_BYTES
+from repro.btree.codec import CodecError, decode_node, encode_node, encoded_size
+
+
+def roundtrip(node):
+    return decode_node(node.page_id, encode_node(node))
+
+
+class TestRoundTrip:
+    def test_empty_leaf(self):
+        node = Node(7, LEAF)
+        out = roundtrip(node)
+        assert out.page_id == 7
+        assert out.is_leaf
+        assert out.keys == [] and out.values == []
+        assert out.next_leaf == -1
+
+    def test_leaf_with_mixed_payloads(self):
+        node = Node(1, LEAF)
+        node.keys = [(1, 2), (1, 3), (2, 0)]
+        node.values = [
+            ("name", 3.5, 42),
+            None,
+            b"\x00\xffraw",
+        ]
+        node.next_leaf = 99
+        out = roundtrip(node)
+        assert out.keys == node.keys
+        assert out.values == node.values
+        assert out.next_leaf == 99
+
+    def test_internal_node(self):
+        node = Node(2, INTERNAL)
+        node.keys = [(5,), (9,)]
+        node.children = [10, 11, 12]
+        out = roundtrip(node)
+        assert not out.is_leaf
+        assert out.keys == node.keys
+        assert out.children == [10, 11, 12]
+
+    def test_unicode_and_nested_tuples(self):
+        node = Node(3, LEAF)
+        node.keys = [("wärehouse", ("nested", 1))]
+        node.values = [("ünïcode", (1, (2, (3,))))]
+        out = roundtrip(node)
+        assert out.keys == node.keys
+        assert out.values == node.values
+
+    def test_tpcc_like_rows(self):
+        node = Node(4, LEAF)
+        node.keys = [(1, 2, 3), (1, 2, 4)]
+        node.values = [
+            ("FIRST", "BARBARBAR", -10.0, 10.0, 1, 0, "GC", "x" * 80),
+            ("OTHER", "OUGHTPRI", 5.5, 0.0, 2, 1, "BC", "y" * 80),
+        ]
+        out = roundtrip(node)
+        assert out.values == node.values
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        node = Node(1, LEAF)
+        node.keys = [1]
+        node.values = [{"not": "allowed"}]
+        with pytest.raises(CodecError):
+            encode_node(node)
+
+    def test_bool_rejected(self):
+        node = Node(1, LEAF)
+        node.keys = [True]
+        node.values = [1]
+        with pytest.raises(CodecError):
+            encode_node(node)
+
+    def test_truncated_image(self):
+        node = Node(1, LEAF)
+        node.keys = [123]
+        node.values = ["abc"]
+        data = encode_node(node)
+        for cut in range(len(data)):
+            with pytest.raises(CodecError):
+                decode_node(1, data[:cut])
+
+    def test_corrupt_tag(self):
+        node = Node(1, LEAF)
+        node.keys = [1]
+        node.values = [2]
+        data = bytearray(encode_node(node))
+        data[-9] = 200  # stomp the value's type tag
+        with pytest.raises(CodecError):
+            decode_node(1, bytes(data))
+
+
+
+class TestCapacityHonesty:
+    def test_full_leaf_fits_the_page_for_fixed_width_ints(self):
+        # key_bytes=16, value_bytes=64: capacity math says this many
+        # entries; integer keys with 64-byte payloads must actually fit.
+        pool = BufferPool(100)
+        tree = BPlusTree(pool, key_bytes=16, value_bytes=64)
+        node = Node(0, LEAF)
+        for i in range(tree.leaf_capacity):
+            node.keys.append(i)
+            node.values.append(b"v" * 64)
+        assert encoded_size(node) <= PAGE_BYTES
+
+
+class TestSerializedPool:
+    def test_tree_survives_serialized_evictions(self):
+        pool = BufferPool(8, serialize=True)
+        tree = BPlusTree(pool, key_bytes=16, value_bytes=64)
+        keys = list(range(1200))
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            tree.insert((k, "pad"), ("value", float(k)))
+        for k in (0, 500, 1199):
+            assert tree.search((k, "pad")) == ("value", float(k))
+        tree.check_structure()
+        assert pool.stats.evictions > 0
+
+    def test_serialized_and_object_pools_agree(self):
+        results = []
+        for serialize in (False, True):
+            pool = BufferPool(8, serialize=serialize)
+            tree = BPlusTree(pool, key_bytes=16, value_bytes=64)
+            for k in range(800):
+                tree.insert(k, k * 3)
+            results.append([v for _, v in tree.scan(0, 800)])
+        assert results[0] == results[1]

@@ -1,0 +1,43 @@
+"""Shared fixtures: small store configurations sized for fast tests."""
+
+import pytest
+
+from repro.store import StoreConfig
+
+
+@pytest.fixture
+def tiny_config():
+    """A deliberately tiny device so cleaning happens within a few
+    hundred writes."""
+    return StoreConfig(
+        n_segments=16,
+        segment_units=8,
+        fill_factor=0.6,
+        clean_trigger=2,
+        clean_batch=2,
+    )
+
+
+@pytest.fixture
+def small_config():
+    """Small but statistically meaningful device for behavioural tests."""
+    return StoreConfig(
+        n_segments=64,
+        segment_units=16,
+        fill_factor=0.75,
+        clean_trigger=3,
+        clean_batch=4,
+    )
+
+
+@pytest.fixture
+def buffered_config():
+    """Small device with a user-write sorting buffer enabled."""
+    return StoreConfig(
+        n_segments=64,
+        segment_units=16,
+        fill_factor=0.75,
+        clean_trigger=3,
+        clean_batch=4,
+        sort_buffer_segments=2,
+    )

@@ -1,0 +1,74 @@
+"""Update-frequency estimators and oracle helpers (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import (
+    empirical_frequencies,
+    estimated_upf,
+    generalized_upf,
+    midpoint_carry,
+    normalize_frequencies,
+)
+
+
+class TestEstimators:
+    def test_two_interval_estimate(self):
+        # Two updates over 100 ticks -> frequency 0.02.
+        assert estimated_upf(u_now=200, up2=100) == pytest.approx(0.02)
+
+    def test_zero_interval_clamped(self):
+        assert estimated_upf(u_now=5, up2=5) == 2.0
+
+    def test_generalized_matches_two_interval(self):
+        assert generalized_upf(2, 200, 100) == estimated_upf(200, 100)
+
+    def test_generalized_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            generalized_upf(0, 10, 5)
+
+    def test_midpoint_carry(self):
+        assert midpoint_carry(100.0, 200.0) == 150.0
+
+    def test_midpoint_carry_converges_to_now_under_rapid_updates(self):
+        up2 = 0.0
+        for now in range(1, 50):
+            up2 = midpoint_carry(up2, float(now))
+        # A page rewritten every tick becomes maximally hot.
+        assert 49.0 - up2 < 2.0
+
+
+class TestEmpirical:
+    def test_counts_shares(self):
+        freqs = empirical_frequencies([0, 0, 1, 2], n_pages=4)
+        assert freqs.tolist() == [0.5, 0.25, 0.25, 0.0]
+
+    def test_grows_to_max_page_id(self):
+        freqs = empirical_frequencies([7], n_pages=2)
+        assert len(freqs) == 8
+        assert freqs[7] == 1.0
+
+    def test_empty_trace(self):
+        assert empirical_frequencies([], n_pages=3).tolist() == [0.0, 0.0, 0.0]
+
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 50, size=1000)
+        assert empirical_frequencies(trace).sum() == pytest.approx(1.0)
+
+
+class TestNormalize:
+    def test_scales_to_probability(self):
+        out = normalize_frequencies([1.0, 3.0])
+        assert out.tolist() == [0.25, 0.75]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize_frequencies([1.0, -0.5])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            normalize_frequencies([0.0, 0.0])
+
+    def test_empty_passthrough(self):
+        assert normalize_frequencies([]).size == 0

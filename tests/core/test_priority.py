@@ -1,0 +1,148 @@
+"""The priority functions of Section 4/5, including the paper's
+Section 4.5 result that MDC ordering equals greedy ordering under a
+uniform update distribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.priority import (
+    age_priority,
+    cost_benefit_paper_priority,
+    cost_benefit_priority,
+    greedy_priority,
+    mdc_decline,
+    mdc_decline_exact,
+)
+
+
+class TestMdcDecline:
+    def test_prefers_small_decline(self):
+        # Segment 0: mostly empty, cold (small decline -> clean first).
+        # Segment 1: mostly full, hot (large decline -> wait).
+        pri = mdc_decline(
+            avail=np.array([90.0, 10.0]),
+            live_count=np.array([10.0, 90.0]),
+            capacity=100.0,
+            age_since_up2=np.array([10_000.0, 10.0]),
+        )
+        assert pri[0] < pri[1]
+
+    def test_fully_empty_segment_cleans_first(self):
+        pri = mdc_decline(
+            avail=np.array([100.0, 60.0]),
+            live_count=np.array([0.0, 40.0]),
+            capacity=100.0,
+            age_since_up2=np.array([5.0, 5.0]),
+        )
+        assert pri[0] == -np.inf
+
+    def test_full_segment_cleans_last(self):
+        pri = mdc_decline(
+            avail=np.array([0.0, 60.0]),
+            live_count=np.array([100.0, 40.0]),
+            capacity=100.0,
+            age_since_up2=np.array([5.0, 5.0]),
+        )
+        assert pri[0] == np.inf
+
+    def test_interval_clamped_to_one_tick(self):
+        # up2 == now must not divide by zero.
+        pri = mdc_decline(
+            avail=np.array([50.0]),
+            live_count=np.array([50.0]),
+            capacity=100.0,
+            age_since_up2=np.array([0.0]),
+        )
+        assert np.isfinite(pri[0])
+
+    def test_colder_segment_has_lower_priority_value(self):
+        # Same occupancy; the one not updated for longer declines slower.
+        pri = mdc_decline(
+            avail=np.array([50.0, 50.0]),
+            live_count=np.array([50.0, 50.0]),
+            capacity=100.0,
+            age_since_up2=np.array([10_000.0, 10.0]),
+        )
+        assert pri[0] < pri[1]
+
+    def test_matches_transformed_formula(self):
+        # Section 5.1.3: ((B-A)/A)^2 / (C * (u_now - up2)).
+        a, c, b, dt = 30.0, 70.0, 100.0, 50.0
+        pri = mdc_decline(np.array([a]), np.array([c]), b, np.array([dt]))
+        assert pri[0] == pytest.approx(((b - a) / a) ** 2 / (c * dt))
+
+
+class TestMdcDeclineExact:
+    def test_matches_exact_formula(self):
+        a, c, b, fsum = 30.0, 70.0, 100.0, 0.02
+        pri = mdc_decline_exact(np.array([a]), np.array([c]), b, np.array([fsum]))
+        assert pri[0] == pytest.approx(((b - a) / (a * c)) ** 2 * fsum)
+
+    def test_agrees_with_estimator_for_fixed_size_pages(self):
+        # With unit pages, B - A == C; substituting the estimated
+        # frequency sum C * 2/dt into the exact formula recovers the
+        # estimator's ordering (Section 4.5's consistency).
+        rng = np.random.default_rng(7)
+        b = 128.0
+        c = rng.integers(1, 127, size=20).astype(float)
+        a = b - c
+        dt = rng.integers(1, 1000, size=20).astype(float)
+        est = mdc_decline(a, c, b, dt)
+        exact = mdc_decline_exact(a, c, b, c * 2.0 / dt)
+        assert np.array_equal(np.argsort(est), np.argsort(exact))
+
+    def test_negative_float_noise_clamped(self):
+        pri = mdc_decline_exact(
+            np.array([50.0]), np.array([50.0]), 100.0, np.array([-1e-18])
+        )
+        assert pri[0] == 0.0
+
+
+class TestUniformEquivalence:
+    """Section 4.5: for uniform updates, Priority[MDC] orders segments
+    exactly as Priority[greedy]."""
+
+    def test_mdc_orders_like_greedy_when_upf_constant(self):
+        rng = np.random.default_rng(3)
+        b = 100.0
+        avail = rng.integers(1, 99, size=50).astype(float)
+        live = b - avail  # fixed-size pages
+        dt = np.full(50, 123.0)  # constant Upf
+        mdc_order = np.argsort(mdc_decline(avail, live, b, dt), kind="stable")
+        greedy_order = np.argsort(greedy_priority(avail), kind="stable")
+        assert np.array_equal(mdc_order, greedy_order)
+
+
+class TestBaselines:
+    def test_age_prefers_oldest(self):
+        pri = age_priority(np.array([100.0, 5.0, 50.0]))
+        assert np.argmin(pri) == 1
+
+    def test_greedy_prefers_most_available(self):
+        pri = greedy_priority(np.array([10.0, 90.0, 50.0]))
+        assert np.argmin(pri) == 1
+
+    def test_cost_benefit_balances_age_and_emptiness(self):
+        # A half-empty old segment beats a nearly-empty brand-new one.
+        pri = cost_benefit_priority(
+            avail=np.array([50.0, 90.0]),
+            capacity=100.0,
+            age=np.array([1000.0, 1.0]),
+        )
+        assert pri[0] < pri[1]
+
+    def test_cost_benefit_matches_rosenblum_formula(self):
+        e, age = 0.25, 40.0
+        pri = cost_benefit_priority(np.array([25.0]), 100.0, np.array([age]))
+        assert pri[0] == pytest.approx(-(e * age) / (2.0 - e))
+
+    def test_paper_formula_prefers_full_segments(self):
+        # The literal Section 6.1.3 text ranks a full segment (E=0)
+        # infinitely attractive — documented pathology.
+        pri = cost_benefit_paper_priority(
+            avail=np.array([0.0, 50.0]),
+            capacity=100.0,
+            age=np.array([10.0, 10.0]),
+        )
+        assert pri[0] == -np.inf
+        assert pri[0] < pri[1]

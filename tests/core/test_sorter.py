@@ -1,0 +1,37 @@
+"""Frequency-sorted packing helpers (Section 5.3)."""
+
+import numpy as np
+
+from repro.core.sorter import oracle_keys, order_by_key, up2_keys
+from repro.store import PageTable
+
+
+class TestKeys:
+    def test_up2_keys_read_carried_estimates(self):
+        pt = PageTable(4)
+        pt.carried_up2[:] = [5.0, 1.0, 9.0, 3.0]
+        assert up2_keys(pt, [2, 0, 1]).tolist() == [9.0, 5.0, 1.0]
+
+    def test_oracle_keys_read_exact_frequencies(self):
+        pt = PageTable(3)
+        pt.oracle_freq[:] = [0.1, 0.7, 0.2]
+        assert oracle_keys(pt, [1, 2]).tolist() == [0.7, 0.2]
+
+
+class TestOrdering:
+    def test_orders_coldest_first(self):
+        assert order_by_key([10, 20, 30], [3.0, 1.0, 2.0]) == [20, 30, 10]
+
+    def test_stable_for_ties(self):
+        assert order_by_key([1, 2, 3], [0.0, 0.0, 0.0]) == [1, 2, 3]
+
+    def test_clusters_similar_keys_adjacently(self):
+        rng = np.random.default_rng(1)
+        pids = list(range(100))
+        keys = [float(p % 2) for p in pids]  # two hotness groups
+        mixed = list(rng.permutation(pids))
+        mixed_keys = [keys[p] for p in mixed]
+        out = order_by_key(mixed, mixed_keys)
+        # After sorting, all members of a group are contiguous.
+        group = [p % 2 for p in out]
+        assert group == sorted(group)

@@ -1,0 +1,77 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.policies import available_policies
+
+
+class TestCli:
+    def test_policies_lists_registry(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == available_policies()
+
+    def test_simulate_prints_summary(self, capsys):
+        code = main(
+            [
+                "simulate", "--policy", "greedy", "--dist", "uniform",
+                "--fill", "0.6", "--multiplier", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out
+        assert "Wamp" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    @pytest.mark.parametrize(
+        "argv,func",
+        [
+            (["table1"], "table1_experiment"),
+            (["table2", "--quick"], "table2_experiment"),
+            (["fig3"], "fig3_experiment"),
+            (["fig4", "--quick"], "fig4_experiment"),
+            (["fig5", "--dist", "uniform"], "fig5_experiment"),
+            (["fig6", "--warehouses", "2"], "fig6_experiment"),
+        ],
+    )
+    def test_experiment_commands_invoke_backend(self, argv, func, capsys, monkeypatch):
+        import repro.cli as cli
+
+        calls = {}
+
+        def fake(*args, **kwargs):
+            calls["args"] = args
+            calls["kwargs"] = kwargs
+            return "RENDERED-%s" % func
+
+        monkeypatch.setattr(cli, func, fake)
+        assert main(argv) == 0
+        assert "RENDERED-%s" % func in capsys.readouterr().out
+        if "--quick" in argv:
+            assert calls["kwargs"]["write_multiplier"] < 10
+        if argv[0] == "fig5":
+            assert calls["args"] == ("uniform",)
+        if argv[0] == "fig6":
+            assert calls["kwargs"]["scale"].warehouses == 2
+
+    def test_ablation_invokes_both_backends(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "ablation_estimator_experiment", lambda **k: "EST")
+        monkeypatch.setattr(cli, "ablation_batch_experiment", lambda **k: "BATCH")
+        assert main(["ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "EST" in out and "BATCH" in out
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--policy", "fifo"])
+
+    def test_fig5_rejects_unknown_dist(self):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--dist", "pareto"])

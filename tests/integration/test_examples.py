@@ -1,0 +1,38 @@
+"""Examples stay importable and structured.
+
+Full example runs take minutes; importing them catches bit-rot (syntax
+errors, renamed APIs) cheaply.  Each example guards its workload behind
+``if __name__ == "__main__"`` so import is side-effect free.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    spec = importlib.util.spec_from_file_location("example_" + path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), (
+        "%s must define a main() entry point" % path.name
+    )
+    assert module.__doc__, "%s needs a module docstring" % path.name
+
+
+def test_expected_example_lineup():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "ssd_ftl_simulation",
+        "tpcc_trace_replay",
+        "analysis_vs_simulation",
+        "compare_policies",
+        "value_log_kv",
+        "predictive_oracle",
+    } <= names

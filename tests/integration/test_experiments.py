@@ -1,0 +1,76 @@
+"""The experiment functions (bench/CLI backend) at miniature sizes."""
+
+import pytest
+
+from repro.bench import (
+    ablation_batch_experiment,
+    ablation_estimator_experiment,
+    fig3_experiment,
+    fig4_experiment,
+    fig5_experiment,
+    fig6_experiment,
+    table1_experiment,
+    table2_experiment,
+)
+from repro.tpcc import TpccScale
+
+
+class TestTables:
+    def test_table1_small(self):
+        out = table1_experiment(fill_factors=(0.5, 0.8), write_multiplier=3)
+        assert len(out.data["rows"]) == 2
+        assert "Table 1" in out.rendered
+        f, slack, e, e_age, e_opt, cost, ratio, wamp, wamp_sim = out.data["rows"][0]
+        assert f == 0.5
+        assert 0 < e_age < 1 and 0 < e_opt < 1
+
+    def test_table2_small(self):
+        out = table2_experiment(skews=(90,), write_multiplier=6)
+        rows = out.data["rows"]
+        assert rows[0][1] == "90:10"
+        assert rows[0][5] > 2.0  # simulated cost is at least the floor
+
+
+class TestFigures:
+    def test_fig3_small(self):
+        out = fig3_experiment(
+            skews=(90,), policies=("greedy", "mdc"), write_multiplier=6
+        )
+        assert set(out.data["series"]) == {"greedy", "mdc", "opt"}
+        assert len(out.data["series"]["opt"]) == 1
+
+    def test_fig4_small(self):
+        out = fig4_experiment(buffer_sizes=(0, 4), write_multiplier=6)
+        assert len(out.data["wamp"]) == 2
+
+    def test_fig5_small(self):
+        out = fig5_experiment(
+            "uniform", fills=(0.6,), policies=("age",), write_multiplier=6
+        )
+        assert out.data["series"]["age"][0] > 0
+
+    def test_fig5_rejects_unknown_dist(self):
+        with pytest.raises(ValueError):
+            fig5_experiment("pareto", fills=(0.6,), policies=("age",))
+
+    def test_fig6_small(self):
+        tiny = TpccScale(
+            warehouses=1, districts_per_warehouse=2,
+            customers_per_district=50, initial_orders_per_district=50,
+            items=300,
+        )
+        out = fig6_experiment(
+            fills=(0.6,), policies=("greedy", "mdc"), scale=tiny
+        )
+        assert len(out.data["series"]["mdc"]) == 1
+        assert out.data["traces"][0]["writes"] > 0
+
+
+class TestAblations:
+    def test_estimator_small(self):
+        out = ablation_estimator_experiment(write_multiplier=6)
+        assert set(out.data["wamp"]) == {"mdc-up1", "mdc", "mdc-opt"}
+
+    def test_batch_small(self):
+        out = ablation_batch_experiment(batches=(1, 8), write_multiplier=6)
+        assert len(out.data["wamp"]) == 2

@@ -1,0 +1,139 @@
+"""Key-value store over the log-structured value log."""
+
+import pytest
+
+from repro.kvstore import KVError, LogStructuredKVStore
+from repro.store import StoreConfig
+
+
+def make_kv(policy="mdc", **overrides):
+    cfg = dict(
+        n_segments=64, segment_units=32, fill_factor=0.5,
+        clean_trigger=2, clean_batch=4, sort_buffer_segments=1,
+    )
+    cfg.update(overrides)
+    return LogStructuredKVStore(StoreConfig(**cfg), policy=policy, unit_bytes=16)
+
+
+class TestCrud:
+    def test_put_get(self):
+        kv = make_kv()
+        kv.put("a", b"hello")
+        assert kv.get("a") == b"hello"
+        assert "a" in kv
+        assert len(kv) == 1
+
+    def test_get_missing_returns_default(self):
+        kv = make_kv()
+        assert kv.get("nope") is None
+        assert kv.get("nope", b"d") == b"d"
+
+    def test_overwrite_replaces(self):
+        kv = make_kv()
+        kv.put("a", b"one")
+        kv.put("a", b"two")
+        assert kv.get("a") == b"two"
+        assert len(kv) == 1
+        kv.check_consistency()
+
+    def test_delete(self):
+        kv = make_kv()
+        kv.put("a", b"x")
+        assert kv.delete("a")
+        assert "a" not in kv
+        assert not kv.delete("a")
+        kv.check_consistency()
+
+    def test_delete_frees_space(self):
+        kv = make_kv()
+        kv.put("a", b"x" * 160)  # 10 units
+        kv.store.flush()  # push past the sort buffer onto the device
+        live_before = sum(kv.store.segments.live_units)
+        kv.delete("a")
+        assert sum(kv.store.segments.live_units) == live_before - 10
+
+    def test_delete_of_buffered_record(self):
+        kv = make_kv()
+        kv.put("a", b"x" * 160)
+        assert kv.delete("a")  # still in the sort buffer: a buffer TRIM
+        assert kv.store.buffer.used_units == 0
+        kv.check_consistency()
+
+    def test_slot_reuse_after_delete(self):
+        kv = make_kv()
+        kv.put("a", b"x")
+        slot = kv._slot_of["a"]
+        kv.delete("a")
+        kv.put("b", b"y")
+        assert kv._slot_of["b"] == slot
+
+    def test_keys_and_items(self):
+        kv = make_kv()
+        kv.put("a", b"1")
+        kv.put("b", b"2")
+        assert sorted(kv.keys()) == ["a", "b"]
+        assert dict(kv.items()) == {"a": b"1", "b": b"2"}
+
+
+class TestSizing:
+    def test_values_round_up_to_units(self):
+        kv = make_kv()
+        kv.put("a", b"x")  # 1 unit despite 1 byte
+        kv.put("b", b"y" * 17)  # 2 units of 16 bytes
+        assert kv.store.pages.size[kv._slot_of["a"]] == 1
+        assert kv.store.pages.size[kv._slot_of["b"]] == 2
+
+    def test_oversized_value_rejected(self):
+        kv = make_kv()
+        with pytest.raises(KVError):
+            kv.put("big", b"z" * (kv.max_value_bytes + 1))
+
+    def test_non_bytes_rejected(self):
+        kv = make_kv()
+        with pytest.raises(KVError):
+            kv.put("a", "not-bytes")
+
+    def test_unit_bytes_validated(self):
+        with pytest.raises(KVError):
+            LogStructuredKVStore(StoreConfig(), unit_bytes=0)
+
+
+class TestGcUnderChurn:
+    def test_sustained_churn_is_consistent(self):
+        kv = make_kv()
+        import random
+        rng = random.Random(9)
+        keys = ["k%03d" % i for i in range(300)]
+        for step in range(6000):
+            key = rng.choice(keys)
+            if key in kv and rng.random() < 0.1:
+                kv.delete(key)
+            else:
+                kv.put(key, bytes(rng.randint(1, 100)))
+        assert kv.store.stats.clean_cycles > 0
+        kv.check_consistency()
+
+    def test_mdc_cleans_value_log_cheaper_than_greedy(self):
+        import random
+        wamps = {}
+        for policy in ("greedy", "mdc"):
+            kv = make_kv(policy=policy, fill_factor=0.75, n_segments=128)
+            rng = random.Random(5)
+            hot = ["h%02d" % i for i in range(60)]
+            cold = ["c%03d" % i for i in range(1500)]
+            for key in cold + hot:
+                kv.put(key, b"v" * rng.randint(8, 48))
+            for _ in range(40_000):
+                pool = hot if rng.random() < 0.9 else cold
+                kv.put(rng.choice(pool), b"v" * rng.randint(8, 48))
+            wamps[policy] = kv.write_amplification
+        assert wamps["mdc"] < wamps["greedy"]
+
+    def test_space_report(self):
+        kv = make_kv()
+        kv.put("a", b"x" * 32)
+        report = kv.space_report()
+        assert report["keys"] == 1
+        assert report["live_bytes"] == 32
+        assert 0 < report["utilization"] < 1
+        assert "util" in repr(kv)

@@ -1,0 +1,55 @@
+"""Policy registry: construction by figure label."""
+
+import pytest
+
+from repro.core.mdc import MdcPolicy
+from repro.policies import (
+    FIGURE3_POLICIES,
+    FIGURE5_POLICIES,
+    MultiLogPolicy,
+    available_policies,
+    make_policy,
+)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("name", sorted(set(FIGURE5_POLICIES + FIGURE3_POLICIES)))
+    def test_every_figure_policy_constructs(self, name):
+        policy = make_policy(name)
+        assert policy.name == name
+
+    def test_all_registered_names_construct(self):
+        for name in available_policies():
+            assert make_policy(name).name == name
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ValueError) as err:
+            make_policy("fifo")
+        assert "greedy" in str(err.value)
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("multi-log", max_logs=3)
+        assert isinstance(policy, MultiLogPolicy)
+        assert policy.max_logs == 3
+
+    def test_variant_flags(self):
+        assert make_policy("mdc-opt").estimator == "exact"
+        assert make_policy("multi-log-opt").exact is True
+        nsu = make_policy("mdc-no-sep-user")
+        assert isinstance(nsu, MdcPolicy)
+        assert not nsu.separate_user and nsu.separate_gc
+        nsug = make_policy("mdc-no-sep-user-gc")
+        assert not nsug.separate_user and not nsug.separate_gc
+
+
+class TestLineups:
+    def test_figure5_lineup_matches_paper(self):
+        assert FIGURE5_POLICIES == [
+            "age", "greedy", "cost-benefit",
+            "multi-log", "multi-log-opt", "mdc", "mdc-opt",
+        ]
+
+    def test_figure3_lineup_matches_paper(self):
+        assert FIGURE3_POLICIES == [
+            "greedy", "mdc-no-sep-user-gc", "mdc-no-sep-user", "mdc", "mdc-opt",
+        ]

@@ -1,0 +1,94 @@
+"""Property-based tests of the closed-form analysis."""
+
+import math
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.analysis import (
+    cost_per_segment,
+    emptiness_fixpoint,
+    emptiness_from_wamp,
+    hotcold,
+    lemma,
+    write_amplification,
+)
+
+fills = st.floats(min_value=0.05, max_value=0.985)
+
+
+@given(f=fills)
+@settings(max_examples=100)
+def test_fixpoint_is_a_root_of_equation_4(f):
+    e = emptiness_fixpoint(f)
+    assert abs(e - (1.0 - math.exp(-e / f))) < 1e-8
+
+
+@given(f=fills)
+def test_emptiness_beats_average_slack(f):
+    """Table 1's R >= 1: age-based cleaning always finds at least the
+    device-average empty space, 1 - F."""
+    e = emptiness_fixpoint(f)
+    assert e >= (1.0 - f) - 1e-9
+
+
+@given(e=st.floats(min_value=1e-6, max_value=1.0))
+def test_cost_wamp_consistency(e):
+    # Cost = reads + gc writes + 1 and Wamp is the gc-write term.
+    total = cost_per_segment(e)
+    parts = (1.0 / e) + write_amplification(e) + 1.0
+    assert abs(total - parts) <= 1e-9 * total
+
+
+@given(w=st.floats(min_value=0.0, max_value=1e6))
+def test_wamp_inversion_roundtrip(w):
+    assert abs(write_amplification(emptiness_from_wamp(w)) - w) < 1e-6 * max(1.0, w)
+
+
+@given(
+    f=st.floats(min_value=0.3, max_value=0.95),
+    m=st.integers(min_value=51, max_value=99),
+)
+@settings(max_examples=50, deadline=None)
+def test_separation_never_hurts(f, m):
+    """Section 3's headline: managing hot and cold separately (with the
+    optimal slack split) costs no more than unseparated uniform."""
+    updates, dists = hotcold.hotcold_parameters(m)
+    g = hotcold.optimal_slack_split(f, updates, dists)
+    separated = hotcold.total_cost(f, updates, dists, (g, 1.0 - g))
+    uniform = 2.0 / emptiness_fixpoint(f)
+    assert separated <= uniform * (1.0 + 1e-6)
+
+
+@given(
+    f=st.floats(min_value=0.3, max_value=0.95),
+    m=st.integers(min_value=51, max_value=99),
+    g=st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=50, deadline=None)
+def test_optimal_split_is_optimal(f, m, g):
+    updates, dists = hotcold.hotcold_parameters(m)
+    g_opt = hotcold.optimal_slack_split(f, updates, dists)
+    best = hotcold.total_cost(f, updates, dists, (g_opt, 1.0 - g_opt))
+    other = hotcold.total_cost(f, updates, dists, (g, 1.0 - g))
+    assert best <= other * (1.0 + 1e-4)
+
+
+positive_arrays = st.lists(
+    st.floats(min_value=0.01, max_value=100.0), min_size=2, max_size=8
+)
+
+
+@given(x=positive_arrays, y=positive_arrays)
+@settings(max_examples=100)
+def test_maximality_lemma(x, y):
+    """Appendix A: the same-order pairing dominates any permutation
+    (tested against random permutations drawn from the inputs)."""
+    n = min(len(x), len(y))
+    x, y = np.array(x[:n]), np.array(y[:n])
+    best = lemma.max_paired_sum(x, y)
+    rng = np.random.default_rng(int(abs(x[0] * 1000)) % 2**31)
+    for _ in range(10):
+        perm = rng.permutation(n)
+        assert lemma.paired_sum(x, y[perm]) <= best + 1e-9 * abs(best)

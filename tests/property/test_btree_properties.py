@@ -1,0 +1,77 @@
+"""Property-based B+-tree tests: arbitrary operation sequences against a
+plain dict model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.btree import BPlusTree, BufferPool
+
+keys = st.integers(min_value=0, max_value=300)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys, st.integers()),
+        st.tuples(st.just("upsert"), keys, st.integers()),
+        st.tuples(st.just("update"), keys, st.integers()),
+        st.tuples(st.just("delete"), keys, st.just(0)),
+    ),
+    min_size=1,
+    max_size=250,
+)
+
+
+def apply_ops(ops, pool_pages=6):
+    """Tiny pool so evictions churn constantly."""
+    pool = BufferPool(pool_pages)
+    tree = BPlusTree(pool, key_bytes=16, value_bytes=256)
+    model = {}
+    for op, key, value in ops:
+        if op == "insert":
+            did = tree.insert(key, value)
+            assert did == (key not in model)
+            if did:
+                model[key] = value
+        elif op == "upsert":
+            tree.upsert(key, value)
+            model[key] = value
+        elif op == "update":
+            did = tree.update(key, value)
+            assert did == (key in model)
+            if did:
+                model[key] = value
+        else:
+            did = tree.delete(key)
+            assert did == (key in model)
+            model.pop(key, None)
+    return tree, model
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_tree_agrees_with_dict_model(ops):
+    tree, model = apply_ops(ops)
+    assert len(tree) == len(model)
+    for key, value in model.items():
+        assert tree.search(key) == value
+    # And nothing extra exists.
+    found = dict(tree.scan(0, 10_000))
+    assert found == model
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None)
+def test_structure_invariants_hold(ops):
+    tree, _ = apply_ops(ops)
+    tree.check_structure()
+
+
+@given(ops=operations, low=keys, high=keys)
+@settings(max_examples=40, deadline=None)
+def test_range_scans_match_model(ops, low, high):
+    if low > high:
+        low, high = high, low
+    tree, model = apply_ops(ops)
+    expected = sorted(
+        (k, v) for k, v in model.items() if low <= k < high
+    )
+    assert list(tree.scan(low, high)) == expected

@@ -1,0 +1,93 @@
+"""Model-based file-system tests: arbitrary operation sequences against
+an in-memory byte-array model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lfs import LogStructuredFileSystem
+from repro.store import StoreConfig
+
+FILES = ["/f0", "/f1", "/f2"]
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("write"),
+            st.sampled_from(FILES),
+            st.integers(min_value=0, max_value=200),
+            st.binary(min_size=1, max_size=120),
+        ),
+        st.tuples(
+            st.just("truncate"),
+            st.sampled_from(FILES),
+            st.integers(min_value=0, max_value=250),
+            st.just(b""),
+        ),
+        st.tuples(st.just("unlink"), st.sampled_from(FILES), st.just(0), st.just(b"")),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def fresh_fs():
+    return LogStructuredFileSystem(
+        StoreConfig(
+            n_segments=48, segment_units=16, fill_factor=0.6,
+            clean_trigger=2, clean_batch=2,
+        ),
+        policy="greedy",
+        block_bytes=32,
+    )
+
+
+def apply(fs, model, op, path, offset, data):
+    if op == "write":
+        if path not in model:
+            fs.create(path)
+            model[path] = bytearray()
+        fs.write(path, offset, data)
+        buf = model[path]
+        if len(buf) < offset:
+            buf.extend(b"\0" * (offset - len(buf)))
+        buf[offset:offset + len(data)] = data
+    elif op == "truncate":
+        if path in model:
+            fs.truncate(path, offset)
+            buf = model[path]
+            if offset <= len(buf):
+                del buf[offset:]
+            else:
+                buf.extend(b"\0" * (offset - len(buf)))
+    else:  # unlink
+        if path in model:
+            fs.unlink(path)
+            del model[path]
+
+
+@given(sequence=ops)
+@settings(max_examples=60, deadline=None)
+def test_fs_agrees_with_byte_model(sequence):
+    fs = fresh_fs()
+    model = {}
+    for op, path, offset, data in sequence:
+        apply(fs, model, op, path, offset, data)
+    for path, expected in model.items():
+        assert fs.read(path) == bytes(expected), path
+        assert fs.stat(path)["size"] == len(expected)
+    for path in FILES:
+        assert fs.exists(path) == (path in model)
+    fs.check_consistency()
+
+
+@given(sequence=ops)
+@settings(max_examples=30, deadline=None)
+def test_fs_space_never_leaks(sequence):
+    fs = fresh_fs()
+    model = {}
+    for op, path, offset, data in sequence:
+        apply(fs, model, op, path, offset, data)
+    # Unlink everything: all blocks must come back.
+    for path in list(model):
+        fs.unlink(path)
+    assert fs.df()["used_blocks"] == 0

@@ -1,0 +1,110 @@
+"""Property-based tests of the store's core invariants.
+
+The store is compared against the simplest possible model of a
+page-mapped device: a dict from page id to "latest version token".  No
+matter what sequence of writes (and hence cleanings, relocations, buffer
+flushes) happens, the store must agree with the model about which pages
+exist, and its internal accounting must stay consistent.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.policies import make_policy
+from repro.store import LogStructuredStore, StoreConfig
+
+POLICIES = ["greedy", "age", "cost-benefit", "mdc", "mdc-opt", "multi-log"]
+
+
+def build_store(policy_name, sort_buffer):
+    cfg = StoreConfig(
+        n_segments=24,
+        segment_units=6,
+        fill_factor=0.55,
+        clean_trigger=2,
+        clean_batch=2,
+        sort_buffer_segments=sort_buffer,
+    )
+    store = LogStructuredStore(cfg, make_policy(policy_name))
+    if policy_name.endswith("-opt"):
+        n = cfg.user_pages
+        store.set_oracle_frequencies([1.0 / n] * n)
+    return store
+
+
+write_sequences = st.lists(
+    st.integers(min_value=0, max_value=78),  # 79 = user_pages at this cfg
+    min_size=1,
+    max_size=400,
+)
+
+
+@given(policy=st.sampled_from(POLICIES), writes=write_sequences)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_invariants_hold_for_any_write_sequence(policy, writes):
+    store = build_store(policy, sort_buffer=0)
+    for pid in writes:
+        store.write(pid)
+    store.check_invariants()
+
+
+@given(writes=write_sequences)
+@settings(max_examples=40, deadline=None)
+def test_invariants_hold_with_sort_buffer(writes):
+    store = build_store("mdc", sort_buffer=1)
+    for pid in writes:
+        store.write(pid)
+    store.check_invariants()
+    store.flush()
+    store.check_invariants()
+
+
+@given(policy=st.sampled_from(POLICIES), writes=write_sequences)
+@settings(max_examples=40, deadline=None)
+def test_every_written_page_stays_reachable(policy, writes):
+    store = build_store(policy, sort_buffer=0)
+    for pid in writes:
+        store.write(pid)
+    written = set(writes)
+    for pid in written:
+        seg, slot = store.pages.location(pid)
+        assert seg >= 0, "page %d lost" % pid
+        assert store.segments.slots[seg][slot] == pid
+
+
+@given(writes=write_sequences)
+@settings(max_examples=40, deadline=None)
+def test_user_write_count_is_exact(writes):
+    store = build_store("greedy", sort_buffer=0)
+    for pid in writes:
+        store.write(pid)
+    assert store.stats.user_writes == len(writes)
+    assert store.clock == len(writes)
+
+
+@given(writes=write_sequences)
+@settings(max_examples=40, deadline=None)
+def test_live_data_never_exceeds_distinct_pages(writes):
+    store = build_store("greedy", sort_buffer=0)
+    for pid in writes:
+        store.write(pid)
+    assert store.live_page_count() == len(set(writes))
+    total_live_units = sum(store.segments.live_units)
+    assert total_live_units == len(set(writes))
+
+
+@given(
+    writes=write_sequences,
+    sizes=st.lists(st.integers(min_value=1, max_value=6), min_size=400, max_size=400),
+)
+@settings(max_examples=30, deadline=None)
+def test_variable_size_accounting(writes, sizes):
+    """Variable-size pages (Section 4.4): unit accounting must track the
+    latest size of each page exactly."""
+    store = build_store("greedy", sort_buffer=0)
+    latest = {}
+    for pid, size in zip(writes, sizes):
+        store.write(pid, size=size)
+        latest[pid] = size
+    store.check_invariants()
+    assert sum(store.segments.live_units) == sum(latest.values())

@@ -1,0 +1,86 @@
+"""StoreConfig validation and derived quantities."""
+
+import dataclasses
+
+import pytest
+
+from repro.store import ConfigError, StoreConfig, paper_config
+from repro.store.config import (
+    PAPER_CLEAN_BATCH,
+    PAPER_CLEAN_TRIGGER,
+    PAPER_DEVICE_SEGMENTS,
+    PAPER_SEGMENT_PAGES,
+)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        StoreConfig()
+
+    def test_rejects_tiny_device(self):
+        with pytest.raises(ConfigError):
+            StoreConfig(n_segments=2)
+
+    def test_rejects_zero_segment_units(self):
+        with pytest.raises(ConfigError):
+            StoreConfig(segment_units=0)
+
+    @pytest.mark.parametrize("fill", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_degenerate_fill_factor(self, fill):
+        with pytest.raises(ConfigError):
+            StoreConfig(fill_factor=fill)
+
+    def test_rejects_nonpositive_trigger(self):
+        with pytest.raises(ConfigError):
+            StoreConfig(clean_trigger=0)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ConfigError):
+            StoreConfig(clean_batch=0)
+
+    def test_rejects_negative_sort_buffer(self):
+        with pytest.raises(ConfigError):
+            StoreConfig(sort_buffer_segments=-1)
+
+    def test_rejects_slack_below_trigger(self):
+        # 95% fill of 64 segments leaves 3.2 segments of slack, which
+        # cannot cover a trigger of 8.
+        with pytest.raises(ConfigError) as err:
+            StoreConfig(n_segments=64, fill_factor=0.95, clean_trigger=8)
+        assert "slack" in str(err.value)
+
+    def test_is_frozen(self):
+        cfg = StoreConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.n_segments = 1
+
+
+class TestDerived:
+    def test_device_units(self):
+        cfg = StoreConfig(n_segments=64, segment_units=32, fill_factor=0.5)
+        assert cfg.device_units == 64 * 32
+
+    def test_user_pages_scaled_by_fill(self):
+        cfg = StoreConfig(n_segments=64, segment_units=32, fill_factor=0.5)
+        assert cfg.user_pages == 1024
+
+    def test_scaled_replaces_fields(self):
+        cfg = StoreConfig()
+        other = cfg.scaled(fill_factor=0.5)
+        assert other.fill_factor == 0.5
+        assert other.n_segments == cfg.n_segments
+        assert cfg.fill_factor != 0.5  # original untouched
+
+
+class TestPaperConfig:
+    def test_matches_section_6_1_1(self):
+        cfg = paper_config()
+        assert cfg.n_segments == PAPER_DEVICE_SEGMENTS == 51200
+        assert cfg.segment_units == PAPER_SEGMENT_PAGES == 512
+        assert cfg.clean_trigger == PAPER_CLEAN_TRIGGER == 32
+        assert cfg.clean_batch == PAPER_CLEAN_BATCH == 64
+
+    def test_override(self):
+        cfg = paper_config(fill_factor=0.5, clean_batch=128)
+        assert cfg.fill_factor == 0.5
+        assert cfg.clean_batch == 128

@@ -1,0 +1,67 @@
+"""Mid-run oracle updates (the Section 8.2 extension)."""
+
+import pytest
+
+from repro.policies import make_policy
+from repro.store import LogStructuredStore, StoreConfig
+
+
+@pytest.fixture
+def store(tiny_config):
+    return LogStructuredStore(tiny_config, make_policy("mdc-opt"))
+
+
+class TestSetPageFrequency:
+    def test_updates_live_segment_sum(self, store):
+        store.set_oracle_frequencies([0.5, 0.5])
+        store.write(0)
+        store.write(1)
+        seg, _ = store.pages.location(0)
+        store.set_page_frequency(0, 0.1)
+        assert store.segments.freq_sum[seg] == pytest.approx(0.6)
+        assert store.pages.oracle_freq[0] == 0.1
+        store.check_invariants()
+
+    def test_unwritten_page_needs_no_adjustment(self, store):
+        store.set_page_frequency(42, 0.25)
+        assert store.pages.oracle_freq[42] == 0.25
+        store.check_invariants()
+
+    def test_subsequent_invalidation_stays_consistent(self, store):
+        n = store.config.segment_units + 1
+        store.set_oracle_frequencies([1.0 / n] * n)
+        for pid in range(n):
+            store.write(pid)
+        store.set_page_frequency(0, 0.9)
+        store.write(0)  # invalidate must subtract the *new* value
+        store.check_invariants()
+
+    def test_many_updates_under_cleaning_pressure(self, store):
+        n = store.config.user_pages
+        store.set_oracle_frequencies([1.0 / n] * n)
+        store.load_sequential(n)
+        for step in range(2000):
+            pid = (step * 7) % n
+            if step % 3 == 0:
+                store.set_page_frequency(pid, ((step % 10) + 1) / (10.0 * n))
+            store.write(pid)
+        store.check_invariants()
+
+
+class TestShiftingOracleSignal:
+    def test_current_frequencies_track_the_hot_window(self):
+        from repro.workloads import ShiftingHotSetWorkload
+
+        wl = ShiftingHotSetWorkload(
+            500, update_fraction=0.9, data_fraction=0.1,
+            shift_every=50, seed=3,
+        )
+        freqs = wl.current_frequencies()
+        assert freqs.sum() == pytest.approx(1.0)
+        hot = wl.current_hot_pages()
+        cold_level = freqs.min()
+        assert all(freqs[p] > cold_level for p in hot)
+        # After shifting, the signal moves with the window.
+        list(wl.batches(500))
+        freqs2 = wl.current_frequencies()
+        assert not (freqs == freqs2).all()

@@ -1,0 +1,22 @@
+"""Small public helpers."""
+
+import pytest
+
+from repro.store import segments_needed
+from repro.store.log_store import GC_STREAM
+
+
+class TestSegmentsNeeded:
+    def test_exact_fit(self):
+        assert segments_needed(128, 64) == 2
+
+    def test_rounds_up(self):
+        assert segments_needed(129, 64) == 3
+
+    def test_zero(self):
+        assert segments_needed(0, 64) == 0
+
+
+class TestConstants:
+    def test_gc_stream_is_not_a_user_stream(self):
+        assert GC_STREAM < 0

@@ -1,0 +1,70 @@
+"""PageTable growth, sentinels, and liveness resolution."""
+
+import math
+
+from repro.store import PageTable, SegmentTable
+from repro.store.pagetable import IN_BUFFER, IN_FLIGHT, NEVER_WRITTEN
+
+
+class TestGrowth:
+    def test_starts_at_requested_size(self):
+        pt = PageTable(5)
+        assert len(pt) == 5
+        assert all(s == NEVER_WRITTEN for s in pt.seg)
+
+    def test_ensure_grows_all_columns(self):
+        pt = PageTable(2)
+        pt.ensure(10)
+        assert len(pt) == 11
+        assert len(pt.slot) == 11
+        assert len(pt.carried_up2) == 11
+        assert len(pt.last_write) == 11
+        assert len(pt.size) == 11
+        assert len(pt.oracle_freq) == 11
+
+    def test_ensure_is_idempotent(self):
+        pt = PageTable(5)
+        pt.ensure(3)
+        assert len(pt) == 5
+
+    def test_new_pages_have_no_history(self):
+        pt = PageTable(1)
+        assert math.isnan(pt.carried_up2[0])
+        assert pt.size[0] == 1
+        assert pt.oracle_freq[0] == 0.0
+
+
+class TestLiveness:
+    def test_is_live_slot_matches_pointer(self):
+        pt = PageTable(3)
+        pt.seg[1] = 7
+        pt.slot[1] = 2
+        assert pt.is_live_slot(7, 2, 1)
+        assert not pt.is_live_slot(7, 1, 1)
+        assert not pt.is_live_slot(6, 2, 1)
+
+    def test_sentinels_never_match_real_segments(self):
+        pt = PageTable(3)
+        for sentinel in (NEVER_WRITTEN, IN_BUFFER, IN_FLIGHT):
+            pt.seg[0] = sentinel
+            # A real segment id is always >= 0, so a sentinel-marked page
+            # can never be reported live in any actual segment.
+            for seg in range(3):
+                assert not pt.is_live_slot(seg, 0, 0)
+
+    def test_live_pages_of_filters_stale_slots(self):
+        segs = SegmentTable(n_segments=2, capacity=4)
+        pt = PageTable(4)
+        # Segment 0 received pages 0, 1, 2; page 1 has since moved away,
+        # and page 0 was rewritten into the same segment at slot 3.
+        segs.slots[0] = [0, 1, 2, 0]
+        pt.seg[0], pt.slot[0] = 0, 3
+        pt.seg[1], pt.slot[1] = 1, 0
+        pt.seg[2], pt.slot[2] = 0, 2
+        live = pt.live_pages_of(segs, 0)
+        assert sorted(live) == [0, 2]
+
+    def test_location(self):
+        pt = PageTable(1)
+        pt.seg[0], pt.slot[0] = 5, 3
+        assert pt.location(0) == (5, 3)

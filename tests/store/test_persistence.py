@@ -1,0 +1,95 @@
+"""Checkpoint / restore of a running store."""
+
+import pytest
+
+from repro.policies import make_policy
+from repro.store import (
+    LogStructuredStore,
+    PersistenceError,
+    StoreConfig,
+    load_store,
+    save_store,
+)
+
+
+def churned_store(policy_name, cfg, writes=6000):
+    store = LogStructuredStore(cfg, make_policy(policy_name))
+    n = cfg.user_pages
+    if policy_name.endswith("-opt"):
+        store.set_oracle_frequencies([1.0 / n] * n)
+    store.load_sequential(n)
+    for i in range(writes):
+        store.write((i * i) % n)
+    return store
+
+
+@pytest.fixture
+def cfg():
+    return StoreConfig(
+        n_segments=48, segment_units=16, fill_factor=0.7,
+        clean_trigger=3, clean_batch=3,
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("policy", ["greedy", "age", "mdc", "mdc-opt", "multi-log"])
+    def test_state_survives_round_trip(self, policy, cfg, tmp_path):
+        original = churned_store(policy, cfg)
+        path = tmp_path / "ckpt.npz"
+        save_store(original, path)
+        restored = load_store(path, make_policy(policy))
+        assert restored.clock == original.clock
+        assert restored.stats.snapshot() == original.stats.snapshot()
+        assert restored.pages.seg == original.pages.seg
+        assert restored.pages.slot == original.pages.slot
+        assert restored.segments.live_count == original.segments.live_count
+        assert restored.segments.up2 == original.segments.up2
+        assert list(restored.free_list) == list(original.free_list)
+        assert restored.open_segments == original.open_segments
+        restored.check_invariants()
+
+    def test_continuation_is_deterministic(self, cfg, tmp_path):
+        """Running on after a restore matches the uninterrupted run."""
+        a = churned_store("greedy", cfg)
+        path = tmp_path / "ckpt.npz"
+        save_store(a, path)
+        b = load_store(path, make_policy("greedy"))
+        n = cfg.user_pages
+        for i in range(3000):
+            pid = (i * 13 + 7) % n
+            a.write(pid)
+            b.write(pid)
+        assert a.pages.seg == b.pages.seg
+        assert a.stats.gc_writes == b.stats.gc_writes
+        assert a.stats.write_amplification == b.stats.write_amplification
+
+    def test_multilog_classes_restored(self, cfg, tmp_path):
+        original = churned_store("multi-log", cfg)
+        path = tmp_path / "ckpt.npz"
+        save_store(original, path)
+        restored_policy = make_policy("multi-log")
+        load_store(path, restored_policy)
+        assert restored_policy._classes == original.policy._classes
+        assert restored_policy._seg_class == original.policy._seg_class
+
+
+class TestSafety:
+    def test_policy_mismatch_rejected(self, cfg, tmp_path):
+        store = churned_store("greedy", cfg)
+        path = tmp_path / "ckpt.npz"
+        save_store(store, path)
+        with pytest.raises(PersistenceError):
+            load_store(path, make_policy("mdc"))
+
+    def test_buffered_pages_flushed_before_save(self, tmp_path):
+        cfg = StoreConfig(
+            n_segments=48, segment_units=16, fill_factor=0.7,
+            clean_trigger=3, clean_batch=3, sort_buffer_segments=1,
+        )
+        store = LogStructuredStore(cfg, make_policy("mdc"))
+        store.write(0)
+        path = tmp_path / "ckpt.npz"
+        save_store(store, path)
+        restored = load_store(path, make_policy("mdc"))
+        seg, _ = restored.pages.location(0)
+        assert seg >= 0  # on the device, not lost in an unsaved buffer

@@ -1,0 +1,40 @@
+"""The reserve-compensation config helper used by precision benches."""
+
+import pytest
+
+from repro.store import ConfigError, StoreConfig
+
+
+class TestWithReserveCompensation:
+    def test_keeps_user_pages_of_original_device(self):
+        base = StoreConfig(n_segments=512, segment_units=32, fill_factor=0.8,
+                           clean_trigger=4, clean_batch=8)
+        comp = base.with_reserve_compensation()
+        assert comp.user_pages == base.user_pages
+        assert comp.n_segments == base.n_segments + base.clean_trigger + 2
+
+    def test_effective_fill_matches_target(self):
+        base = StoreConfig(n_segments=1024, segment_units=32,
+                           fill_factor=0.9, clean_trigger=2, clean_batch=4)
+        comp = base.with_reserve_compensation()
+        # Excluding the standing reserve, the cleanable region's fill is
+        # the requested one.
+        cleanable = (comp.n_segments - comp.clean_trigger - 2) * comp.segment_units
+        assert comp.user_pages / cleanable == pytest.approx(0.9, rel=0.01)
+
+    def test_override_validation(self):
+        with pytest.raises(ConfigError):
+            StoreConfig(user_pages_override=0)
+        with pytest.raises(ConfigError):
+            StoreConfig(
+                n_segments=16, segment_units=8, fill_factor=0.5,
+                clean_trigger=2, clean_batch=2,
+                user_pages_override=16 * 8,  # larger than usable space
+            )
+
+    def test_override_wins_over_fill_factor(self):
+        cfg = StoreConfig(
+            n_segments=64, segment_units=16, fill_factor=0.5,
+            clean_trigger=2, clean_batch=2, user_pages_override=100,
+        )
+        assert cfg.user_pages == 100

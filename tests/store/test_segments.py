@@ -1,0 +1,73 @@
+"""SegmentTable bookkeeping."""
+
+import pytest
+
+from repro.store import FREE, OPEN, SEALED, SegmentTable
+
+
+@pytest.fixture
+def table():
+    return SegmentTable(n_segments=4, capacity=8)
+
+
+class TestLifecycle:
+    def test_starts_free_and_empty(self, table):
+        assert len(table) == 4
+        for s in range(4):
+            assert table.state[s] == FREE
+            assert table.live_count[s] == 0
+            assert table.available_units(s) == 8
+            assert table.emptiness(s) == 1.0
+            assert table.slots[s] == []
+
+    def test_reset_restores_pristine_state(self, table):
+        table.state[1] = SEALED
+        table.live_count[1] = 3
+        table.live_units[1] = 3
+        table.used_units[1] = 8
+        table.seal_time[1] = 42
+        table.up1[1] = 40.0
+        table.up2[1] = 35.0
+        table.up2_sum[1] = 100.0
+        table.freq_sum[1] = 0.5
+        table.slots[1] = [7, 8, 9]
+        table.slot_sizes[1] = [1, 1, 1]
+        table.reset(1)
+        assert table.state[1] == FREE
+        assert table.live_count[1] == 0
+        assert table.live_units[1] == 0
+        assert table.used_units[1] == 0
+        assert table.up2[1] == 0.0
+        assert table.slots[1] == []
+        assert table.slot_sizes[1] == []
+
+    def test_reset_does_not_share_slot_lists(self, table):
+        table.reset(0)
+        table.reset(1)
+        table.slots[0].append(99)
+        assert table.slots[1] == []
+
+
+class TestAccounting:
+    def test_available_units_tracks_live_units(self, table):
+        table.live_units[2] = 5
+        assert table.available_units(2) == 3
+
+    def test_emptiness_is_a_over_b(self, table):
+        table.live_units[2] = 6
+        assert table.emptiness(2) == pytest.approx(0.25)
+
+    def test_state_name(self, table):
+        table.state[0] = OPEN
+        table.state[1] = SEALED
+        assert table.state_name(0) == "open"
+        assert table.state_name(1) == "sealed"
+        assert table.state_name(2) == "free"
+
+    def test_describe_mentions_key_fields(self, table):
+        table.state[3] = SEALED
+        table.live_count[3] = 2
+        text = table.describe(3)
+        assert "segment 3" in text
+        assert "sealed" in text
+        assert "C=2" in text

@@ -1,0 +1,58 @@
+"""Write-amplification accounting: cumulative counters, snapshots,
+window deltas, and the Equation 1/2 derived metrics."""
+
+import pytest
+
+from repro.store import StoreStats
+
+
+@pytest.fixture
+def stats():
+    return StoreStats()
+
+
+class TestCumulative:
+    def test_zero_start(self, stats):
+        assert stats.user_writes == 0
+        assert stats.write_amplification == 0.0
+
+    def test_wamp_is_gc_over_user(self, stats):
+        stats.user_writes = 100
+        stats.gc_writes = 50
+        assert stats.write_amplification == pytest.approx(0.5)
+
+
+class TestWindows:
+    def test_window_delta_excludes_history(self, stats):
+        stats.user_writes = 100
+        stats.gc_writes = 200  # terrible warm-up
+        mark = stats.snapshot()
+        stats.user_writes += 100
+        stats.gc_writes += 10
+        window = stats.window_since(mark)
+        assert window.user_writes == 100
+        assert window.gc_writes == 10
+        assert window.write_amplification == pytest.approx(0.1)
+
+    def test_empty_window_is_not_a_division_error(self, stats):
+        mark = stats.snapshot()
+        window = stats.window_since(mark)
+        assert window.write_amplification == 0.0
+        assert window.mean_cleaned_emptiness == 0.0
+        assert window.cost_per_segment == float("inf")
+
+    def test_mean_cleaned_emptiness(self, stats):
+        mark = stats.snapshot()
+        stats.segments_cleaned = 4
+        stats.cleaned_emptiness_sum = 2.0
+        window = stats.window_since(mark)
+        assert window.mean_cleaned_emptiness == pytest.approx(0.5)
+        # Equation 1 at E=0.5: Cost = 2/E = 4.
+        assert window.cost_per_segment == pytest.approx(4.0)
+
+    def test_snapshot_is_immutable_copy(self, stats):
+        mark = stats.snapshot()
+        stats.user_writes = 10
+        assert mark.user_writes == 0
+        with pytest.raises(Exception):
+            mark.user_writes = 5

@@ -1,0 +1,89 @@
+"""Driver mix and the trace-generation pipeline of Section 6.3."""
+
+import numpy as np
+import pytest
+
+from repro.tpcc import (
+    TpccDatabase,
+    TpccDriver,
+    TpccRandom,
+    TpccScale,
+    generate_tpcc_trace,
+    load_database,
+)
+
+SMALL = TpccScale(
+    warehouses=1, districts_per_warehouse=3,
+    customers_per_district=50, initial_orders_per_district=50,
+    items=300,
+)
+
+
+class TestDriver:
+    def test_mix_roughly_matches_spec(self):
+        db = TpccDatabase(pool_pages=50_000)
+        rng = TpccRandom(3)
+        load_database(db, SMALL, rng)
+        driver = TpccDriver(db, SMALL, rng, checkpoint_every=0)
+        stats = driver.run(3000)
+        shares = {
+            name: n / stats.total for name, n in stats.committed.items()
+        }
+        assert shares["new_order"] == pytest.approx(0.45, abs=0.04)
+        assert shares["payment"] == pytest.approx(0.43, abs=0.04)
+        for name in ("order_status", "delivery", "stock_level"):
+            assert shares[name] == pytest.approx(0.04, abs=0.02)
+
+    def test_checkpoints_fire(self):
+        db = TpccDatabase(pool_pages=50_000)
+        rng = TpccRandom(4)
+        load_database(db, SMALL, rng)
+        driver = TpccDriver(db, SMALL, rng, checkpoint_every=100)
+        driver.run(500)
+        assert driver.stats.checkpoints == 5
+
+    def test_storage_grows(self):
+        db = TpccDatabase(pool_pages=50_000)
+        rng = TpccRandom(5)
+        load_database(db, SMALL, rng)
+        before = db.footprint_pages
+        TpccDriver(db, SMALL, rng, checkpoint_every=0).run(2000)
+        assert db.footprint_pages > before
+
+
+class TestTraceGeneration:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_tpcc_trace(
+            0.6, scale=SMALL, fill_growth=0.1, checkpoint_every=100, seed=9
+        )
+
+    def test_fill_grows_by_target(self, trace):
+        assert trace.initial_fill == 0.6
+        assert trace.final_fill == pytest.approx(0.7, abs=0.03)
+
+    def test_trace_excludes_load_phase(self, trace):
+        # The load writes pages 0..N sequentially; a running-phase trace
+        # is dominated by *rewrites* of existing pages instead.
+        arr = trace.workload.trace
+        assert len(arr) > 0
+        assert len(np.unique(arr)) < len(arr)  # repeats exist
+
+    def test_trace_is_skewed(self, trace):
+        freqs = np.sort(trace.workload.frequencies())[::-1]
+        top10 = freqs[: max(1, len(freqs) // 10)].sum()
+        assert top10 > 0.2  # hot pages exist (district, queue heads...)
+
+    def test_store_config_is_consistent(self, trace):
+        cfg = trace.store_config(segment_units=16)
+        assert cfg.n_segments * 16 >= trace.device_pages * 0.9
+        assert cfg.fill_factor == pytest.approx(trace.final_fill, abs=0.01)
+
+    def test_rejects_extreme_fill(self):
+        with pytest.raises(ValueError):
+            generate_tpcc_trace(0.99, scale=SMALL)
+
+    def test_deterministic_given_seed(self):
+        a = generate_tpcc_trace(0.6, scale=SMALL, seed=21)
+        b = generate_tpcc_trace(0.6, scale=SMALL, seed=21)
+        assert np.array_equal(a.workload.trace, b.workload.trace)

@@ -1,0 +1,100 @@
+"""TPC-C population: cardinalities, key shapes, spec ratios."""
+
+import pytest
+
+from repro.tpcc import TpccDatabase, TpccRandom, TpccScale, load_database
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    scale = TpccScale(
+        warehouses=2, districts_per_warehouse=3,
+        customers_per_district=30, initial_orders_per_district=30,
+        items=200,
+    )
+    db = TpccDatabase(pool_pages=50_000)
+    load_database(db, scale, TpccRandom(7))
+    return db, scale
+
+
+class TestCardinalities:
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            TpccScale(warehouses=0)
+        with pytest.raises(ValueError):
+            TpccScale(customers_per_district=2)
+        with pytest.raises(ValueError):
+            TpccScale(
+                customers_per_district=10, initial_orders_per_district=20
+            )
+
+    def test_spec_scale(self):
+        s = TpccScale.spec(warehouses=3)
+        assert s.items == 100_000
+        assert s.customers_per_district == 3000
+        assert s.warehouses == 3
+
+    def test_row_counts(self, loaded):
+        db, scale = loaded
+        w = scale.warehouses
+        d = w * scale.districts_per_warehouse
+        c = d * scale.customers_per_district
+        o = d * scale.initial_orders_per_district
+        assert len(db.warehouse) == w
+        assert len(db.district) == d
+        assert len(db.customer) == c
+        assert len(db.customer_by_name) == c
+        assert len(db.history) == c
+        assert len(db.order) == o
+        assert len(db.order_by_customer) == o
+        assert len(db.item) == scale.items
+        assert len(db.stock) == w * scale.items
+
+    def test_one_third_undelivered(self, loaded):
+        db, scale = loaded
+        orders = scale.initial_orders_per_district
+        districts = scale.warehouses * scale.districts_per_warehouse
+        assert len(db.new_order) == (orders // 3) * districts
+
+    def test_order_lines_between_5_and_15_per_order(self, loaded):
+        db, scale = loaded
+        per_order = {}
+        for (w, d, o, _n), _ in db.order_line.scan_prefix(()):
+            per_order[(w, d, o)] = per_order.get((w, d, o), 0) + 1
+        assert set(per_order) == {
+            key[:3] for key, _ in db.order.scan_prefix(())
+        }
+        assert all(5 <= n <= 15 for n in per_order.values())
+
+
+class TestContents:
+    def test_district_next_o_id(self, loaded):
+        db, scale = loaded
+        row = db.district.search((1, 1))
+        assert row[2] == scale.initial_orders_per_district + 1
+
+    def test_name_index_points_back(self, loaded):
+        db, _ = loaded
+        for key, c_id in list(db.customer_by_name.scan_prefix((1, 1)))[:10]:
+            w, d, last, first, cid = key
+            assert cid == c_id
+            row = db.customer.search((w, d, c_id))
+            assert row is not None
+            assert row[1] == last
+            assert row[0] == first
+
+    def test_undelivered_orders_have_no_carrier(self, loaded):
+        db, _ = loaded
+        for (w, d, o), _empty in db.new_order.scan_prefix(()):
+            order = db.order.search((w, d, o))
+            assert order[2] == 0  # no carrier yet
+
+    def test_trees_structurally_sound(self, loaded):
+        db, _ = loaded
+        for name in TpccDatabase.TABLES:
+            getattr(db, name).check_structure()
+
+    def test_approximate_rows_estimate(self, loaded):
+        db, scale = loaded
+        actual = sum(db.table_sizes().values())
+        assert actual == pytest.approx(scale.approximate_rows(), rel=0.15)

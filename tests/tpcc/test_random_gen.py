@@ -1,0 +1,62 @@
+"""TPC-C random input generation: NURand, names, determinism."""
+
+import pytest
+
+from repro.tpcc.random_gen import LAST_NAME_SYLLABLES, TpccRandom
+
+
+class TestNurand:
+    def test_in_range(self):
+        rng = TpccRandom(0)
+        for _ in range(1000):
+            v = rng.nurand(255, 1, 3000, c=77)
+            assert 1 <= v <= 3000
+
+    def test_is_nonuniform(self):
+        rng = TpccRandom(1)
+        counts = {}
+        for _ in range(20_000):
+            v = rng.customer_id(3000)
+            counts[v] = counts.get(v, 0) + 1
+        # NURand concentrates mass: the most popular value appears far
+        # more often than the uniform expectation (~6.7).
+        assert max(counts.values()) > 20
+
+    def test_item_ids_in_range(self):
+        rng = TpccRandom(2)
+        assert all(1 <= rng.item_id(500) <= 500 for _ in range(1000))
+
+
+class TestNames:
+    def test_syllable_composition(self):
+        assert TpccRandom.last_name_for(0) == "BARBARBAR"
+        assert TpccRandom.last_name_for(371) == "PRICALLYOUGHT"
+        assert TpccRandom.last_name_for(999) == "EINGEINGEING"
+
+    def test_random_names_are_valid(self):
+        rng = TpccRandom(3)
+        for _ in range(100):
+            name = rng.last_name()
+            # Decomposable into exactly three syllables.
+            assert any(name.startswith(s) for s in LAST_NAME_SYLLABLES)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = TpccRandom(42)
+        b = TpccRandom(42)
+        assert [a.uniform(1, 100) for _ in range(50)] == [
+            b.uniform(1, 100) for _ in range(50)
+        ]
+
+    def test_amount_has_two_decimals(self):
+        rng = TpccRandom(4)
+        for _ in range(100):
+            amt = rng.amount(1.0, 5000.0)
+            assert amt == round(amt, 2)
+
+    def test_alnum_string_lengths(self):
+        rng = TpccRandom(5)
+        for _ in range(100):
+            s = rng.alnum_string(8, 16)
+            assert 8 <= len(s) <= 16

@@ -1,0 +1,146 @@
+"""The five TPC-C transactions: effects on the tables."""
+
+import pytest
+
+from repro.tpcc import (
+    TpccDatabase,
+    TpccRandom,
+    TpccScale,
+    delivery,
+    load_database,
+    new_order,
+    order_status,
+    payment,
+    stock_level,
+)
+
+
+@pytest.fixture
+def env():
+    scale = TpccScale(
+        warehouses=1, districts_per_warehouse=2,
+        customers_per_district=30, initial_orders_per_district=30,
+        items=100,
+    )
+    db = TpccDatabase(pool_pages=50_000)
+    rng = TpccRandom(11)
+    load_database(db, scale, rng)
+    return db, rng, scale
+
+
+class TestNewOrder:
+    def test_creates_order_rows(self, env):
+        db, rng, scale = env
+        orders_before = len(db.order)
+        lines_before = len(db.order_line)
+        queue_before = len(db.new_order)
+        committed = 0
+        for _ in range(20):
+            committed += bool(new_order(db, rng, scale, w_id=1))
+        assert len(db.order) == orders_before + committed
+        assert len(db.new_order) == queue_before + committed
+        assert len(db.order_line) >= lines_before + 5 * committed
+
+    def test_advances_district_counter(self, env):
+        db, rng, scale = env
+        before = db.district.search((1, 1))[2] + db.district.search((1, 2))[2]
+        n = 0
+        for _ in range(10):
+            n += bool(new_order(db, rng, scale, w_id=1))
+        after = db.district.search((1, 1))[2] + db.district.search((1, 2))[2]
+        assert after - before == n
+
+    def test_updates_stock(self, env):
+        db, rng, scale = env
+        ytd_before = sum(
+            row[1] for _, row in db.stock.scan_prefix((1,))
+        )
+        for _ in range(10):
+            new_order(db, rng, scale, w_id=1)
+        ytd_after = sum(row[1] for _, row in db.stock.scan_prefix((1,)))
+        assert ytd_after > ytd_before
+
+    def test_one_percent_rollback(self):
+        scale = TpccScale(
+            warehouses=1, districts_per_warehouse=2,
+            customers_per_district=30, initial_orders_per_district=30,
+            items=100,
+        )
+        db = TpccDatabase(pool_pages=50_000)
+        rng = TpccRandom(13)
+        load_database(db, scale, rng)
+        rollbacks = sum(
+            0 if new_order(db, rng, scale, 1) else 1 for _ in range(2000)
+        )
+        assert 2 <= rollbacks <= 50  # ~1%
+
+
+class TestPayment:
+    def test_flows_money(self, env):
+        db, rng, scale = env
+        w_ytd = db.warehouse.search((1,))[1]
+        assert payment(db, rng, scale, w_id=1)
+        assert db.warehouse.search((1,))[1] > w_ytd
+
+    def test_appends_history(self, env):
+        db, rng, scale = env
+        before = len(db.history)
+        for _ in range(5):
+            payment(db, rng, scale, w_id=1)
+        assert len(db.history) == before + 5
+
+    def test_customer_balance_decreases(self, env):
+        db, rng, scale = env
+        total_before = sum(
+            row[2] for _, row in db.customer.scan_prefix((1,))
+        )
+        for _ in range(10):
+            payment(db, rng, scale, w_id=1)
+        total_after = sum(row[2] for _, row in db.customer.scan_prefix((1,)))
+        assert total_after < total_before
+
+
+class TestDelivery:
+    def test_drains_new_order_queue(self, env):
+        db, rng, scale = env
+        before = len(db.new_order)
+        assert delivery(db, rng, scale, w_id=1)
+        # One order delivered per district with a non-empty queue.
+        assert len(db.new_order) == before - scale.districts_per_warehouse
+
+    def test_delivers_oldest_first(self, env):
+        db, rng, scale = env
+        oldest = next(iter(db.new_order.scan_prefix((1, 1))))[0]
+        delivery(db, rng, scale, w_id=1)
+        assert db.new_order.search(oldest) is None
+        # The delivered order now has a carrier.
+        assert db.order.search(oldest)[2] != 0
+
+    def test_empty_queue_is_skipped(self, env):
+        db, rng, scale = env
+        drained = 0
+        while len(db.new_order) > 0:
+            delivery(db, rng, scale, w_id=1)
+            drained += 1
+            assert drained < 100
+        assert delivery(db, rng, scale, w_id=1)  # no-op, still commits
+
+
+class TestReadOnly:
+    def test_order_status_mutates_nothing(self, env):
+        db, rng, scale = env
+        writes_before = db.pool.stats.page_writes
+        sizes = db.table_sizes()
+        for _ in range(10):
+            assert order_status(db, rng, scale, w_id=1)
+        db.checkpoint()
+        assert db.table_sizes() == sizes
+        assert db.pool.stats.page_writes == writes_before  # nothing dirty
+
+    def test_stock_level_mutates_nothing(self, env):
+        db, rng, scale = env
+        sizes = db.table_sizes()
+        for _ in range(10):
+            assert stock_level(db, rng, scale, w_id=1)
+        db.checkpoint()
+        assert db.table_sizes() == sizes

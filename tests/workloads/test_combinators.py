@@ -1,0 +1,108 @@
+"""Workload mixtures and phase schedules."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    HotColdWorkload,
+    MixedWorkload,
+    PhasedWorkload,
+    UniformWorkload,
+    ZipfianWorkload,
+)
+
+
+class TestMixed:
+    def test_frequencies_are_weighted_blend(self):
+        hot = HotColdWorkload.from_skew(100, 90, seed=1)
+        flat = UniformWorkload(100, seed=2)
+        mixed = MixedWorkload([hot, flat], [0.75, 0.25], seed=3)
+        expected = 0.75 * hot.frequencies() + 0.25 * flat.frequencies()
+        assert np.allclose(mixed.frequencies(), expected)
+        assert mixed.frequencies().sum() == pytest.approx(1.0)
+
+    def test_weights_normalized(self):
+        a = UniformWorkload(10, seed=1)
+        b = UniformWorkload(10, seed=2)
+        mixed = MixedWorkload([a, b], [3.0, 1.0])
+        assert mixed.weights == [0.75, 0.25]
+
+    def test_empirical_mixture(self):
+        hot = HotColdWorkload(200, update_fraction=0.99, data_fraction=0.05, seed=4)
+        flat = UniformWorkload(200, seed=5)
+        mixed = MixedWorkload([hot, flat], [0.5, 0.5], seed=6)
+        hot_set = set(hot.hot_pages.tolist())
+        draws = np.concatenate(list(mixed.batches(40_000)))
+        hot_share = sum(1 for p in draws.tolist() if p in hot_set) / len(draws)
+        # ~0.5*0.99 from the hot component plus the flat component's
+        # incidental hits on the 5% hot pages.
+        assert hot_share == pytest.approx(0.5 * 0.99 + 0.5 * 0.05, abs=0.02)
+
+    def test_validation(self):
+        a = UniformWorkload(10)
+        with pytest.raises(ValueError):
+            MixedWorkload([], [])
+        with pytest.raises(ValueError):
+            MixedWorkload([a], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            MixedWorkload([a, UniformWorkload(20)], [1, 1])
+        with pytest.raises(ValueError):
+            MixedWorkload([a, a], [1.0, 0.0])
+
+    def test_reset_reproduces(self):
+        mixed = MixedWorkload(
+            [UniformWorkload(50, seed=1), ZipfianWorkload(50, seed=2)],
+            [1, 1],
+            seed=7,
+        )
+        first = np.concatenate(list(mixed.batches(200)))
+        mixed.reset()
+        assert np.array_equal(first, np.concatenate(list(mixed.batches(200))))
+
+
+class TestPhased:
+    def test_phases_run_in_order(self):
+        # Phase 1 only touches pages < 10, phase 2 only pages >= 10.
+        lo = HotColdWorkload(20, update_fraction=0.999, data_fraction=0.5, seed=1)
+        lo.hot_pages = np.arange(10)
+        lo.cold_pages = np.arange(10, 20)
+        hi = HotColdWorkload(20, update_fraction=0.999, data_fraction=0.5, seed=2)
+        hi.hot_pages = np.arange(10, 20)
+        hi.cold_pages = np.arange(10)
+        phased = PhasedWorkload([(lo, 100), (hi, 100)], seed=3)
+        draws = np.concatenate(list(phased.batches(200)))
+        assert (draws[:100] < 10).mean() > 0.95
+        assert (draws[100:] >= 10).mean() > 0.95
+
+    def test_schedule_wraps(self):
+        a = UniformWorkload(10, seed=1)
+        b = UniformWorkload(10, seed=2)
+        phased = PhasedWorkload([(a, 5), (b, 5)], seed=3)
+        list(phased.batches(12))  # a(5), b(5), a(2...)
+        assert phased.current_phase is a
+        list(phased.batches(3))  # ...a(3 more) completes a -> b
+        assert phased.current_phase is b
+
+    def test_long_run_frequencies_weighted_by_length(self):
+        hot = HotColdWorkload.from_skew(100, 90, seed=1)
+        flat = UniformWorkload(100, seed=2)
+        phased = PhasedWorkload([(hot, 300), (flat, 100)], seed=3)
+        expected = 0.75 * hot.frequencies() + 0.25 * flat.frequencies()
+        assert np.allclose(phased.frequencies(), expected)
+
+    def test_validation(self):
+        a = UniformWorkload(10)
+        with pytest.raises(ValueError):
+            PhasedWorkload([])
+        with pytest.raises(ValueError):
+            PhasedWorkload([(a, 0)])
+        with pytest.raises(ValueError):
+            PhasedWorkload([(a, 10), (UniformWorkload(20), 10)])
+
+    def test_reset_restarts_schedule(self):
+        a = UniformWorkload(10, seed=1)
+        b = UniformWorkload(10, seed=2)
+        phased = PhasedWorkload([(a, 7), (b, 7)], seed=3)
+        first = np.concatenate(list(phased.batches(20)))
+        phased.reset()
+        assert np.array_equal(first, np.concatenate(list(phased.batches(20))))

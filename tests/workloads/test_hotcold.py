@@ -1,0 +1,65 @@
+"""HotColdWorkload: the m:1-m populations of Section 3."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import HotColdWorkload
+
+
+class TestConstruction:
+    def test_from_skew(self):
+        wl = HotColdWorkload.from_skew(1000, 80)
+        assert wl.update_fraction == 0.8
+        assert wl.data_fraction == pytest.approx(0.2)
+        assert wl.skew_label == "80-20"
+
+    def test_hot_and_cold_partition_pages(self):
+        wl = HotColdWorkload(100, update_fraction=0.9)
+        hot = set(wl.hot_pages.tolist())
+        cold = set(wl.cold_pages.tolist())
+        assert hot | cold == set(range(100))
+        assert not hot & cold
+
+    def test_hot_set_is_scattered_not_prefix(self):
+        wl = HotColdWorkload(1000, update_fraction=0.9, seed=4)
+        # A random subset should not be the contiguous prefix.
+        assert set(wl.hot_pages.tolist()) != set(range(len(wl.hot_pages)))
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            HotColdWorkload(10, update_fraction=1.0)
+        with pytest.raises(ValueError):
+            HotColdWorkload(10, update_fraction=0.8, data_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotColdWorkload.from_skew(10, 45)
+
+
+class TestDistribution:
+    def test_frequencies_sum_to_one(self):
+        wl = HotColdWorkload.from_skew(500, 80)
+        assert wl.frequencies().sum() == pytest.approx(1.0)
+
+    def test_hot_pages_have_higher_frequency(self):
+        wl = HotColdWorkload.from_skew(500, 80)
+        freqs = wl.frequencies()
+        assert freqs[wl.hot_pages[0]] > freqs[wl.cold_pages[0]]
+        # 80:20 -> hot page is (0.8/0.2)/(0.2/0.8) = 16x hotter.
+        ratio = freqs[wl.hot_pages[0]] / freqs[wl.cold_pages[0]]
+        assert ratio == pytest.approx(16.0, rel=0.05)
+
+    def test_empirical_update_share(self):
+        wl = HotColdWorkload.from_skew(200, 90, seed=1)
+        hot = set(wl.hot_pages.tolist())
+        hits = 0
+        total = 0
+        for batch in wl.batches(50_000):
+            hits += sum(1 for p in batch.tolist() if p in hot)
+            total += len(batch)
+        assert hits / total == pytest.approx(0.9, abs=0.01)
+
+    def test_50_50_is_not_uniform_within_population(self):
+        # 50:50 still has two populations (half the updates to half the
+        # data at equal per-page rates) — i.e. it IS uniform per page.
+        wl = HotColdWorkload.from_skew(100, 50)
+        freqs = wl.frequencies()
+        assert np.allclose(freqs, freqs[0])

@@ -1,0 +1,63 @@
+"""ShiftingHotSetWorkload: hot pages become cold over time."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import ShiftingHotSetWorkload
+
+
+class TestShifting:
+    def test_hot_set_moves(self):
+        wl = ShiftingHotSetWorkload(1000, shift_every=100, seed=1)
+        first = set(wl.current_hot_pages().tolist())
+        list(wl.batches(1000))
+        later = set(wl.current_hot_pages().tolist())
+        assert first != later
+
+    def test_hot_set_size_constant(self):
+        wl = ShiftingHotSetWorkload(1000, data_fraction=0.2, shift_every=50)
+        size = len(wl.current_hot_pages())
+        list(wl.batches(500))
+        assert len(wl.current_hot_pages()) == size == 200
+
+    def test_long_run_frequencies_uniform(self):
+        wl = ShiftingHotSetWorkload(100, seed=2)
+        freqs = wl.frequencies()
+        assert np.allclose(freqs, 1.0 / 100)
+
+    def test_short_window_is_skewed(self):
+        wl = ShiftingHotSetWorkload(
+            1000, update_fraction=0.9, data_fraction=0.1,
+            shift_every=1_000_000, seed=3,
+        )
+        hot = set(wl.current_hot_pages().tolist())
+        batch = np.concatenate(list(wl.batches(20_000)))
+        share = sum(1 for p in batch.tolist() if p in hot) / len(batch)
+        assert share > 0.85
+
+    def test_whole_population_eventually_hot(self):
+        # shift advance (7 pages per 10 writes) is co-prime with the
+        # population, so the sampled window positions cover everything.
+        wl = ShiftingHotSetWorkload(
+            200, data_fraction=0.25, shift_every=10, shift_pages=7, seed=4
+        )
+        ever_hot = set()
+        for _ in range(20):
+            ever_hot.update(wl.current_hot_pages().tolist())
+            list(wl.batches(100))
+        assert len(ever_hot) > 150
+
+    def test_reset_restores_initial_hot_set(self):
+        wl = ShiftingHotSetWorkload(500, shift_every=10, seed=5)
+        first = wl.current_hot_pages().tolist()
+        list(wl.batches(1000))
+        wl.reset()
+        assert wl.current_hot_pages().tolist() == first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShiftingHotSetWorkload(100, update_fraction=0.0)
+        with pytest.raises(ValueError):
+            ShiftingHotSetWorkload(100, shift_every=0)
+        with pytest.raises(ValueError):
+            ShiftingHotSetWorkload(100, data_fraction=1.5)

@@ -1,0 +1,52 @@
+"""UniformWorkload: distribution and reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import UniformWorkload
+
+
+class TestDistribution:
+    def test_frequencies_sum_to_one(self):
+        wl = UniformWorkload(100)
+        freqs = wl.frequencies()
+        assert freqs.sum() == pytest.approx(1.0)
+        assert np.all(freqs == freqs[0])
+
+    def test_samples_cover_population(self):
+        wl = UniformWorkload(50, seed=1)
+        seen = set()
+        for batch in wl.batches(5000):
+            seen.update(batch.tolist())
+        assert seen == set(range(50))
+
+    def test_empirical_matches_expected(self):
+        wl = UniformWorkload(10, seed=2)
+        counts = np.zeros(10)
+        for batch in wl.batches(50_000):
+            counts += np.bincount(batch, minlength=10)
+        shares = counts / counts.sum()
+        assert np.allclose(shares, 0.1, atol=0.01)
+
+
+class TestProtocol:
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            UniformWorkload(0)
+
+    def test_batches_yield_exact_count(self):
+        wl = UniformWorkload(10, seed=0)
+        total = sum(len(b) for b in wl.batches(12_345, batch=1000))
+        assert total == 12_345
+
+    def test_reset_reproduces_stream(self):
+        wl = UniformWorkload(10, seed=3)
+        first = np.concatenate(list(wl.batches(100)))
+        wl.reset()
+        second = np.concatenate(list(wl.batches(100)))
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        a = np.concatenate(list(UniformWorkload(100, seed=1).batches(100)))
+        b = np.concatenate(list(UniformWorkload(100, seed=2).batches(100)))
+        assert not np.array_equal(a, b)

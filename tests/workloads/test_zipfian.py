@@ -1,0 +1,75 @@
+"""ZipfianWorkload: skew factors, permuted ranks, sampling fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import ZIPF_80_20, ZIPF_90_10, ZipfianWorkload
+
+
+class TestConstruction:
+    def test_named_constructors(self):
+        assert ZipfianWorkload.eighty_twenty(100).theta == ZIPF_80_20 == 0.99
+        assert ZipfianWorkload.ninety_ten(100).theta == ZIPF_90_10 == 1.35
+
+    def test_rejects_nonpositive_theta(self):
+        with pytest.raises(ValueError):
+            ZipfianWorkload(10, theta=0.0)
+
+    def test_frequencies_sum_to_one(self):
+        wl = ZipfianWorkload(1000, theta=0.99)
+        assert wl.frequencies().sum() == pytest.approx(1.0)
+
+    def test_every_page_unique_frequency(self):
+        # The paper uses Zipf precisely because "all pages have unique
+        # update frequencies".
+        wl = ZipfianWorkload(500, theta=0.99)
+        freqs = wl.frequencies()
+        assert len(np.unique(freqs)) == 500
+
+
+class TestSkew:
+    def test_higher_theta_is_more_skewed(self):
+        mild = ZipfianWorkload(10_000, theta=0.99)
+        steep = ZipfianWorkload(10_000, theta=1.35)
+        assert steep.update_share_of_top(0.1) > mild.update_share_of_top(0.1)
+
+    def test_90_10_label_roughly_holds(self):
+        # The m:1-m reading of a Zipf factor depends on the population
+        # size; the classic labels hold around ~1000 pages (YCSB-style)
+        # and grow more skewed for larger populations.
+        wl = ZipfianWorkload.ninety_ten(1000)
+        share = wl.update_share_of_top(0.10)
+        assert share == pytest.approx(0.9, abs=0.08)
+
+    def test_80_20_label_roughly_holds(self):
+        wl = ZipfianWorkload.eighty_twenty(1000)
+        share = wl.update_share_of_top(0.20)
+        assert share == pytest.approx(0.8, abs=0.08)
+
+    def test_skew_grows_with_population(self):
+        small = ZipfianWorkload.ninety_ten(1000).update_share_of_top(0.10)
+        large = ZipfianWorkload.ninety_ten(100_000).update_share_of_top(0.10)
+        assert large > small
+
+    def test_hot_pages_are_scattered(self):
+        wl = ZipfianWorkload(1000, theta=0.99, seed=5)
+        freqs = wl.frequencies()
+        top = np.argsort(freqs)[-10:]
+        assert top.max() - top.min() > 100  # not a contiguous block
+
+
+class TestSampling:
+    def test_empirical_matches_probabilities(self):
+        wl = ZipfianWorkload(100, theta=1.0, seed=0)
+        counts = np.zeros(100)
+        for batch in wl.batches(200_000):
+            counts += np.bincount(batch, minlength=100)
+        empirical = counts / counts.sum()
+        assert np.allclose(empirical, wl.frequencies(), atol=0.004)
+
+    def test_reset_reproduces(self):
+        wl = ZipfianWorkload(100, theta=0.99, seed=9)
+        a = np.concatenate(list(wl.batches(500)))
+        wl.reset()
+        b = np.concatenate(list(wl.batches(500)))
+        assert np.array_equal(a, b)
