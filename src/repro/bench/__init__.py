@@ -4,10 +4,12 @@ from repro.bench.experiments import (
     ExperimentOutput,
     ablation_batch_experiment,
     ablation_estimator_experiment,
+    demo_experiment,
     fig3_experiment,
     fig4_experiment,
     fig5_experiment,
     fig6_experiment,
+    make_workload,
     table1_experiment,
     table2_experiment,
 )
@@ -28,7 +30,9 @@ __all__ = [
     "ablation_batch_experiment",
     "ablation_estimator_experiment",
     "bar_chart",
+    "demo_experiment",
     "line_plot",
+    "make_workload",
     "fig3_experiment",
     "fig4_experiment",
     "fig5_experiment",

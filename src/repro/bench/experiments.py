@@ -9,12 +9,19 @@ thousand segments instead of the paper's 51,200, with cleaning trigger
 and batch scaled to keep their ratios; footnote 2 of the paper notes
 absolute size does not affect write amplification, and the deviations
 that *do* appear at small scale are recorded in EXPERIMENTS.md.
+
+Every experiment function accepts an optional ``runner`` argument with
+the signature of :func:`repro.bench.runner.run_simulation`.  The default
+runs each simulation inline; ``repro.sweep`` injects recording/replaying
+runners to expand the same loops into a parallel job grid and then
+aggregate the results through this exact code path, which is what makes
+serial and swept outputs byte-identical.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis import fixpoint, hotcold
 from repro.bench.runner import run_simulation
@@ -66,7 +73,9 @@ def _standard_config(fill: float, sort_buffer: int) -> StoreConfig:
     )
 
 
-def _make_workload(dist: str, n_pages: int, seed: int):
+def make_workload(dist: str, n_pages: int, seed: int):
+    """Build a workload from its distribution shorthand (``"uniform"``,
+    ``"zipf-80-20"``, ``"zipf-90-10"``, ``"hotcold-<m>"``)."""
     if dist == "uniform":
         return UniformWorkload(n_pages, seed=seed)
     if dist == "zipf-80-20":
@@ -78,6 +87,14 @@ def _make_workload(dist: str, n_pages: int, seed: int):
     raise ValueError("unknown distribution %r" % (dist,))
 
 
+#: Backwards-compatible alias (the CLI used the private name pre-sweep).
+_make_workload = make_workload
+
+#: Signature shared by :func:`repro.bench.runner.run_simulation` and the
+#: recording/replaying runners that ``repro.sweep`` injects.
+Runner = Callable[..., "SimulationResult"]
+
+
 # ----------------------------------------------------------------------
 # Table 1
 # ----------------------------------------------------------------------
@@ -86,6 +103,7 @@ def table1_experiment(
     fill_factors: Sequence[float] = fixpoint.TABLE1_FILL_FACTORS,
     write_multiplier: float = 8.0,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> ExperimentOutput:
     """Table 1: the age-based fixpoint analysis next to simulation
     under a uniform distribution.
@@ -100,6 +118,7 @@ def table1_experiment(
     does not bite into the slack that the analysis assumes is all
     user-visible.
     """
+    run = runner or run_simulation
     rows = []
     for f in fill_factors:
         analysis = fixpoint.table1_row(f)
@@ -110,7 +129,7 @@ def table1_experiment(
                 clean_trigger=2, clean_batch=4,
             ).with_reserve_compensation()
             wl = UniformWorkload(cfg.user_pages, seed=seed)
-            sims[policy] = run_simulation(
+            sims[policy] = run(
                 cfg, policy, wl, write_multiplier=write_multiplier
             )
         rows.append(
@@ -147,15 +166,17 @@ def table2_experiment(
     fill_factor: float = 0.8,
     write_multiplier: float = 30.0,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> ExperimentOutput:
     """Table 2: analytic minimum cost of separated hot/cold management
     vs simulated MDC-opt, at F = 0.8."""
+    run = runner or run_simulation
     rows = []
     for m in skews:
         analysis = hotcold.table2_row(m, fill_factor)
         cfg = _standard_config(fill_factor, DEFAULT_SORT_BUFFER)
         wl = HotColdWorkload.from_skew(cfg.user_pages, m, seed=seed)
-        sim = run_simulation(cfg, "mdc-opt", wl, write_multiplier=write_multiplier)
+        sim = run(cfg, "mdc-opt", wl, write_multiplier=write_multiplier)
         sim_cost = 2.0 * (1.0 + sim.wamp)  # Cost = 2/E = 2 (1 + Wamp)
         rows.append(
             (
@@ -186,16 +207,18 @@ def fig3_experiment(
     fill_factor: float = 0.8,
     write_multiplier: float = 30.0,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> ExperimentOutput:
     """Figure 3: the MDC ablation breakdown on hot-cold distributions,
     plus the analytic ``opt`` series."""
+    run = runner or run_simulation
     series: Dict[str, List[float]] = {name: [] for name in policies}
     series["opt"] = []
     for m in skews:
         for name in policies:
             cfg = _standard_config(fill_factor, DEFAULT_SORT_BUFFER)
             wl = HotColdWorkload.from_skew(cfg.user_pages, m, seed=seed)
-            sim = run_simulation(cfg, name, wl, write_multiplier=write_multiplier)
+            sim = run(cfg, name, wl, write_multiplier=write_multiplier)
             series[name].append(sim.wamp)
         series["opt"].append(hotcold.opt_wamp(m, fill_factor))
     x_labels = ["%d-%d" % (m, 100 - m) for m in skews]
@@ -220,14 +243,16 @@ def fig4_experiment(
     fill_factor: float = 0.8,
     write_multiplier: float = 30.0,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> ExperimentOutput:
     """Figure 4: MDC write amplification vs sort-buffer size on the
     80-20 Zipfian distribution."""
+    run = runner or run_simulation
     wamps = []
     for size in buffer_sizes:
         cfg = _standard_config(fill_factor, size)
         wl = ZipfianWorkload.eighty_twenty(cfg.user_pages, seed=seed)
-        sim = run_simulation(cfg, "mdc", wl, write_multiplier=write_multiplier)
+        sim = run(cfg, "mdc", wl, write_multiplier=write_multiplier)
         wamps.append(sim.wamp)
     rendered = format_series(
         "buffer(segments)",
@@ -251,6 +276,7 @@ def fig5_experiment(
     policies: Sequence[str] = tuple(FIGURE5_POLICIES),
     write_multiplier: float = 25.0,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> ExperimentOutput:
     """Figure 5(a/b/c): write amplification vs fill factor for all
     seven cleaning algorithms under one distribution.
@@ -264,15 +290,16 @@ def fig5_experiment(
     """
     from repro.analysis import distribution_opt_wamp
 
+    run = runner or run_simulation
     series: Dict[str, List[float]] = {name: [] for name in policies}
     series["opt-bound"] = []
     for f in fills:
         for name in policies:
             cfg = _standard_config(f, DEFAULT_SORT_BUFFER)
-            wl = _make_workload(dist, cfg.user_pages, seed)
-            sim = run_simulation(cfg, name, wl, write_multiplier=write_multiplier)
+            wl = make_workload(dist, cfg.user_pages, seed)
+            sim = run(cfg, name, wl, write_multiplier=write_multiplier)
             series[name].append(sim.wamp)
-        reference = _make_workload(
+        reference = make_workload(
             dist, _standard_config(f, 0).user_pages, seed
         )
         series["opt-bound"].append(
@@ -357,14 +384,16 @@ def ablation_estimator_experiment(
     fill_factor: float = 0.8,
     write_multiplier: float = 30.0,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> ExperimentOutput:
     """Section 4.3 ablation: the two-interval up2 estimator vs the
     single-interval up1 estimator vs the exact oracle."""
+    run = runner or run_simulation
     wamps = {}
     for name in ("mdc-up1", "mdc", "mdc-opt"):
         cfg = _standard_config(fill_factor, DEFAULT_SORT_BUFFER)
-        wl = _make_workload(dist, cfg.user_pages, seed)
-        sim = run_simulation(cfg, name, wl, write_multiplier=write_multiplier)
+        wl = make_workload(dist, cfg.user_pages, seed)
+        sim = run(cfg, name, wl, write_multiplier=write_multiplier)
         wamps[name] = sim.wamp
     rendered = format_table(
         ["estimator", "Wamp"],
@@ -385,9 +414,11 @@ def ablation_batch_experiment(
     fill_factor: float = 0.8,
     write_multiplier: float = 30.0,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> ExperimentOutput:
     """Section 6.1.1 ablation: cleaning-batch size (batching amortizes
     policy evaluation and enables GC-write separation)."""
+    run = runner or run_simulation
     wamps = []
     for batch in batches:
         cfg = StoreConfig(
@@ -395,8 +426,8 @@ def ablation_batch_experiment(
             clean_trigger=4, clean_batch=batch,
             sort_buffer_segments=DEFAULT_SORT_BUFFER,
         )
-        wl = _make_workload(dist, cfg.user_pages, seed)
-        sim = run_simulation(cfg, "mdc", wl, write_multiplier=write_multiplier)
+        wl = make_workload(dist, cfg.user_pages, seed)
+        sim = run(cfg, "mdc", wl, write_multiplier=write_multiplier)
         wamps.append(sim.wamp)
     rendered = format_series(
         "clean batch",
@@ -406,4 +437,47 @@ def ablation_batch_experiment(
     )
     return ExperimentOutput(
         "ablation-batch", rendered, {"batches": list(batches), "wamp": wamps}
+    )
+
+
+# ----------------------------------------------------------------------
+# Demo grid (sweep smoke test)
+# ----------------------------------------------------------------------
+
+def demo_experiment(
+    skews: Sequence[int] = (60, 90),
+    policies: Sequence[str] = ("greedy", "mdc"),
+    fill_factor: float = 0.75,
+    write_multiplier: float = 4.0,
+    seed: int = 0,
+    runner: Optional[Runner] = None,
+) -> ExperimentOutput:
+    """A deliberately tiny hot-cold grid (64 segments of 8 units, a few
+    thousand writes per point) that finishes in well under a second.
+
+    Not from the paper — it exists so the sweep orchestrator, its tests,
+    and ``examples/sweep_quickstart.py`` have a grid whose full
+    run/kill/resume cycle costs milliseconds.
+    """
+    run = runner or run_simulation
+    series: Dict[str, List[float]] = {name: [] for name in policies}
+    for m in skews:
+        for name in policies:
+            cfg = StoreConfig(
+                n_segments=64, segment_units=8, fill_factor=fill_factor,
+                clean_trigger=2, clean_batch=2,
+            )
+            wl = HotColdWorkload.from_skew(cfg.user_pages, m, seed=seed)
+            sim = run(cfg, name, wl, write_multiplier=write_multiplier)
+            series[name].append(sim.wamp)
+    x_labels = ["%d-%d" % (m, 100 - m) for m in skews]
+    rendered = format_series(
+        "skewness",
+        x_labels,
+        series,
+        title="Demo grid: write amplification vs hot-cold skew "
+        "(tiny device, F=%.2f)" % fill_factor,
+    )
+    return ExperimentOutput(
+        "demo", rendered, {"skews": list(skews), "series": series}
     )

@@ -10,10 +10,18 @@ Usage (installed as ``repro``, or ``python -m repro``):
     repro fig6                   # Figure 6: TPC-C traces
     repro ablation               # estimator + batch-size ablations
     repro simulate --policy mdc --dist zipf-80-20 --fill 0.8
+    repro sweep fig5 --workers 4 --out runs/fig5 --resume
     repro policies               # list registered cleaning policies
 
 Quick variants of the heavy experiments accept ``--quick`` to shrink
-write counts by ~4x (coarser numbers, same shapes).
+write counts by ~4x (coarser numbers, same shapes).  Every experiment
+takes ``--seed`` so single runs are reproducible from the command line.
+
+``repro sweep`` runs a whole experiment grid through the parallel
+orchestrator (``repro.sweep``): jobs fan out over worker processes, each
+finished job is journaled to ``<out>/manifest.jsonl``, and a killed
+sweep re-invoked with ``--resume`` skips completed jobs and still
+produces byte-identical aggregated output.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from repro.bench import (
     table1_experiment,
     table2_experiment,
 )
-from repro.bench.experiments import _make_workload, _standard_config
+from repro.bench.experiments import _standard_config, make_workload
 from repro.policies import available_policies
 from repro.tpcc import TpccScale
 
@@ -42,6 +50,13 @@ def _add_quick(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quick", action="store_true",
         help="~4x fewer writes per point (coarser numbers, same shapes)",
+    )
+
+
+def _add_seed(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (same seed + same parameters = same numbers)",
     )
 
 
@@ -60,12 +75,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p = sub.add_parser("table1", help="Table 1: analysis vs simulation")
     _add_quick(p)
+    _add_seed(p)
     p = sub.add_parser("table2", help="Table 2: hot/cold minimum cost")
     _add_quick(p)
+    _add_seed(p)
     p = sub.add_parser("fig3", help="Figure 3: MDC ablation breakdown")
     _add_quick(p)
+    _add_seed(p)
     p = sub.add_parser("fig4", help="Figure 4: sort-buffer size sweep")
     _add_quick(p)
+    _add_seed(p)
     p = sub.add_parser("fig5", help="Figure 5: policy comparison")
     p.add_argument(
         "--dist",
@@ -73,10 +92,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=["uniform", "zipf-80-20", "zipf-90-10"],
     )
     _add_quick(p)
+    _add_seed(p)
     p = sub.add_parser("fig6", help="Figure 6: TPC-C trace replay")
     p.add_argument("--warehouses", type=int, default=1)
+    _add_seed(p)
     p = sub.add_parser("ablation", help="estimator and batch-size ablations")
     _add_quick(p)
+    _add_seed(p)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run an experiment grid in parallel with checkpointed resume",
+    )
+    from repro.sweep import SWEEP_DISTS, sweep_grid_names
+
+    p.add_argument("grid", choices=sweep_grid_names())
+    p.add_argument(
+        "--dist", default=None, choices=list(SWEEP_DISTS),
+        help="distribution for grids that take one (fig5)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: CPU count)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="output directory for manifest.jsonl, summary.json, and the "
+        "rendered table (default: sweep_runs/<grid>)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted sweep, skipping journaled jobs",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job wall-clock limit in seconds",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for a crashed or failed job (default 1)",
+    )
+    p.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the live progress line on stderr",
+    )
+    _add_quick(p)
+    _add_seed(p)
 
     p = sub.add_parser("simulate", help="one custom simulation")
     p.add_argument("--policy", default="mdc", choices=available_policies())
@@ -96,45 +157,69 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "table1":
-        print(table1_experiment(write_multiplier=_multiplier(8, args.quick)))
+        print(
+            table1_experiment(
+                write_multiplier=_multiplier(8, args.quick), seed=args.seed
+            )
+        )
     elif args.command == "table2":
-        print(table2_experiment(write_multiplier=_multiplier(30, args.quick)))
+        print(
+            table2_experiment(
+                write_multiplier=_multiplier(30, args.quick), seed=args.seed
+            )
+        )
     elif args.command == "fig3":
-        print(fig3_experiment(write_multiplier=_multiplier(30, args.quick)))
+        print(
+            fig3_experiment(
+                write_multiplier=_multiplier(30, args.quick), seed=args.seed
+            )
+        )
     elif args.command == "fig4":
-        print(fig4_experiment(write_multiplier=_multiplier(30, args.quick)))
+        print(
+            fig4_experiment(
+                write_multiplier=_multiplier(30, args.quick), seed=args.seed
+            )
+        )
     elif args.command == "fig5":
         print(
             fig5_experiment(
-                args.dist, write_multiplier=_multiplier(25, args.quick)
+                args.dist,
+                write_multiplier=_multiplier(25, args.quick),
+                seed=args.seed,
             )
         )
     elif args.command == "fig6":
-        print(fig6_experiment(scale=TpccScale(warehouses=args.warehouses)))
+        print(
+            fig6_experiment(
+                scale=TpccScale(warehouses=args.warehouses), seed=args.seed
+            )
+        )
     elif args.command == "ablation":
         print(
             ablation_estimator_experiment(
-                write_multiplier=_multiplier(30, args.quick)
+                write_multiplier=_multiplier(30, args.quick), seed=args.seed
             )
         )
         print()
         print(
             ablation_batch_experiment(
-                write_multiplier=_multiplier(30, args.quick)
+                write_multiplier=_multiplier(30, args.quick), seed=args.seed
             )
         )
+    elif args.command == "sweep":
+        return _run_sweep_command(args)
     elif args.command == "simulate":
         config = _standard_config(args.fill, args.sort_buffer)
         if args.report:
             from repro.bench import drive, prepare_store
             from repro.store.reporting import describe
 
-            workload = _make_workload(args.dist, config.user_pages, args.seed)
+            workload = make_workload(args.dist, config.user_pages, args.seed)
             store = prepare_store(config, args.policy, workload)
             drive(store, workload, int(args.multiplier * workload.n_pages))
             print(describe(store))
         else:
-            workload = _make_workload(args.dist, config.user_pages, args.seed)
+            workload = make_workload(args.dist, config.user_pages, args.seed)
             result = run_simulation(
                 config, args.policy, workload, write_multiplier=args.multiplier
             )
@@ -142,6 +227,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "policies":
         for name in available_policies():
             print(name)
+    return 0
+
+
+def _run_sweep_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro sweep``: orchestrate, print the table, report."""
+    from repro.sweep import ProgressPrinter, SweepError, run_named_sweep
+
+    out_dir = args.out if args.out is not None else "sweep_runs/%s" % args.grid
+    progress = None if args.no_progress else ProgressPrinter()
+    try:
+        report = run_named_sweep(
+            args.grid,
+            workers=args.workers,
+            out_dir=out_dir,
+            resume=args.resume,
+            quick=args.quick,
+            seed=args.seed,
+            dist=args.dist,
+            timeout=args.timeout,
+            retries=args.retries,
+            progress=progress,
+        )
+    except SweepError as exc:
+        print("sweep error: %s" % exc, file=sys.stderr)
+        return 1
+    print(report.output.rendered)
+    s = report.summary
+    print(
+        "\nsweep %s: %d jobs (%d run, %d resumed) in %.1fs with %d workers "
+        "(serial estimate %.1fs, speedup %.2fx) -> %s"
+        % (
+            s["experiment"],
+            s["jobs"],
+            s["executed"],
+            s["skipped"],
+            s["wall_clock_s"],
+            s["workers"],
+            s["serial_estimate_s"],
+            s["speedup_vs_serial_estimate"],
+            report.out_dir,
+        )
+    )
     return 0
 
 

@@ -1,0 +1,327 @@
+"""Parallel job execution for experiment sweeps.
+
+Each job runs in its own worker process (one process per job, a pool of
+at most ``workers`` concurrent slots).  Per-process isolation is what
+buys the orchestration guarantees:
+
+* a job that raises reports the exception and can be retried;
+* a job whose process dies (segfault, OOM-kill, ``os._exit``) is
+  detected through its exit, not by poisoning a shared pool;
+* a job that exceeds its wall-clock ``timeout`` is terminated cleanly.
+
+Results travel back over a per-job pipe as plain dicts (see
+:func:`repro.sweep.spec.result_to_dict`), so the parent never unpickles
+arbitrary objects from a half-dead child.
+
+Determinism: a job's behavior is fully determined by its
+:class:`~repro.sweep.spec.JobSpec` (the workload seed is part of the
+spec), so scheduling order, worker count, and retries cannot change any
+result — only wall-clock time.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import multiprocessing
+import multiprocessing.connection
+import os
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sweep.manifest import Manifest
+from repro.sweep.spec import JobSpec, result_to_dict, run_job
+
+#: How long the parent sleeps waiting for worker messages, seconds.
+_POLL_INTERVAL = 0.05
+
+
+def execute_job(spec_dict: Dict) -> Dict:
+    """Default job runner: rebuild the spec, simulate, serialize.
+
+    Runs inside the worker process.  The simulator draws randomness only
+    from the workload's own seeded generator; the global ``random`` seed
+    below is defense-in-depth so a policy that ever reached for ambient
+    randomness would still be deterministic per job.
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    random.seed(int(spec.digest(), 16))
+    return result_to_dict(run_job(spec))
+
+
+def _worker_entry(job_runner: Callable, spec_dict: Dict, conn) -> None:
+    """Worker process body: run one job, send one message, exit."""
+    try:
+        payload = job_runner(spec_dict)
+    except BaseException as exc:  # report crashes of any stripe
+        try:
+            conn.send(("error", "%s: %s" % (type(exc).__name__, exc)))
+        except Exception:
+            pass
+    else:
+        try:
+            conn.send(("ok", payload))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclasses.dataclass(frozen=True)
+class FailedJob:
+    """A job that exhausted its retries."""
+
+    digest: str
+    label: str
+    attempts: int
+    error: str
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgressEvent:
+    """Snapshot passed to the ``progress`` callback after every job."""
+
+    done: int
+    skipped: int
+    failed: int
+    total: int
+    elapsed: float
+    eta: Optional[float]
+    label: str
+    status: str  # "done" | "skipped" | "retry" | "failed"
+
+
+@dataclasses.dataclass
+class SweepStats:
+    """Outcome accounting for one :func:`run_sweep` call."""
+
+    total: int = 0
+    executed: int = 0
+    skipped: int = 0
+    failed: List[FailedJob] = dataclasses.field(default_factory=list)
+    wall_seconds: float = 0.0
+    job_seconds: float = 0.0
+    skipped_job_seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Sum of per-job wall time over sweep wall time — what a
+        one-at-a-time run of the executed jobs would have cost."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.job_seconds / self.wall_seconds
+
+
+@dataclasses.dataclass
+class _Running:
+    spec: JobSpec
+    attempt: int
+    proc: multiprocessing.Process
+    conn: "multiprocessing.connection.Connection"
+    started: float
+
+
+def run_sweep(
+    specs: Sequence[JobSpec],
+    workers: int = 1,
+    manifest: Optional[Manifest] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    job_runner: Callable[[Dict], Dict] = execute_job,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+) -> "tuple[Dict[str, Dict], SweepStats]":
+    """Run a job grid, return ``(results_by_digest, stats)``.
+
+    Args:
+        specs: The grid; duplicate digests are collapsed.
+        workers: Concurrent worker processes.  ``<= 1`` runs jobs inline
+            in this process (no fork overhead; ``timeout`` is then not
+            enforced, since there is no process to kill).
+        manifest: Optional journal.  Jobs already recorded in it are
+            skipped and their stored results returned; newly finished
+            jobs are appended, so a killed sweep resumes where it died.
+        timeout: Per-job wall-clock limit in seconds; an overrunning
+            worker is terminated and the attempt counts as a failure.
+        retries: Additional attempts after a failed first one.  A job
+            still failing after ``1 + retries`` attempts lands in
+            ``stats.failed`` (the sweep itself keeps going).
+        job_runner: The function executed in the worker; tests inject
+            misbehaving runners to exercise the failure paths.
+        progress: Callback invoked after every skip/finish/retry/failure.
+    """
+    start = time.perf_counter()
+    stats = SweepStats(workers=max(1, workers))
+
+    unique: Dict[str, JobSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.digest(), spec)
+    stats.total = len(unique)
+
+    results: Dict[str, Dict] = {}
+    done_records = manifest.completed() if manifest is not None else {}
+
+    def emit(label: str, status: str) -> None:
+        if progress is None:
+            return
+        elapsed = time.perf_counter() - start
+        remaining = stats.total - stats.skipped - stats.executed - len(stats.failed)
+        eta = None
+        if stats.executed > 0 and remaining > 0:
+            per_job = elapsed / stats.executed
+            eta = per_job * remaining / max(1, workers)
+        progress(
+            ProgressEvent(
+                done=stats.executed,
+                skipped=stats.skipped,
+                failed=len(stats.failed),
+                total=stats.total,
+                elapsed=elapsed,
+                eta=eta,
+                label=label,
+                status=status,
+            )
+        )
+
+    pending: "collections.deque[tuple[JobSpec, int]]" = collections.deque()
+    for digest, spec in unique.items():
+        record = done_records.get(digest)
+        if record is not None:
+            results[digest] = record["result"]
+            stats.skipped += 1
+            stats.skipped_job_seconds += record.get("elapsed", 0.0)
+            emit(spec.label, "skipped")
+        else:
+            pending.append((spec, 1))
+
+    def finish_ok(spec: JobSpec, attempt: int, payload: Dict, took: float) -> None:
+        digest = spec.digest()
+        results[digest] = payload
+        stats.executed += 1
+        stats.job_seconds += took
+        if manifest is not None:
+            manifest.record(
+                digest=digest,
+                label=spec.label,
+                result=payload,
+                elapsed=took,
+                attempts=attempt,
+            )
+        emit(spec.label, "done")
+
+    def finish_failure(spec: JobSpec, attempt: int, error: str) -> bool:
+        """Requeue if attempts remain; returns True when requeued."""
+        if attempt <= retries:
+            pending.append((spec, attempt + 1))
+            emit(spec.label, "retry")
+            return True
+        stats.failed.append(
+            FailedJob(
+                digest=spec.digest(),
+                label=spec.label,
+                attempts=attempt,
+                error=error,
+            )
+        )
+        emit(spec.label, "failed")
+        return False
+
+    if workers <= 1:
+        while pending:
+            spec, attempt = pending.popleft()
+            t0 = time.perf_counter()
+            try:
+                payload = job_runner(spec.to_dict())
+            except Exception as exc:
+                finish_failure(spec, attempt, "%s: %s" % (type(exc).__name__, exc))
+            else:
+                finish_ok(spec, attempt, payload, time.perf_counter() - t0)
+        stats.wall_seconds = time.perf_counter() - start
+        return results, stats
+
+    ctx = multiprocessing.get_context()
+    running: Dict[str, _Running] = {}
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                spec, attempt = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_entry,
+                    args=(job_runner, spec.to_dict(), child_conn),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                running[spec.digest()] = _Running(
+                    spec=spec,
+                    attempt=attempt,
+                    proc=proc,
+                    conn=parent_conn,
+                    started=time.perf_counter(),
+                )
+
+            waitables = [r.conn for r in running.values()]
+            waitables += [r.proc.sentinel for r in running.values()]
+            multiprocessing.connection.wait(waitables, timeout=_POLL_INTERVAL)
+
+            now = time.perf_counter()
+            for digest in list(running):
+                r = running[digest]
+                outcome = None
+                crashed = False
+                if r.conn.poll():
+                    try:
+                        outcome = r.conn.recv()
+                    except EOFError:
+                        crashed = True
+                elif not r.proc.is_alive():
+                    crashed = True
+                elif timeout is not None and now - r.started > timeout:
+                    _terminate(r.proc)
+                    outcome = (
+                        "error",
+                        "timeout: exceeded %.1fs wall clock" % timeout,
+                    )
+                else:
+                    continue
+
+                del running[digest]
+                r.conn.close()
+                r.proc.join(timeout=5)
+                if crashed:
+                    outcome = (
+                        "error",
+                        "worker died without reporting (exitcode %s)"
+                        % (r.proc.exitcode,),
+                    )
+                status, payload = outcome
+                took = now - r.started
+                if status == "ok":
+                    finish_ok(r.spec, r.attempt, payload, took)
+                else:
+                    finish_failure(r.spec, r.attempt, payload)
+    finally:
+        for r in running.values():
+            _terminate(r.proc)
+            r.conn.close()
+
+    stats.wall_seconds = time.perf_counter() - start
+    return results, stats
+
+
+def _terminate(proc: multiprocessing.Process) -> None:
+    """Terminate, escalating to SIGKILL if the worker ignores SIGTERM."""
+    if not proc.is_alive():
+        return
+    proc.terminate()
+    proc.join(timeout=2)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=2)
+
+
+def default_workers() -> int:
+    """Default worker count: the machine's CPUs (at least 1)."""
+    return max(1, os.cpu_count() or 1)

@@ -1,0 +1,177 @@
+"""Checkpointed run journal: one JSONL file per sweep.
+
+The first line is a header identifying the grid; every subsequent line
+records one finished job::
+
+    {"kind": "sweep", "version": 1, "experiment": "fig5-zipf-80-20",
+     "grid_digest": "ab12..."}
+    {"kind": "job", "digest": "9f3c...", "label": "mdc/zipfian-0.99/...",
+     "elapsed": 0.81, "attempts": 1, "result": {...}}
+
+Appends are flushed and fsynced, so after a crash or kill at most the
+line being written is lost.  :meth:`Manifest.load` therefore tolerates a
+torn *final* line (the kill case) but refuses corruption anywhere else,
+which would mean something other than an interrupted append happened to
+the file.
+
+Job identity is the spec's content digest: any change to policy, seed,
+config, or run length produces a different digest, so a resumed sweep
+can never serve a stale result for a changed job.  The header's
+``grid_digest`` (hash of all job digests) additionally rejects resuming
+a manifest that belongs to a different grid outright.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, Optional, Union
+
+from repro.sweep.spec import SweepError
+
+#: File name used inside a sweep output directory.
+MANIFEST_NAME = "manifest.jsonl"
+
+_VERSION = 1
+
+
+class Manifest:
+    """Append-only journal of completed sweep jobs."""
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._fh = None
+        self._completed: Optional[Dict[str, Dict[str, Any]]] = None
+        self._header: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def in_dir(cls, out_dir: Union[str, pathlib.Path]) -> "Manifest":
+        """The conventional manifest location inside an output dir."""
+        return cls(pathlib.Path(out_dir) / MANIFEST_NAME)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # -- reading -------------------------------------------------------
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Parse the journal; returns completed jobs keyed by digest.
+
+        A torn final line (interrupted append) is dropped silently;
+        malformed content elsewhere raises :class:`SweepError`.
+        """
+        completed: Dict[str, Dict[str, Any]] = {}
+        header: Optional[Dict[str, Any]] = None
+        if not self.path.exists():
+            self._completed, self._header = completed, header
+            return completed
+        lines = self.path.read_text().splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if index == len(lines) - 1:
+                    break  # torn tail from a mid-append kill
+                raise SweepError(
+                    "corrupt manifest line %d in %s" % (index + 1, self.path)
+                )
+            kind = record.get("kind")
+            if kind == "sweep":
+                header = record
+            elif kind == "job":
+                completed[record["digest"]] = record
+            else:
+                raise SweepError(
+                    "unknown record kind %r in %s" % (kind, self.path)
+                )
+        self._completed, self._header = completed, header
+        return completed
+
+    def completed(self) -> Dict[str, Dict[str, Any]]:
+        """Completed job records (loads the file on first use)."""
+        if self._completed is None:
+            self.load()
+        return self._completed
+
+    # -- writing -------------------------------------------------------
+
+    def ensure_header(self, experiment: str, grid_digest: str) -> None:
+        """Write the header, or verify an existing one matches.
+
+        A mismatched ``grid_digest`` means the manifest was produced by
+        a different grid (other parameters, other seed, other
+        ``--quick``) — resuming would silently merge unrelated runs, so
+        it is an error.
+        """
+        if self._completed is None:
+            self.load()
+        if self._header is not None:
+            if self._header.get("grid_digest") != grid_digest:
+                raise SweepError(
+                    "manifest %s belongs to grid %s of experiment %r, not "
+                    "the requested grid %s; use a fresh --out directory"
+                    % (
+                        self.path,
+                        self._header.get("grid_digest"),
+                        self._header.get("experiment"),
+                        grid_digest,
+                    )
+                )
+            return
+        self._append(
+            {
+                "kind": "sweep",
+                "version": _VERSION,
+                "experiment": experiment,
+                "grid_digest": grid_digest,
+            }
+        )
+        self._header = {
+            "kind": "sweep",
+            "version": _VERSION,
+            "experiment": experiment,
+            "grid_digest": grid_digest,
+        }
+
+    def record(
+        self,
+        digest: str,
+        label: str,
+        result: Dict[str, Any],
+        elapsed: float,
+        attempts: int,
+    ) -> None:
+        """Journal one finished job (durable before returning)."""
+        record = {
+            "kind": "job",
+            "digest": digest,
+            "label": label,
+            "elapsed": round(elapsed, 6),
+            "attempts": attempts,
+            "result": result,
+        }
+        self._append(record)
+        if self._completed is not None:
+            self._completed[digest] = record
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Manifest":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

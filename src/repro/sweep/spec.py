@@ -1,0 +1,353 @@
+"""Serializable job specifications and experiment grid expansion.
+
+A sweep decomposes an experiment (a table or figure of the paper) into
+independent **jobs** — one simulation each.  :class:`JobSpec` captures
+everything a worker process needs to reproduce that simulation exactly:
+the policy name, a reconstructible workload description, the
+:class:`~repro.store.config.StoreConfig`, and the run-length parameters
+of :func:`repro.bench.runner.run_simulation`.  The spec is canonically
+JSON-serializable and content-addressed (:meth:`JobSpec.digest`), which
+is what lets the run manifest identify finished jobs across process
+restarts.
+
+Grids are not hand-enumerated: :func:`expand_grid` calls the existing
+experiment function from :mod:`repro.bench.experiments` with a
+*recording* runner that captures every simulation request as a
+:class:`JobSpec`.  Because discovery, serial execution, and sweep
+aggregation all walk the identical loops, the sweep engine cannot drift
+from the serial code path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bench.experiments import (
+    ablation_batch_experiment,
+    ablation_estimator_experiment,
+    demo_experiment,
+    fig3_experiment,
+    fig4_experiment,
+    fig5_experiment,
+    table1_experiment,
+    table2_experiment,
+)
+from repro.bench.runner import SimulationResult, run_simulation
+from repro.store import StoreConfig, WindowStats
+from repro.workloads import (
+    HotColdWorkload,
+    UniformWorkload,
+    Workload,
+    ZipfianWorkload,
+)
+
+
+class SweepError(Exception):
+    """Raised for orchestration failures (unserializable jobs, missing
+    results at aggregation time, incompatible manifests, failed jobs)."""
+
+
+# ----------------------------------------------------------------------
+# Workload (de)serialization
+# ----------------------------------------------------------------------
+
+def workload_to_spec(workload: Workload) -> Dict[str, Any]:
+    """Describe a workload as a small JSON dict from which
+    :func:`workload_from_spec` rebuilds an identical instance.
+
+    Only the stationary synthetic distributions are supported; trace
+    workloads (Figure 6's TPC-C replay) would need the full trace in the
+    spec, so they stay on the serial path.
+    """
+    if isinstance(workload, ZipfianWorkload):
+        return {
+            "kind": "zipfian",
+            "n_pages": workload.n_pages,
+            "theta": workload.theta,
+            "seed": workload.seed,
+        }
+    if isinstance(workload, HotColdWorkload):
+        return {
+            "kind": "hotcold",
+            "n_pages": workload.n_pages,
+            "update_fraction": workload.update_fraction,
+            "data_fraction": workload.data_fraction,
+            "seed": workload.seed,
+        }
+    if isinstance(workload, UniformWorkload):
+        return {
+            "kind": "uniform",
+            "n_pages": workload.n_pages,
+            "seed": workload.seed,
+        }
+    raise SweepError(
+        "workload %r cannot be expressed as a sweep job spec; "
+        "run this experiment on the serial path" % (workload,)
+    )
+
+
+def workload_from_spec(spec: Dict[str, Any]) -> Workload:
+    """Rebuild a workload from :func:`workload_to_spec` output."""
+    kind = spec.get("kind")
+    if kind == "uniform":
+        return UniformWorkload(spec["n_pages"], seed=spec["seed"])
+    if kind == "zipfian":
+        return ZipfianWorkload(
+            spec["n_pages"], theta=spec["theta"], seed=spec["seed"]
+        )
+    if kind == "hotcold":
+        return HotColdWorkload(
+            spec["n_pages"],
+            update_fraction=spec["update_fraction"],
+            data_fraction=spec["data_fraction"],
+            seed=spec["seed"],
+        )
+    raise SweepError("unknown workload kind %r" % (kind,))
+
+
+# ----------------------------------------------------------------------
+# Job specs
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One simulation of a sweep, fully determined and serializable.
+
+    ``seed`` lives inside ``workload`` (the only source of randomness in
+    the simulator), so equal specs are bit-reproducible by construction.
+    """
+
+    policy: str
+    workload: Dict[str, Any]
+    config: StoreConfig
+    total_writes: Optional[int] = None
+    write_multiplier: float = 30.0
+    measure_fraction: float = 0.5
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-ready form."""
+        return {
+            "policy": self.policy,
+            "workload": dict(self.workload),
+            "config": dataclasses.asdict(self.config),
+            "total_writes": self.total_writes,
+            "write_multiplier": self.write_multiplier,
+            "measure_fraction": self.measure_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        return cls(
+            policy=data["policy"],
+            workload=dict(data["workload"]),
+            config=StoreConfig(**data["config"]),
+            total_writes=data.get("total_writes"),
+            write_multiplier=data.get("write_multiplier", 30.0),
+            measure_fraction=data.get("measure_fraction", 0.5),
+        )
+
+    def digest(self) -> str:
+        """Content address: equal specs hash equal, any parameter change
+        (policy, seed, config field, run length) changes the digest."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def label(self) -> str:
+        """Short human-readable name for progress lines and manifests."""
+        wl = self.workload
+        extra = ""
+        if wl["kind"] == "zipfian":
+            extra = "-%g" % wl["theta"]
+        elif wl["kind"] == "hotcold":
+            extra = "-%d" % round(wl["update_fraction"] * 100)
+        return "%s/%s%s/F%.2f/s%d" % (
+            self.policy,
+            wl["kind"],
+            extra,
+            self.config.fill_factor,
+            wl["seed"],
+        )
+
+
+def spec_from_call(
+    config: StoreConfig,
+    policy,
+    workload: Workload,
+    total_writes: Optional[int] = None,
+    write_multiplier: float = 30.0,
+    measure_fraction: float = 0.5,
+) -> JobSpec:
+    """Build the :class:`JobSpec` for one ``run_simulation`` call.
+
+    Mirrors :func:`repro.bench.runner.run_simulation`'s signature so the
+    recording and replaying runners can translate calls mechanically.
+    """
+    if not isinstance(policy, str):
+        raise SweepError(
+            "sweep jobs need policy names, got instance %r" % (policy,)
+        )
+    return JobSpec(
+        policy=policy,
+        workload=workload_to_spec(workload),
+        config=config,
+        total_writes=total_writes,
+        write_multiplier=write_multiplier,
+        measure_fraction=measure_fraction,
+    )
+
+
+def run_job(spec: JobSpec) -> SimulationResult:
+    """Execute one job deterministically (same spec ⇒ same result)."""
+    workload = workload_from_spec(spec.workload)
+    return run_simulation(
+        spec.config,
+        spec.policy,
+        workload,
+        total_writes=spec.total_writes,
+        write_multiplier=spec.write_multiplier,
+        measure_fraction=spec.measure_fraction,
+    )
+
+
+# ----------------------------------------------------------------------
+# SimulationResult (de)serialization
+# ----------------------------------------------------------------------
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Serialize a result for the manifest (window counters included so
+    aggregation can recompute every derived metric exactly)."""
+    return {
+        "policy": result.policy,
+        "workload": result.workload,
+        "config": dataclasses.asdict(result.config),
+        "total_user_writes": result.total_user_writes,
+        "window": dataclasses.asdict(result.window),
+        "extras": dict(result.extras),
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from manifest JSON."""
+    return SimulationResult(
+        policy=data["policy"],
+        workload=data["workload"],
+        config=StoreConfig(**data["config"]),
+        total_user_writes=data["total_user_writes"],
+        window=WindowStats(**data["window"]),
+        extras=dict(data["extras"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Grid expansion
+# ----------------------------------------------------------------------
+
+def _placeholder_result(spec: JobSpec) -> SimulationResult:
+    """A zeroed result so discovery can run an experiment's aggregation
+    code without simulating (all derived metrics degrade to 0.0)."""
+    return SimulationResult(
+        policy=spec.policy,
+        workload=spec.workload["kind"],
+        config=spec.config,
+        total_user_writes=0,
+        window=WindowStats(0, 0, 0, 0, 0, 0.0, 0),
+        extras={},
+    )
+
+
+def expand_grid(experiment: Callable, **kwargs) -> List[JobSpec]:
+    """Expand an experiment function into its ordered, de-duplicated job
+    list by calling it with a recording runner.
+
+    ``kwargs`` are forwarded verbatim (``write_multiplier``, ``seed``,
+    custom fill/skew sequences, ...), so the grid reflects exactly the
+    simulations the serial call would run.
+    """
+    specs: List[JobSpec] = []
+    seen = set()
+
+    def recorder(config, policy, workload, **run_kwargs):
+        spec = spec_from_call(config, policy, workload, **run_kwargs)
+        key = spec.digest()
+        if key not in seen:
+            seen.add(key)
+            specs.append(spec)
+        return _placeholder_result(spec)
+
+    experiment(runner=recorder, **kwargs)
+    return specs
+
+
+def grid_digest(specs: List[JobSpec]) -> str:
+    """Digest of a whole grid (order-insensitive), used to detect that a
+    resumed manifest belongs to a different grid."""
+    joined = ",".join(sorted(s.digest() for s in specs))
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Named grids (the CLI's `repro sweep <grid>`)
+# ----------------------------------------------------------------------
+
+#: Distributions accepted by grids that take ``--dist``.
+SWEEP_DISTS = ("uniform", "zipf-80-20", "zipf-90-10")
+
+
+@dataclasses.dataclass(frozen=True)
+class GridDef:
+    """A named, CLI-invocable experiment grid."""
+
+    name: str
+    experiment: Callable
+    base_multiplier: float
+    takes_dist: bool = False
+
+    def resolve(
+        self, quick: bool = False, seed: int = 0, dist: Optional[str] = None
+    ) -> Tuple[Callable, Dict[str, Any], str]:
+        """Return ``(experiment_fn, kwargs, run_name)`` for one
+        invocation.  ``--quick`` quarters the write multiplier, matching
+        the serial CLI's convention."""
+        multiplier = self.base_multiplier / 4.0 if quick else self.base_multiplier
+        kwargs: Dict[str, Any] = {
+            "write_multiplier": multiplier, "seed": seed,
+        }
+        run_name = self.name
+        if self.takes_dist:
+            chosen = dist or "zipf-80-20"
+            if chosen not in SWEEP_DISTS:
+                raise SweepError("unknown distribution %r" % (chosen,))
+            kwargs["dist"] = chosen
+            run_name = "%s-%s" % (self.name, chosen)
+        elif dist is not None:
+            raise SweepError("grid %r does not take --dist" % (self.name,))
+        return self.experiment, kwargs, run_name
+
+
+#: Figure 6 is absent: TPC-C trace workloads are generated (expensively)
+#: in-process and are not spec-serializable; it stays on the serial path.
+SWEEP_GRIDS: Dict[str, GridDef] = {
+    g.name: g
+    for g in (
+        GridDef("table1", table1_experiment, base_multiplier=8.0),
+        GridDef("table2", table2_experiment, base_multiplier=30.0),
+        GridDef("fig3", fig3_experiment, base_multiplier=30.0),
+        GridDef("fig4", fig4_experiment, base_multiplier=30.0),
+        GridDef("fig5", fig5_experiment, base_multiplier=25.0, takes_dist=True),
+        GridDef(
+            "ablation-estimator", ablation_estimator_experiment,
+            base_multiplier=30.0,
+        ),
+        GridDef("ablation-batch", ablation_batch_experiment, base_multiplier=30.0),
+        GridDef("demo", demo_experiment, base_multiplier=4.0),
+    )
+}
+
+
+def sweep_grid_names() -> List[str]:
+    """Names accepted by ``repro sweep``."""
+    return sorted(SWEEP_GRIDS)

@@ -75,3 +75,66 @@ class TestCli:
     def test_fig5_rejects_unknown_dist(self):
         with pytest.raises(SystemExit):
             main(["fig5", "--dist", "pareto"])
+
+    def test_seed_flag_reaches_the_experiment(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        calls = {}
+
+        def fake(*args, **kwargs):
+            calls["kwargs"] = kwargs
+            return "RENDERED"
+
+        monkeypatch.setattr(cli, "fig4_experiment", fake)
+        assert main(["fig4", "--seed", "7"]) == 0
+        assert calls["kwargs"]["seed"] == 7
+        capsys.readouterr()
+
+
+class TestSweepCli:
+    def test_sweep_demo_end_to_end(self, capsys, tmp_path):
+        out = str(tmp_path / "run")
+        code = main(
+            ["sweep", "demo", "--workers", "2", "--out", out, "--no-progress"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Demo grid" in printed
+        assert "4 jobs (4 run, 0 resumed)" in printed
+        assert (tmp_path / "run" / "manifest.jsonl").exists()
+        assert (tmp_path / "run" / "summary.json").exists()
+
+        # Re-invoking with --resume executes nothing but prints the same
+        # table from the journaled results.
+        code = main(
+            [
+                "sweep", "demo", "--workers", "2", "--out", out,
+                "--resume", "--no-progress",
+            ]
+        )
+        assert code == 0
+        resumed = capsys.readouterr().out
+        assert "4 jobs (0 run, 4 resumed)" in resumed
+        assert resumed.split("\nsweep demo:")[0] == (
+            printed.split("\nsweep demo:")[0]
+        )
+
+    def test_sweep_refuses_existing_dir_without_resume(self, capsys, tmp_path):
+        out = str(tmp_path / "run")
+        assert main(["sweep", "demo", "--out", out, "--no-progress"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "demo", "--out", out, "--no-progress"]) == 1
+        assert "resume" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_grid(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig7"])
+
+    def test_sweep_seed_changes_the_grid(self, capsys, tmp_path):
+        out = str(tmp_path / "run")
+        args = ["sweep", "demo", "--out", out, "--no-progress"]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Same directory, different seed: a different grid, refused.
+        assert main(args + ["--resume", "--seed", "1"]) == 1
+        assert "grid" in capsys.readouterr().err

@@ -35,4 +35,5 @@ def test_expected_example_lineup():
         "compare_policies",
         "value_log_kv",
         "predictive_oracle",
+        "sweep_quickstart",
     } <= names

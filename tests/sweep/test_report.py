@@ -1,0 +1,83 @@
+"""Sweep aggregation equals the serial path; summaries are written."""
+
+import io
+import json
+
+import pytest
+
+from repro.bench.experiments import demo_experiment, fig4_experiment
+from repro.sweep import (
+    SUMMARY_NAME,
+    ProgressPrinter,
+    SweepError,
+    parallel_experiment,
+    run_named_sweep,
+)
+
+
+class TestSerialEquivalence:
+    def test_demo_sweep_matches_serial_byte_for_byte(self):
+        serial = demo_experiment()
+        swept = parallel_experiment(demo_experiment, workers=2)
+        assert swept.output.rendered == serial.rendered
+        assert swept.output.data == serial.data
+
+    def test_kwargs_forward_to_both_paths(self):
+        kwargs = dict(skews=(70,), policies=("age", "greedy"), seed=5)
+        serial = demo_experiment(**kwargs)
+        swept = parallel_experiment(demo_experiment, workers=2, **kwargs)
+        assert swept.output.rendered == serial.rendered
+
+    def test_real_experiment_grid_matches_serial(self):
+        """fig4 at reduced size: the actual paper pipeline, swept."""
+        kwargs = dict(buffer_sizes=(0, 4), write_multiplier=1.0)
+        serial = fig4_experiment(**kwargs)
+        swept = parallel_experiment(fig4_experiment, workers=2, **kwargs)
+        assert swept.output.rendered == serial.rendered
+        assert swept.output.data["wamp"] == serial.data["wamp"]
+
+
+class TestArtifacts:
+    def test_summary_and_rendered_output_are_written(self, tmp_path):
+        report = parallel_experiment(
+            demo_experiment, workers=2, out_dir=tmp_path
+        )
+        summary = json.loads((tmp_path / SUMMARY_NAME).read_text())
+        assert summary["experiment"] == "demo_experiment"
+        assert summary["jobs"] == 4
+        assert summary["executed"] == 4
+        assert summary["workers"] == 2
+        assert summary["wall_clock_s"] > 0
+        assert summary["speedup_vs_serial_estimate"] > 0
+        assert (tmp_path / "demo.txt").read_text().rstrip("\n") == (
+            report.output.rendered
+        )
+
+    def test_in_memory_sweep_writes_nothing(self, tmp_path):
+        parallel_experiment(demo_experiment, workers=1)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestNamedSweeps:
+    def test_demo_grid_by_name(self, tmp_path):
+        report = run_named_sweep(
+            "demo", workers=2, out_dir=tmp_path, quick=True
+        )
+        assert report.summary["experiment"] == "demo"
+        serial = demo_experiment(write_multiplier=1.0)  # quick = 4.0 / 4
+        assert report.output.rendered == serial.rendered
+
+    def test_unknown_grid_raises(self):
+        with pytest.raises(SweepError, match="unknown grid"):
+            run_named_sweep("fig6")
+
+
+class TestProgressPrinter:
+    def test_prints_one_line_per_event_and_closes(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        parallel_experiment(demo_experiment, workers=2, progress=printer)
+        text = stream.getvalue()
+        assert text.count("\r") == 4
+        assert "[4/4]" in text
+        assert text.endswith("\n")  # closed by parallel_experiment
