@@ -12,6 +12,15 @@ Usage (installed as ``repro``, or ``python -m repro``):
     repro simulate --policy mdc --dist zipf-80-20 --fill 0.8
     repro sweep fig5 --workers 4 --out runs/fig5 --resume
     repro policies               # list registered cleaning policies
+    repro replay trace.jsonl     # re-run a recorded op trace, verify digest
+    repro difftest --ops 10000   # store-vs-oracle differential harness
+
+``repro replay`` replays an operation trace recorded by the testkit
+(e.g. a divergence repro saved by the differential harness) and checks
+the resulting store state digest against the one recorded in the trace,
+so a repro case is self-verifying.  ``repro difftest`` cross-validates
+every registered cleaning policy against the dict-based oracle model on
+the synthetic workload families (see ``repro.testkit``).
 
 Quick variants of the heavy experiments accept ``--quick`` to shrink
 write counts by ~4x (coarser numbers, same shapes).  Every experiment
@@ -154,6 +163,54 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sub.add_parser("policies", help="list registered cleaning policies")
 
+    p = sub.add_parser(
+        "replay",
+        help="replay a recorded op trace and verify its state digest",
+    )
+    p.add_argument("trace", help="path to a trace .jsonl (testkit format)")
+    p.add_argument(
+        "--upto", type=int, default=None,
+        help="replay only the first N ops (skips digest verification)",
+    )
+    p.add_argument(
+        "--no-verify", action="store_true",
+        help="do not compare against the digest recorded in the trace",
+    )
+
+    p = sub.add_parser(
+        "difftest",
+        help="differential store-vs-oracle harness over all policies",
+    )
+    p.add_argument(
+        "--policy", action="append", default=None, dest="policies",
+        choices=available_policies(),
+        help="restrict to one policy (repeatable; default: the "
+        "differential line-up)",
+    )
+    p.add_argument(
+        "--workload", action="append", default=None, dest="workloads",
+        choices=["uniform", "hotcold", "zipfian"],
+        help="restrict to one workload family (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--ops", type=int, default=10_000,
+        help="update operations per policy/workload pair (default 10000)",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=1_000,
+        help="ops between store/oracle equivalence checks",
+    )
+    p.add_argument(
+        "--trim-prob", type=float, default=0.02,
+        help="per-op probability of a trim instead of a write",
+    )
+    p.add_argument(
+        "--divergence-dir", default="divergences",
+        help="directory for minimized divergence traces (default: "
+        "./divergences)",
+    )
+    _add_seed(p)
+
     args = parser.parse_args(argv)
 
     if args.command == "table1":
@@ -227,6 +284,85 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "policies":
         for name in available_policies():
             print(name)
+    elif args.command == "replay":
+        return _run_replay_command(args)
+    elif args.command == "difftest":
+        return _run_difftest_command(args)
+    return 0
+
+
+def _run_replay_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro replay``: rebuild, re-run, verify the digest."""
+    from repro.testkit.trace import OpTrace, TraceError, state_digest
+
+    try:
+        trace, end = OpTrace.load(args.trace)
+    except (TraceError, OSError) as exc:
+        print("replay error: %s" % exc, file=sys.stderr)
+        return 1
+    store = trace.replay(upto=args.upto)
+    digest = state_digest(store)
+    stats = store.stats
+    print(
+        "replayed %d/%d ops: policy=%s clock=%d user_writes=%d gc_writes=%d "
+        "Wamp=%.4f"
+        % (
+            len(trace) if args.upto is None else min(args.upto, len(trace)),
+            len(trace),
+            trace.policy,
+            store.clock,
+            stats.user_writes,
+            stats.gc_writes,
+            stats.write_amplification,
+        )
+    )
+    print("state digest: %s" % digest)
+    if end.get("divergence"):
+        print("trace records a store/oracle divergence:")
+        for problem in end["divergence"]:
+            print("  - %s" % problem)
+    if args.upto is None and not args.no_verify and "digest" in end:
+        if digest != end["digest"]:
+            print(
+                "DIGEST MISMATCH: trace recorded %s" % end["digest"],
+                file=sys.stderr,
+            )
+            return 1
+        print("digest matches the recording (byte-identical replay)")
+    return 0
+
+
+def _run_difftest_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro difftest``: the store-vs-oracle grid."""
+    from repro.testkit.differential import (
+        DEFAULT_WORKLOADS,
+        DivergenceError,
+        run_differential_grid,
+    )
+
+    workloads = args.workloads if args.workloads else DEFAULT_WORKLOADS
+    try:
+        outcomes = run_differential_grid(
+            policies=args.policies,
+            workloads=workloads,
+            n_ops=args.ops,
+            checkpoint_every=args.checkpoint_every,
+            trim_prob=args.trim_prob,
+            seed=args.seed,
+            divergence_dir=args.divergence_dir,
+        )
+    except DivergenceError as exc:
+        print("difftest FAILED:\n%s" % exc, file=sys.stderr)
+        return 1
+    for out in outcomes:
+        print(
+            "%-14s %-18s ops=%-6d checkpoints=%-3d Wamp=%.4f  ok"
+            % (out.policy, out.workload, out.n_ops, out.checkpoints, out.wamp)
+        )
+    print(
+        "differential harness: %d policy/workload pairs equivalent to the "
+        "oracle" % len(outcomes)
+    )
     return 0
 
 

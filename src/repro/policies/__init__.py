@@ -13,6 +13,7 @@ from repro.policies.cost_benefit import CostBenefitPaperPolicy, CostBenefitPolic
 from repro.policies.greedy import GreedyPolicy
 from repro.policies.multilog import MultiLogPolicy
 from repro.policies.registry import (
+    DIFFERENTIAL_POLICIES,
     FIGURE3_POLICIES,
     FIGURE5_POLICIES,
     available_policies,
@@ -24,6 +25,7 @@ __all__ = [
     "CleaningPolicy",
     "CostBenefitPaperPolicy",
     "CostBenefitPolicy",
+    "DIFFERENTIAL_POLICIES",
     "FIGURE3_POLICIES",
     "FIGURE5_POLICIES",
     "GreedyPolicy",

@@ -54,6 +54,18 @@ FIGURE3_POLICIES: List[str] = [
     "mdc-opt",
 ]
 
+#: One representative per policy family — the line-up the differential
+#: harness (:mod:`repro.testkit.differential`) cross-validates against
+#: the dict-based oracle.  The ``-opt`` / ablation variants share all
+#: their store-facing machinery with these five.
+DIFFERENTIAL_POLICIES: List[str] = [
+    "age",
+    "greedy",
+    "cost-benefit",
+    "multi-log",
+    "mdc",
+]
+
 
 def available_policies() -> List[str]:
     """All registered policy names, sorted."""

@@ -44,6 +44,7 @@ from repro.store.errors import OutOfSpaceError, PageSizeError
 from repro.store.pagetable import IN_BUFFER, IN_FLIGHT, NEVER_WRITTEN, PageTable
 from repro.store.segments import FREE, OPEN, SEALED, SegmentTable
 from repro.store.stats import StoreStats
+from repro.testkit.failpoints import failpoint
 
 #: Stream id used by policies that send relocated (GC) pages to their own
 #: open segment, separate from user writes.
@@ -191,6 +192,7 @@ class LogStructuredStore:
         buffer = self.buffer
         if buffer is None or len(buffer) == 0:
             return
+        failpoint("store.flush.pre_drain", buffered=len(buffer))
         pids = buffer.drain()
         self._resolve_first_writes(pids)
         keys = self.policy.user_sort_key(pids)
@@ -452,6 +454,7 @@ class LogStructuredStore:
                     pages.carried_up2[pid] = src_up2
                 moved.extend(live)
                 sources.extend([victim] * len(live))
+            failpoint("store.clean.pre_relocate", victims=victims, moved=moved)
             placements = list(self.policy.place_gc(moved, sources))
             for victim in victims:
                 segs.reset(victim)

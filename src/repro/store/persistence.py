@@ -12,30 +12,62 @@ MDC family needs nothing, its bookkeeping *is* the tables).
 
 Restoring requires constructing the same policy type; the file records
 the policy name so mismatches fail loudly rather than corrupt silently.
+
+Durability contract:
+
+* **Atomic save** — the checkpoint is written to a temporary file in
+  the destination directory, flushed and fsynced, then renamed over the
+  target.  A crash at any point (see the ``persistence.save.*``
+  failpoints) leaves either the previous checkpoint or the new one,
+  never a torn hybrid.
+* **Corruption detection** — every load recomputes a SHA-256 over the
+  restored payload and compares it against the digest stored at save
+  time; a truncated, bit-flipped, or otherwise damaged file raises
+  :class:`PersistenceError` instead of restoring silently-corrupt
+  state.  (The zip/zlib CRCs inside ``.npz`` catch most damage already;
+  the payload digest closes the gap for container-metadata damage.)
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import os
 import pathlib
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
 from repro.store.config import StoreConfig
 from repro.store.errors import StoreError
 from repro.store.log_store import LogStructuredStore
+from repro.testkit.failpoints import failpoint
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 class PersistenceError(StoreError):
     """Checkpoint file is malformed or does not match the target."""
 
 
+def _payload_digest(meta_bytes: bytes, arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over the canonical checkpoint payload (meta + arrays in
+    key order), the integrity seal verified on every load."""
+    h = hashlib.sha256()
+    h.update(meta_bytes)
+    for key in sorted(arrays):
+        h.update(key.encode())
+        h.update(arrays[key].tobytes())
+    return h.hexdigest()
+
+
 def save_store(store: LogStructuredStore, path: Union[str, pathlib.Path]) -> None:
-    """Write a complete checkpoint of ``store`` to ``path`` (.npz)."""
+    """Write a complete checkpoint of ``store`` to ``path`` (.npz).
+
+    The write is atomic: a crash mid-save never destroys an existing
+    checkpoint at ``path``.
+    """
     store.flush()  # simplest sound treatment of in-flight buffer pages
     segs = store.segments
     pages = store.pages
@@ -65,39 +97,75 @@ def save_store(store: LogStructuredStore, path: Union[str, pathlib.Path]) -> Non
         "open_segments": {str(k): v for k, v in store.open_segments.items()},
         "policy_state": store.policy.state_dict(),
     }
-    np.savez_compressed(
-        str(path),
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        page_seg=np.array(pages.seg, dtype=np.int64),
-        page_slot=np.array(pages.slot, dtype=np.int64),
-        page_carried_up2=np.array(pages.carried_up2, dtype=np.float64),
-        page_last_write=np.array(pages.last_write, dtype=np.int64),
-        page_size=np.array(pages.size, dtype=np.int64),
-        page_oracle=np.array(pages.oracle_freq, dtype=np.float64),
-        seg_state=np.array(segs.state, dtype=np.int64),
-        seg_live_count=np.array(segs.live_count, dtype=np.int64),
-        seg_live_units=np.array(segs.live_units, dtype=np.int64),
-        seg_used_units=np.array(segs.used_units, dtype=np.int64),
-        seg_seal_time=np.array(segs.seal_time, dtype=np.int64),
-        seg_up1=np.array(segs.up1, dtype=np.float64),
-        seg_up2=np.array(segs.up2, dtype=np.float64),
-        seg_up2_sum=np.array(segs.up2_sum, dtype=np.float64),
-        seg_freq_sum=np.array(segs.freq_sum, dtype=np.float64),
-        seg_erase_count=np.array(segs.erase_count, dtype=np.int64),
-        slot_lengths=slot_lengths,
-        flat_slots=flat_slots,
-        flat_sizes=flat_sizes,
-        free_list=np.array(list(store.free_list), dtype=np.int64),
-    )
+    meta_bytes = json.dumps(meta).encode()
+    arrays = {
+        "page_seg": np.array(pages.seg, dtype=np.int64),
+        "page_slot": np.array(pages.slot, dtype=np.int64),
+        "page_carried_up2": np.array(pages.carried_up2, dtype=np.float64),
+        "page_last_write": np.array(pages.last_write, dtype=np.int64),
+        "page_size": np.array(pages.size, dtype=np.int64),
+        "page_oracle": np.array(pages.oracle_freq, dtype=np.float64),
+        "seg_state": np.array(segs.state, dtype=np.int64),
+        "seg_live_count": np.array(segs.live_count, dtype=np.int64),
+        "seg_live_units": np.array(segs.live_units, dtype=np.int64),
+        "seg_used_units": np.array(segs.used_units, dtype=np.int64),
+        "seg_seal_time": np.array(segs.seal_time, dtype=np.int64),
+        "seg_up1": np.array(segs.up1, dtype=np.float64),
+        "seg_up2": np.array(segs.up2, dtype=np.float64),
+        "seg_up2_sum": np.array(segs.up2_sum, dtype=np.float64),
+        "seg_freq_sum": np.array(segs.freq_sum, dtype=np.float64),
+        "seg_erase_count": np.array(segs.erase_count, dtype=np.int64),
+        "slot_lengths": slot_lengths,
+        "flat_slots": flat_slots,
+        "flat_sizes": flat_sizes,
+        "free_list": np.array(list(store.free_list), dtype=np.int64),
+    }
+    digest = _payload_digest(meta_bytes, arrays)
+
+    path = pathlib.Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    failpoint("persistence.save.pre_write", path=path, tmp_path=tmp_path)
+    try:
+        with open(tmp_path, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                meta=np.frombuffer(meta_bytes, dtype=np.uint8),
+                checksum=np.frombuffer(digest.encode(), dtype=np.uint8),
+                **arrays,
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        failpoint("persistence.save.pre_rename", path=path, tmp_path=tmp_path)
+        os.replace(tmp_path, path)
+    finally:
+        # A crash between write and rename (injected or real) must not
+        # litter; the temp file carries no durable promise.
+        if tmp_path.exists():
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+    failpoint("persistence.save.post_rename", path=path)
 
 
 def load_store(path: Union[str, pathlib.Path], policy) -> LogStructuredStore:
     """Rebuild a store from a checkpoint, attaching ``policy``.
 
-    The policy must be the same registered kind that was saved.
+    The policy must be the same registered kind that was saved.  Any
+    damage to the file — truncation, bit flips, a torn container —
+    raises :class:`PersistenceError`.
     """
-    data = np.load(str(path))
-    meta = json.loads(bytes(data["meta"]).decode())
+    try:
+        data = np.load(str(path))
+        meta_bytes = bytes(data["meta"])
+        meta = json.loads(meta_bytes.decode())
+    except PersistenceError:
+        raise
+    except Exception as exc:
+        raise PersistenceError(
+            "checkpoint %s is unreadable (truncated or corrupt): %s: %s"
+            % (path, type(exc).__name__, exc)
+        ) from exc
     if meta.get("version") != FORMAT_VERSION:
         raise PersistenceError(
             "unsupported checkpoint version %r" % (meta.get("version"),)
@@ -107,6 +175,25 @@ def load_store(path: Union[str, pathlib.Path], policy) -> LogStructuredStore:
             "checkpoint was taken with policy %r, got %r"
             % (meta["policy"], policy.name)
         )
+
+    try:
+        arrays = {
+            key: data[key]
+            for key in data.files
+            if key not in ("meta", "checksum")
+        }
+        stored_digest = bytes(data["checksum"]).decode()
+    except Exception as exc:
+        raise PersistenceError(
+            "checkpoint %s payload is unreadable (truncated or corrupt): "
+            "%s: %s" % (path, type(exc).__name__, exc)
+        ) from exc
+    if _payload_digest(meta_bytes, arrays) != stored_digest:
+        raise PersistenceError(
+            "checkpoint %s failed its integrity check (bit rot or partial "
+            "write); refusing to restore" % (path,)
+        )
+
     config = StoreConfig(**meta["config"])
     store = LogStructuredStore(config, policy)
     store.clock = int(meta["clock"])
@@ -115,39 +202,44 @@ def load_store(path: Union[str, pathlib.Path], policy) -> LogStructuredStore:
         setattr(store.stats, field, value)
 
     pages = store.pages
-    pages.ensure(len(data["page_seg"]) - 1)
-    pages.seg[:] = data["page_seg"].tolist()
-    pages.slot[:] = data["page_slot"].tolist()
-    pages.carried_up2[:] = data["page_carried_up2"].tolist()
-    pages.last_write[:] = data["page_last_write"].tolist()
-    pages.size[:] = data["page_size"].tolist()
-    pages.oracle_freq[:] = data["page_oracle"].tolist()
+    pages.ensure(len(arrays["page_seg"]) - 1)
+    pages.seg[:] = arrays["page_seg"].tolist()
+    pages.slot[:] = arrays["page_slot"].tolist()
+    pages.carried_up2[:] = arrays["page_carried_up2"].tolist()
+    pages.last_write[:] = arrays["page_last_write"].tolist()
+    pages.size[:] = arrays["page_size"].tolist()
+    pages.oracle_freq[:] = arrays["page_oracle"].tolist()
 
     segs = store.segments
-    segs.state[:] = data["seg_state"].tolist()
-    segs.live_count[:] = data["seg_live_count"].tolist()
-    segs.live_units[:] = data["seg_live_units"].tolist()
-    segs.used_units[:] = data["seg_used_units"].tolist()
-    segs.seal_time[:] = data["seg_seal_time"].tolist()
-    segs.up1[:] = data["seg_up1"].tolist()
-    segs.up2[:] = data["seg_up2"].tolist()
-    segs.up2_sum[:] = data["seg_up2_sum"].tolist()
-    segs.freq_sum[:] = data["seg_freq_sum"].tolist()
-    segs.erase_count[:] = data["seg_erase_count"].tolist()
-    flat_slots = data["flat_slots"].tolist()
-    flat_sizes = data["flat_sizes"].tolist()
+    segs.state[:] = arrays["seg_state"].tolist()
+    segs.live_count[:] = arrays["seg_live_count"].tolist()
+    segs.live_units[:] = arrays["seg_live_units"].tolist()
+    segs.used_units[:] = arrays["seg_used_units"].tolist()
+    segs.seal_time[:] = arrays["seg_seal_time"].tolist()
+    segs.up1[:] = arrays["seg_up1"].tolist()
+    segs.up2[:] = arrays["seg_up2"].tolist()
+    segs.up2_sum[:] = arrays["seg_up2_sum"].tolist()
+    segs.freq_sum[:] = arrays["seg_freq_sum"].tolist()
+    segs.erase_count[:] = arrays["seg_erase_count"].tolist()
+    flat_slots = arrays["flat_slots"].tolist()
+    flat_sizes = arrays["flat_sizes"].tolist()
     offset = 0
-    for seg_id, length in enumerate(data["slot_lengths"].tolist()):
+    for seg_id, length in enumerate(arrays["slot_lengths"].tolist()):
         segs.slots[seg_id] = flat_slots[offset:offset + length]
         segs.slot_sizes[seg_id] = flat_sizes[offset:offset + length]
         offset += length
 
     store.free_list.clear()
-    store.free_list.extend(int(s) for s in data["free_list"].tolist())
+    store.free_list.extend(int(s) for s in arrays["free_list"].tolist())
     store.open_segments.clear()
     for stream, seg in meta["open_segments"].items():
         store.open_segments[int(stream)] = int(seg)
         policy.on_segment_open(int(seg), int(stream))
     policy.load_state_dict(meta["policy_state"])
-    store.check_invariants()
+    try:
+        store.check_invariants()
+    except AssertionError as exc:
+        raise PersistenceError(
+            "checkpoint %s restored an inconsistent store: %s" % (path, exc)
+        ) from exc
     return store

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.sweep.manifest import Manifest
 from repro.sweep.spec import JobSpec, result_to_dict, run_job
+from repro.testkit.failpoints import failpoint
 
 #: How long the parent sleeps waiting for worker messages, seconds.
 _POLL_INTERVAL = 0.05
@@ -46,8 +47,11 @@ def execute_job(spec_dict: Dict) -> Dict:
     randomness would still be deterministic per job.
     """
     spec = JobSpec.from_dict(spec_dict)
+    failpoint("sweep.executor.pre_job", spec=spec)
     random.seed(int(spec.digest(), 16))
-    return result_to_dict(run_job(spec))
+    payload = result_to_dict(run_job(spec))
+    failpoint("sweep.executor.post_job", spec=spec, payload=payload)
+    return payload
 
 
 def _worker_entry(job_runner: Callable, spec_dict: Dict, conn) -> None:
@@ -197,6 +201,7 @@ def run_sweep(
 
     def finish_ok(spec: JobSpec, attempt: int, payload: Dict, took: float) -> None:
         digest = spec.digest()
+        failpoint("sweep.executor.pre_record", spec=spec, digest=digest)
         results[digest] = payload
         stats.executed += 1
         stats.job_seconds += took

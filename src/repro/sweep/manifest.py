@@ -29,6 +29,7 @@ import pathlib
 from typing import Any, Dict, Optional, Union
 
 from repro.sweep.spec import SweepError
+from repro.testkit.failpoints import failpoint
 
 #: File name used inside a sweep output directory.
 MANIFEST_NAME = "manifest.jsonl"
@@ -44,6 +45,11 @@ class Manifest:
         self._fh = None
         self._completed: Optional[Dict[str, Dict[str, Any]]] = None
         self._header: Optional[Dict[str, Any]] = None
+        #: Byte offset to truncate to before the first append, set when
+        #: :meth:`load` found a torn final line.  Appending after a torn
+        #: tail without truncating would glue the new record onto the
+        #: partial line, corrupting the file for every later load.
+        self._truncate_to: Optional[int] = None
 
     @classmethod
     def in_dir(cls, out_dir: Union[str, pathlib.Path]) -> "Manifest":
@@ -63,10 +69,12 @@ class Manifest:
         """
         completed: Dict[str, Dict[str, Any]] = {}
         header: Optional[Dict[str, Any]] = None
+        self._truncate_to = None
         if not self.path.exists():
             self._completed, self._header = completed, header
             return completed
-        lines = self.path.read_text().splitlines()
+        raw = self.path.read_text()
+        lines = raw.splitlines()
         for index, line in enumerate(lines):
             if not line.strip():
                 continue
@@ -74,7 +82,14 @@ class Manifest:
                 record = json.loads(line)
             except ValueError:
                 if index == len(lines) - 1:
-                    break  # torn tail from a mid-append kill
+                    # Torn tail from a mid-append kill: drop it, and
+                    # remember where it starts so the next append
+                    # truncates it away instead of gluing onto it.
+                    tail = len(line.encode("utf-8"))
+                    if raw.endswith("\n"):
+                        tail += 1
+                    self._truncate_to = len(raw.encode("utf-8")) - tail
+                    break
                 raise SweepError(
                     "corrupt manifest line %d in %s" % (index + 1, self.path)
                 )
@@ -158,11 +173,24 @@ class Manifest:
             self._completed[digest] = record
 
     def _append(self, record: Dict[str, Any]) -> None:
+        failpoint("sweep.manifest.pre_append", record=record, path=self.path)
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self._truncate_to is not None and self.path.exists():
+                with open(self.path, "r+b") as tail_fh:
+                    tail_fh.truncate(self._truncate_to)
+            self._truncate_to = None
             self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        # The torn-write failpoint lets crash tests leave exactly the
+        # partial line a mid-append kill would: its context carries the
+        # handle and full line so a hook can write a prefix, then raise.
+        failpoint(
+            "sweep.manifest.torn_write", fh=self._fh, line=line, path=self.path
+        )
+        self._fh.write(line)
         self._fh.flush()
+        failpoint("sweep.manifest.pre_fsync", record=record, path=self.path)
         os.fsync(self._fh.fileno())
 
     def close(self) -> None:

@@ -1,0 +1,397 @@
+"""Differential testing: the real store vs. the dict-based oracle.
+
+The runner drives a :class:`~repro.store.LogStructuredStore` and an
+:class:`~repro.testkit.oracle.OracleStore` with the *same* operation
+stream — initial sequential load, then workload-driven updates with an
+optional seeded trim mix — and verifies state equivalence (live page
+set, per-segment occupancy recounts, the Wamp/emptiness identities of
+Equation 2) at configurable checkpoints.
+
+Every op is simultaneously recorded into an
+:class:`~repro.testkit.trace.OpTrace`.  On divergence the runner:
+
+1. **minimizes** the failing op stream (smallest failing prefix by
+   bisection, then greedy chunk removal with a bounded replay budget);
+2. **saves** the minimized trace as JSONL next to the caller-chosen
+   directory, so the bug reproduces with ``repro replay <trace>``;
+3. raises :class:`DivergenceError` carrying the mismatch details and
+   the trace path.
+
+:func:`run_differential_grid` sweeps every policy in
+:data:`repro.policies.DIFFERENTIAL_POLICIES` across the three synthetic
+distribution families — the harness behind ``repro difftest`` and the
+nightly CI job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.policies import DIFFERENTIAL_POLICIES, make_policy
+from repro.store.config import StoreConfig
+from repro.store.log_store import LogStructuredStore
+from repro.testkit.oracle import OracleStore, verify_equivalence
+from repro.testkit.trace import OpTrace, state_digest
+from repro.workloads import (
+    HotColdWorkload,
+    UniformWorkload,
+    Workload,
+    ZipfianWorkload,
+)
+
+__all__ = [
+    "DEFAULT_WORKLOADS",
+    "DifferentialOutcome",
+    "DivergenceError",
+    "make_diff_workload",
+    "minimize_failing_ops",
+    "run_differential",
+    "run_differential_grid",
+]
+
+#: The three distribution families the acceptance grid runs.
+DEFAULT_WORKLOADS: Tuple[str, ...] = ("uniform", "hotcold", "zipfian")
+
+
+class DivergenceError(AssertionError):
+    """The store and the oracle disagreed.
+
+    Carries the mismatch list and, when a trace was saved, the path of
+    the minimized re-runnable repro case.
+    """
+
+    def __init__(
+        self,
+        problems: Sequence[str],
+        *,
+        policy: str,
+        workload: str,
+        at_op: int,
+        trace_path: Optional[pathlib.Path] = None,
+    ) -> None:
+        lines = ["store/oracle divergence (%s on %s, op %d):" % (policy, workload, at_op)]
+        lines += ["  - %s" % p for p in problems]
+        if trace_path is not None:
+            lines.append("  repro: python -m repro replay %s" % trace_path)
+        super().__init__("\n".join(lines))
+        self.problems = list(problems)
+        self.policy = policy
+        self.workload = workload
+        self.at_op = at_op
+        self.trace_path = trace_path
+
+
+@dataclasses.dataclass(frozen=True)
+class DifferentialOutcome:
+    """Result of one passing differential run."""
+
+    policy: str
+    workload: str
+    n_ops: int
+    checkpoints: int
+    wamp: float
+    digest: str
+
+
+def default_diff_config(sort_buffer_segments: int = 1) -> StoreConfig:
+    """A deliberately tiny device: cleaning runs every few dozen ops, so
+    a 10k-op stream exercises thousands of cleaning cycles."""
+    return StoreConfig(
+        n_segments=24,
+        segment_units=6,
+        fill_factor=0.55,
+        clean_trigger=2,
+        clean_batch=2,
+        sort_buffer_segments=sort_buffer_segments,
+    )
+
+
+def make_diff_workload(kind: str, n_pages: int, seed: int) -> Workload:
+    """Build one of the named differential workload families."""
+    if kind == "uniform":
+        return UniformWorkload(n_pages, seed=seed)
+    if kind == "hotcold":
+        return HotColdWorkload(n_pages, update_fraction=0.8, seed=seed)
+    if kind == "zipfian":
+        return ZipfianWorkload(n_pages, seed=seed)
+    raise ValueError(
+        "unknown differential workload %r (expected one of %s)"
+        % (kind, ", ".join(DEFAULT_WORKLOADS))
+    )
+
+
+def _drive_pair(
+    store: LogStructuredStore, oracle: OracleStore, trace: OpTrace, op: Tuple
+) -> None:
+    """Apply one op to both implementations and record it."""
+    trace.ops.append(op)
+    OpTrace.apply(store, op)
+    if op[0] == "w":
+        oracle.write(op[1], op[2] if len(op) > 2 else 1)
+    else:
+        oracle.trim(op[1])
+
+
+def run_differential(
+    policy_name: str,
+    workload: Union[str, Workload],
+    *,
+    n_ops: int = 10_000,
+    config: Optional[StoreConfig] = None,
+    checkpoint_every: int = 1_000,
+    trim_prob: float = 0.0,
+    seed: int = 0,
+    wamp_tol: float = 0.05,
+    divergence_dir: Optional[Union[str, pathlib.Path]] = None,
+    minimize: bool = True,
+) -> DifferentialOutcome:
+    """Drive store and oracle through one workload; verify at checkpoints.
+
+    Args:
+        policy_name: Registered cleaning policy to attach.
+        workload: A workload instance, or one of the names in
+            :data:`DEFAULT_WORKLOADS` (built over ``config.user_pages``).
+        n_ops: Update ops after the initial load (the load itself is
+            additional and also recorded/verified).
+        config: Store geometry; defaults to :func:`default_diff_config`.
+        checkpoint_every: Ops between equivalence checks (the final op
+            always checks, and store invariants are asserted there too).
+        trim_prob: Per-op probability of issuing a trim of a random live
+            page instead of the workload's write, drawn from a private
+            seeded RNG (0 disables trims).
+        seed: Seed for the workload (when built by name) and trim mix.
+        wamp_tol: Tolerance for the asymptotic Equation 2 check.
+        divergence_dir: Where to save a minimized divergence trace; no
+            trace is written when None.
+        minimize: Shrink the failing op stream before saving/raising.
+
+    Returns:
+        A :class:`DifferentialOutcome`; raises :class:`DivergenceError`
+        on any mismatch.
+    """
+    if config is None:
+        config = default_diff_config()
+    if isinstance(workload, str):
+        workload = make_diff_workload(workload, config.user_pages, seed)
+    workload.reset()
+
+    policy = make_policy(policy_name)
+    needs_oracle = (
+        getattr(policy, "estimator", None) == "exact"
+        or getattr(policy, "exact", False) is True
+    )
+    frequencies = (
+        [float(f) for f in workload.frequencies()] if needs_oracle else None
+    )
+    trace = OpTrace(config, policy_name, frequencies)
+    store = LogStructuredStore(config, policy)
+    if frequencies is not None:
+        store.set_oracle_frequencies(frequencies)
+    oracle = OracleStore(config)
+
+    trim_rng = random.Random(seed ^ 0xFA11)
+    checkpoints = 0
+
+    def check(at_op: int) -> None:
+        nonlocal checkpoints
+        checkpoints += 1
+        try:
+            store.check_invariants()
+        except Exception as exc:
+            # A broken store can fail its own invariant sweep with any
+            # exception type; fold it into the divergence report so the
+            # repro trace still gets minimized and saved.
+            problems = ["store invariant breakage: %r" % (exc,)]
+        else:
+            problems = verify_equivalence(store, oracle, wamp_tol=wamp_tol)
+        if problems:
+            _report_divergence(
+                trace,
+                problems,
+                workload_name=workload.name,
+                at_op=at_op,
+                wamp_tol=wamp_tol,
+                divergence_dir=divergence_dir,
+                minimize=minimize,
+            )
+
+    # Initial sequential load — part of the recorded stream so replays
+    # start from an empty device.
+    for pid in range(workload.n_pages):
+        _drive_pair(store, oracle, trace, ("w", pid))
+
+    done = 0
+    for batch in workload.batches(n_ops):
+        for pid in batch:
+            if trim_prob > 0.0 and oracle.live and trim_rng.random() < trim_prob:
+                victim = trim_rng.choice(sorted(oracle.live))
+                _drive_pair(store, oracle, trace, ("t", victim))
+            else:
+                _drive_pair(store, oracle, trace, ("w", int(pid)))
+            done += 1
+            if done % checkpoint_every == 0:
+                check(len(trace))
+    check(len(trace))
+
+    return DifferentialOutcome(
+        policy=policy_name,
+        workload=workload.name,
+        n_ops=len(trace),
+        checkpoints=checkpoints,
+        wamp=store.stats.write_amplification,
+        digest=state_digest(store),
+    )
+
+
+def _report_divergence(
+    trace: OpTrace,
+    problems: Sequence[str],
+    *,
+    workload_name: str,
+    at_op: int,
+    wamp_tol: float,
+    divergence_dir: Optional[Union[str, pathlib.Path]],
+    minimize: bool,
+) -> None:
+    """Minimize, save, and raise for a detected divergence."""
+    failing = trace
+    if minimize:
+        failing = trace.subset(
+            minimize_failing_ops(trace, wamp_tol=wamp_tol)
+        )
+    trace_path: Optional[pathlib.Path] = None
+    if divergence_dir is not None:
+        out_dir = pathlib.Path(divergence_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        trace_path = out_dir / (
+            "divergence-%s-%s-%d.jsonl" % (trace.policy, workload_name, at_op)
+        )
+        failing.save(trace_path, end={"divergence": list(problems)})
+    raise DivergenceError(
+        problems,
+        policy=trace.policy,
+        workload=workload_name,
+        at_op=at_op,
+        trace_path=trace_path,
+    )
+
+
+def replay_diverges(
+    trace: OpTrace, ops: Sequence[Tuple], *, wamp_tol: float = 0.05
+) -> bool:
+    """Replay ``ops`` from scratch; True when the run still fails.
+
+    A crash anywhere during the replay counts as a failure too, so
+    minimization keeps traces that turn a miscount into an outright
+    exception.
+    """
+    try:
+        store = trace.build_store()
+        oracle = OracleStore(trace.config)
+        for op in ops:
+            OpTrace.apply(store, op)
+            if op[0] == "w":
+                oracle.write(op[1], op[2] if len(op) > 2 else 1)
+            else:
+                oracle.trim(op[1])
+        store.check_invariants()
+    except Exception:
+        return True
+    return bool(verify_equivalence(store, oracle, wamp_tol=wamp_tol))
+
+
+def minimize_failing_ops(
+    trace: OpTrace,
+    *,
+    wamp_tol: float = 0.05,
+    budget: int = 120,
+) -> List[Tuple]:
+    """Shrink a failing op stream while it keeps failing.
+
+    Two phases, each bounded by ``budget`` total replays:
+
+    1. bisect to the smallest failing *prefix* (divergences are sticky
+       in practice — once the state disagrees it stays disagreed — so
+       prefix length is effectively monotone);
+    2. greedy chunk removal (ddmin-style halving) inside that prefix.
+
+    Returns the minimized op list; falls back to the full stream if the
+    full stream itself does not reproduce (flaky environment).
+    """
+    ops = list(trace.ops)
+    spent = 0
+
+    def fails(candidate: Sequence[Tuple]) -> bool:
+        nonlocal spent
+        spent += 1
+        return replay_diverges(trace, candidate, wamp_tol=wamp_tol)
+
+    if not fails(ops):
+        return ops
+
+    lo, hi = 1, len(ops)  # invariant: ops[:hi] fails
+    while lo < hi and spent < budget:
+        mid = (lo + hi) // 2
+        if fails(ops[:mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    ops = ops[:hi]
+
+    chunk = max(1, len(ops) // 2)
+    while spent < budget:
+        removed_any = False
+        start = 0
+        while start < len(ops) and spent < budget:
+            candidate = ops[:start] + ops[start + chunk:]
+            if candidate and fails(candidate):
+                ops = candidate
+                removed_any = True
+            else:
+                start += chunk
+        if chunk > 1:
+            chunk //= 2
+        elif not removed_any:
+            break
+    return ops
+
+
+def run_differential_grid(
+    policies: Optional[Iterable[str]] = None,
+    workloads: Iterable[str] = DEFAULT_WORKLOADS,
+    *,
+    n_ops: int = 10_000,
+    config: Optional[StoreConfig] = None,
+    checkpoint_every: int = 1_000,
+    trim_prob: float = 0.0,
+    seed: int = 0,
+    wamp_tol: float = 0.05,
+    divergence_dir: Optional[Union[str, pathlib.Path]] = None,
+) -> List[DifferentialOutcome]:
+    """Run :func:`run_differential` for every policy x workload pair.
+
+    Stops at the first divergence (the raised :class:`DivergenceError`
+    names the failing pair and its saved trace).
+    """
+    if policies is None:
+        policies = DIFFERENTIAL_POLICIES
+    outcomes: List[DifferentialOutcome] = []
+    for policy_name in policies:
+        for kind in workloads:
+            outcomes.append(
+                run_differential(
+                    policy_name,
+                    kind,
+                    n_ops=n_ops,
+                    config=config,
+                    checkpoint_every=checkpoint_every,
+                    trim_prob=trim_prob,
+                    seed=seed,
+                    wamp_tol=wamp_tol,
+                    divergence_dir=divergence_dir,
+                )
+            )
+    return outcomes

@@ -1,0 +1,235 @@
+"""A trivially-correct reference model of the log-structured store.
+
+The optimized :class:`~repro.store.LogStructuredStore` maintains its
+accounting *incrementally* — live counts, unit sums, frequency sums, and
+the paper's counters are updated in place on every write, seal, and
+cleaning cycle, because recomputing them would dominate simulation time.
+Incremental bookkeeping is exactly where silent corruption hides, and a
+corrupt counter skews every reproduced number (Wamp is a ratio of two
+counters).
+
+:class:`OracleStore` is the antidote: a dict-based model with **no**
+optimizations and no policy logic.  It consumes the same operation
+stream (write / trim) and tracks only what must be true of *any* correct
+store, independent of cleaning policy:
+
+* which pages hold a current version, and at what size;
+* total live units;
+* the clock and the user-facing counters (user writes, trims).
+
+:func:`verify_equivalence` then cross-checks a real store against the
+oracle **and** re-derives the store's per-segment occupancy from raw
+slot logs (the ground truth the incremental counters summarize), plus
+the paper's counter identities:
+
+* ``gc_writes == B * (segments_cleaned - cleaned_emptiness_sum)`` — the
+  exact per-cycle form of Equation 2 for unit-size pages: every cleaned
+  segment contributes its live pages ``(1 - E) * B`` to ``gc_writes``;
+* ``user_device_writes + gc_writes == B * segments_cleaned + standing``
+  where ``standing`` is the units appended into not-yet-cleaned
+  segments — append-flow conservation (every cleaned unit-size segment
+  was appended full before it was cleaned);
+* ``Wamp_device ≈ (1 - E) / E`` — Equation 2 itself, which holds up to
+  the standing term above and is therefore only checked once cleaning
+  volume dominates standing data (the gate is derived from the exact
+  relation, not a magic minimum).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.store.config import StoreConfig
+from repro.store.errors import PageSizeError
+from repro.store.log_store import LogStructuredStore
+from repro.store.pagetable import NEVER_WRITTEN
+
+__all__ = ["OracleStore", "recount_segments", "verify_equivalence"]
+
+
+class OracleStore:
+    """Dead-simple dict-based store model: one dict, four counters."""
+
+    def __init__(self, config: StoreConfig) -> None:
+        self.config = config
+        #: page id -> size of its current version (absence = no version).
+        self.live: Dict[int, int] = {}
+        self.clock = 0
+        self.user_writes = 0
+        self.trims = 0
+        #: page id -> total updates ever (empirical frequency numerator).
+        self.write_counts: Dict[int, int] = {}
+        self._saw_nonunit = False
+
+    def write(self, page_id: int, size: int = 1) -> None:
+        """Apply one user update (same contract as the real store)."""
+        if size < 1 or size > self.config.segment_units:
+            raise PageSizeError(
+                "page size %d outside [1, %d]" % (size, self.config.segment_units)
+            )
+        self.clock += 1
+        self.user_writes += 1
+        self.live[page_id] = size
+        self.write_counts[page_id] = self.write_counts.get(page_id, 0) + 1
+        if size != 1:
+            self._saw_nonunit = True
+
+    def trim(self, page_id: int) -> bool:
+        """Discard a page's current version; False if it has none."""
+        if page_id not in self.live:
+            return False
+        self.clock += 1
+        self.trims += 1
+        del self.live[page_id]
+        return True
+
+    def live_pages(self) -> Set[int]:
+        """Pages currently holding a version."""
+        return set(self.live)
+
+    def live_units(self) -> int:
+        """Total units of live data."""
+        return sum(self.live.values())
+
+    def unit_sized(self) -> bool:
+        """True when every write so far had size 1 (the paper's
+        fixed-size experiments, where page counts and unit counts
+        coincide and sealed segments are always appended full)."""
+        return not self._saw_nonunit
+
+
+def recount_segments(store: LogStructuredStore) -> List[Tuple[int, int]]:
+    """Re-derive ``(live_count, live_units)`` per segment from the raw
+    slot logs and the page table — the brute-force ground truth that the
+    store's incremental counters are supposed to equal."""
+    pages = store.pages
+    seg_col, slot_col, size_col = pages.seg, pages.slot, pages.size
+    out: List[Tuple[int, int]] = []
+    for seg, slots in enumerate(store.segments.slots):
+        count = 0
+        units = 0
+        for slot, pid in enumerate(slots):
+            if seg_col[pid] == seg and slot_col[pid] == slot:
+                count += 1
+                units += size_col[pid]
+        out.append((count, units))
+    return out
+
+
+def verify_equivalence(
+    store: LogStructuredStore,
+    oracle: OracleStore,
+    *,
+    wamp_tol: float = 0.05,
+) -> List[str]:
+    """Cross-check ``store`` against ``oracle``; returns mismatch
+    descriptions (empty list = equivalent).
+
+    Checks, in order of bluntness:
+
+    1. clocks and user-facing counters agree;
+    2. the live page set and per-page sizes agree;
+    3. total live units agree (device segments + sorting buffer);
+    4. per-segment occupancy recomputed from slot logs equals the
+       store's incremental counters;
+    5. ``gc_writes = B * (segments_cleaned - cleaned_emptiness_sum)``
+       and append-flow conservation, both exactly (unit-size pages);
+    6. ``Wamp_device ≈ (1 - E) / E`` within ``wamp_tol``, once cleaning
+       volume dominates the standing (not-yet-cleaned) data enough for
+       the asymptotic identity to be expected to hold that tightly.
+    """
+    problems: List[str] = []
+    stats = store.stats
+
+    if store.clock != oracle.clock:
+        problems.append("clock: store=%d oracle=%d" % (store.clock, oracle.clock))
+    if stats.user_writes != oracle.user_writes:
+        problems.append(
+            "user_writes: store=%d oracle=%d"
+            % (stats.user_writes, oracle.user_writes)
+        )
+    if stats.trims != oracle.trims:
+        problems.append("trims: store=%d oracle=%d" % (stats.trims, oracle.trims))
+
+    pages = store.pages
+    store_live = {
+        pid for pid in range(len(pages.seg)) if pages.seg[pid] != NEVER_WRITTEN
+    }
+    oracle_live = oracle.live_pages()
+    if store_live != oracle_live:
+        missing = sorted(oracle_live - store_live)[:8]
+        phantom = sorted(store_live - oracle_live)[:8]
+        problems.append(
+            "live page set differs: store lost %r, store invented %r"
+            % (missing, phantom)
+        )
+    else:
+        wrong_sizes = [
+            (pid, pages.size[pid], oracle.live[pid])
+            for pid in oracle_live
+            if pages.size[pid] != oracle.live[pid]
+        ]
+        if wrong_sizes:
+            problems.append(
+                "page sizes differ (pid, store, oracle): %r" % (wrong_sizes[:8],)
+            )
+
+    segs = store.segments
+    store_units = sum(segs.live_units)
+    if store.buffer is not None:
+        store_units += store.buffer.used_units
+    if store_units != oracle.live_units():
+        problems.append(
+            "live units: store=%d oracle=%d" % (store_units, oracle.live_units())
+        )
+
+    for seg, (count, units) in enumerate(recount_segments(store)):
+        if segs.live_count[seg] != count or segs.live_units[seg] != units:
+            problems.append(
+                "segment %d occupancy: store counts (C=%d, units=%d), "
+                "slot-log recount (C=%d, units=%d)"
+                % (seg, segs.live_count[seg], segs.live_units[seg], count, units)
+            )
+
+    if oracle.unit_sized():
+        capacity = segs.capacity
+        expected_gc = capacity * (
+            stats.segments_cleaned - stats.cleaned_emptiness_sum
+        )
+        if abs(stats.gc_writes - expected_gc) > 1e-6 * max(1.0, expected_gc):
+            problems.append(
+                "emptiness identity: gc_writes=%d but "
+                "B*(cleaned - emptiness_sum)=%.6f"
+                % (stats.gc_writes, expected_gc)
+            )
+
+        # Append-flow conservation: every cleaned segment was appended
+        # full (B units) before cleaning; the rest of the appends are
+        # standing in current segments' used_units.
+        standing = sum(segs.used_units)
+        total_appends = stats.user_device_writes + stats.gc_writes
+        expected_appends = capacity * stats.segments_cleaned + standing
+        if total_appends != expected_appends:
+            problems.append(
+                "append-flow conservation: user_device+gc=%d but "
+                "B*cleaned + standing used_units=%d"
+                % (total_appends, expected_appends)
+            )
+
+        # Equation 2 (asymptotic): exactly, Wamp_device equals
+        # (1-E)/E / (1 + standing / (B * cleaned * E)), so the check is
+        # gated on the correction term being well inside the tolerance.
+        if stats.segments_cleaned > 0 and stats.user_device_writes > 0:
+            e = stats.cleaned_emptiness_sum / stats.segments_cleaned
+            if e > 0.0:
+                cleaning_volume = capacity * stats.segments_cleaned * e
+                if standing <= 0.5 * wamp_tol * cleaning_volume:
+                    predicted = (1.0 - e) / e
+                    measured = stats.gc_writes / stats.user_device_writes
+                    if abs(measured - predicted) > wamp_tol * max(1.0, predicted):
+                        problems.append(
+                            "Equation 2: Wamp_device=%.4f but (1-E)/E=%.4f "
+                            "(E=%.4f)" % (measured, predicted, e)
+                        )
+
+    return problems

@@ -3,6 +3,14 @@
 import pytest
 
 from repro.store import StoreConfig
+from repro.testkit.failpoints import FAILPOINTS
+
+
+@pytest.fixture(autouse=True)
+def _reset_failpoints():
+    """No failpoint arm or trace may leak between tests."""
+    yield
+    FAILPOINTS.clear()
 
 
 @pytest.fixture

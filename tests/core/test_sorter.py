@@ -35,3 +35,93 @@ class TestOrdering:
         # After sorting, all members of a group are contiguous.
         group = [p % 2 for p in out]
         assert group == sorted(group)
+
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.policies import make_policy
+from repro.store import LogStructuredStore, StoreConfig
+
+pid_key_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    ),
+    max_size=200,
+)
+
+
+class TestOrderingInvariants:
+    """up2-ordering is a stable sort: a permutation, key-monotone, and
+    idempotent — for any input."""
+
+    @given(pairs=pid_key_lists)
+    @settings(max_examples=100)
+    def test_result_is_a_permutation(self, pairs):
+        pids = [p for p, _ in pairs]
+        keys = [k for _, k in pairs]
+        out = order_by_key(pids, keys)
+        assert sorted(out) == sorted(pids)
+
+    @given(pairs=pid_key_lists)
+    @settings(max_examples=100)
+    def test_keys_are_nondecreasing_after_ordering(self, pairs):
+        pids = [p for p, _ in pairs]
+        keys = [k for _, k in pairs]
+        order = np.argsort(np.asarray(keys, dtype=float), kind="stable")
+        assert order_by_key(pids, keys) == [pids[i] for i in order]
+        assert [keys[i] for i in order] == sorted(keys)
+
+    @given(pairs=pid_key_lists)
+    @settings(max_examples=100)
+    def test_ordering_is_idempotent(self, pairs):
+        pids = [p for p, _ in pairs]
+        keys = [k for _, k in pairs]
+        once = order_by_key(pids, keys)
+        keys_once = [keys[i] for i in np.argsort(np.asarray(keys), kind="stable")]
+        assert order_by_key(once, keys_once) == once
+
+    def test_empty_input(self):
+        assert order_by_key([], []) == []
+
+    def test_all_cold_input_preserves_arrival_order(self):
+        """Equal keys (an all-cold batch) must not be reshuffled."""
+        pids = list(range(50, 0, -1))
+        assert order_by_key(pids, [0.0] * len(pids)) == pids
+
+
+class TestStoreIntegration:
+    """The sorter's proxy — carried up2 — separates hot from cold in a
+    real buffered MDC run."""
+
+    def _hot_cold_store(self):
+        cfg = StoreConfig(
+            n_segments=32, segment_units=8, fill_factor=0.6,
+            clean_trigger=2, clean_batch=2, sort_buffer_segments=1,
+        )
+        store = LogStructuredStore(cfg, make_policy("mdc"))
+        n = cfg.user_pages
+        hot = list(range(n // 8))
+        store.load_sequential(n)
+        for i in range(4000):
+            store.write(hot[i % len(hot)])
+        store.flush()
+        return store, hot, [p for p in range(n) if p not in hot]
+
+    def test_hot_pages_carry_larger_up2_than_cold(self):
+        store, hot, cold = self._hot_cold_store()
+        carried = store.pages.carried_up2
+        hot_mean = float(np.nanmean([carried[p] for p in hot]))
+        cold_mean = float(np.nanmean([carried[p] for p in cold]))
+        assert hot_mean > cold_mean
+
+    def test_sort_keys_rank_hot_pages_last(self):
+        """Coldest-first ordering puts every cold page before the median
+        hot page."""
+        store, hot, cold = self._hot_cold_store()
+        keys = up2_keys(store.pages, hot + cold)
+        out = order_by_key(hot + cold, keys)
+        positions = {p: i for i, p in enumerate(out)}
+        median_hot = sorted(positions[p] for p in hot)[len(hot) // 2]
+        assert all(positions[p] < median_hot for p in cold)

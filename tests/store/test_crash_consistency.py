@@ -1,0 +1,155 @@
+"""Crash consistency of checkpoint save/load.
+
+A checkpoint that survives these tests is safe against the two failure
+modes that matter: corruption of the file at rest (truncation, bit rot)
+must be *detected* at load, and a crash at any instant during save must
+leave the previous checkpoint loadable (write-temp-then-rename
+atomicity, probed via failpoints inside ``save_store``)."""
+
+import pytest
+
+from repro.policies import make_policy
+from repro.store import (
+    LogStructuredStore,
+    PersistenceError,
+    StoreConfig,
+    load_store,
+    save_store,
+)
+from repro.testkit.failpoints import FAILPOINTS, InjectedFault
+
+
+@pytest.fixture
+def cfg():
+    return StoreConfig(
+        n_segments=32, segment_units=8, fill_factor=0.65,
+        clean_trigger=2, clean_batch=2,
+    )
+
+
+@pytest.fixture
+def store(cfg):
+    s = LogStructuredStore(cfg, make_policy("greedy"))
+    n = cfg.user_pages
+    s.load_sequential(n)
+    for i in range(2000):
+        s.write((i * 7 + 3) % n)
+    return s
+
+
+class TestCorruptionDetection:
+    @pytest.mark.parametrize("keep_fraction", [0.0, 0.3, 0.9])
+    def test_truncated_checkpoint_rejected(
+        self, store, tmp_path, keep_fraction
+    ):
+        path = tmp_path / "ckpt.npz"
+        save_store(store, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: int(len(blob) * keep_fraction)])
+        with pytest.raises(PersistenceError):
+            load_store(path, make_policy("greedy"))
+
+    def test_bit_flips_never_corrupt_silently(self, store, tmp_path):
+        """For single-byte flips across the file, every load must either
+        raise ``PersistenceError`` or — when the flip lands in dead zip
+        metadata the reader never consumes — restore the *exact*
+        original state.  A load that succeeds with different state is
+        silent corruption, the one unacceptable outcome."""
+        path = tmp_path / "ckpt.npz"
+        save_store(store, path)
+        blob = bytearray(path.read_bytes())
+        bad = tmp_path / "bad.npz"
+        rejected = 0
+        for pos in range(7, len(blob), max(1, len(blob) // 40)):
+            blob[pos] ^= 0xFF
+            bad.write_bytes(bytes(blob))
+            blob[pos] ^= 0xFF
+            try:
+                restored = load_store(bad, make_policy("greedy"))
+            except PersistenceError:
+                rejected += 1
+            else:
+                assert restored.clock == store.clock
+                assert restored.pages.seg == store.pages.seg
+                assert restored.pages.slot == store.pages.slot
+                assert restored.stats.snapshot() == store.stats.snapshot()
+                assert restored.segments.live_count == store.segments.live_count
+        # The payload dominates the file, so most flips must be caught.
+        assert rejected > 0
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        path.write_bytes(b"this is not a checkpoint")
+        with pytest.raises(PersistenceError):
+            load_store(path, make_policy("greedy"))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises((PersistenceError, OSError)):
+            load_store(tmp_path / "nope.npz", make_policy("greedy"))
+
+
+class TestAtomicity:
+    """Crash at every stage of the save; the previous checkpoint must
+    survive and no temp litter may accumulate."""
+
+    def _save_ok(self, store, path):
+        save_store(store, path)
+        return load_store(path, make_policy("greedy")).clock
+
+    @pytest.mark.parametrize(
+        "stage", ["persistence.save.pre_write", "persistence.save.pre_rename"]
+    )
+    def test_crash_during_save_preserves_previous_checkpoint(
+        self, store, tmp_path, stage
+    ):
+        path = tmp_path / "ckpt.npz"
+        old_clock = self._save_ok(store, path)
+        store.write(0)  # new state the interrupted save would capture
+        with FAILPOINTS.armed(stage):
+            with pytest.raises(InjectedFault):
+                save_store(store, path)
+        restored = load_store(path, make_policy("greedy"))
+        assert restored.clock == old_clock
+        restored.check_invariants()
+
+    @pytest.mark.parametrize(
+        "stage", ["persistence.save.pre_write", "persistence.save.pre_rename"]
+    )
+    def test_crash_during_first_save_leaves_no_file(
+        self, store, tmp_path, stage
+    ):
+        path = tmp_path / "ckpt.npz"
+        with FAILPOINTS.armed(stage):
+            with pytest.raises(InjectedFault):
+                save_store(store, path)
+        assert not path.exists()
+
+    @pytest.mark.parametrize(
+        "stage", ["persistence.save.pre_write", "persistence.save.pre_rename"]
+    )
+    def test_interrupted_save_leaves_no_temp_litter(
+        self, store, tmp_path, stage
+    ):
+        path = tmp_path / "ckpt.npz"
+        with FAILPOINTS.armed(stage):
+            with pytest.raises(InjectedFault):
+                save_store(store, path)
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == []
+
+    def test_save_passes_through_all_stages(self, store, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        with FAILPOINTS.tracing():
+            save_store(store, path)
+        assert FAILPOINTS.count("persistence.save.pre_write") == 1
+        assert FAILPOINTS.count("persistence.save.pre_rename") == 1
+        assert FAILPOINTS.count("persistence.save.post_rename") == 1
+
+    def test_retry_after_interrupted_save_succeeds(self, store, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        with FAILPOINTS.armed("persistence.save.pre_rename"):
+            with pytest.raises(InjectedFault):
+                save_store(store, path)
+        save_store(store, path)  # no stale temp blocks the retry
+        restored = load_store(path, make_policy("greedy"))
+        assert restored.clock == store.clock

@@ -1,0 +1,155 @@
+"""Trace record / replay: roundtrip fidelity, byte-identical digests,
+format robustness, and the ``repro replay`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.testkit.differential import default_diff_config
+from repro.testkit.trace import OpTrace, TraceError, state_digest
+from repro.workloads import ZipfianWorkload
+
+
+def recorded_run(n_ops=800, policy="greedy", seed=5):
+    """Record a small mixed write/trim run; returns (trace, digest)."""
+    config = default_diff_config()
+    trace = OpTrace(config, policy)
+    store = trace.build_store()
+    workload = ZipfianWorkload(config.user_pages, seed=seed)
+    for pid in range(config.user_pages):
+        trace.record_write(pid)
+    done = 0
+    for batch in workload.batches(n_ops):
+        for pid in batch:
+            if done % 97 == 13:
+                trace.record_trim(int(pid))
+            else:
+                trace.record_write(int(pid))
+            done += 1
+    store = trace.replay(store, upto=None)
+    return trace, state_digest(store)
+
+
+class TestRoundtrip:
+    def test_replay_is_byte_identical(self):
+        trace, digest = recorded_run()
+        assert state_digest(trace.replay()) == digest
+        assert state_digest(trace.replay()) == digest  # and again
+
+    def test_save_load_preserves_everything(self, tmp_path):
+        trace, digest = recorded_run()
+        path = trace.save(tmp_path / "t.jsonl", end={"digest": digest})
+        loaded, end = OpTrace.load(path)
+        assert loaded.ops == trace.ops
+        assert loaded.policy == trace.policy
+        assert loaded.config == trace.config
+        assert end["digest"] == digest
+        assert end["ops"] == len(trace)
+        assert state_digest(loaded.replay()) == digest
+
+    def test_frequencies_roundtrip(self, tmp_path):
+        config = default_diff_config()
+        freqs = [float(i + 1) for i in range(config.user_pages)]
+        trace = OpTrace(config, "greedy", freqs)
+        trace.record_write(0)
+        path = trace.save(tmp_path / "t.jsonl")
+        loaded, _ = OpTrace.load(path)
+        assert loaded.frequencies == freqs
+
+    def test_partial_replay_with_upto(self):
+        trace, _ = recorded_run(n_ops=200)
+        store = trace.replay(upto=50)
+        assert store.stats.user_writes + store.stats.trims == 50
+
+    def test_subset_keeps_header(self):
+        trace, _ = recorded_run(n_ops=100)
+        sub = trace.subset(trace.ops[:10])
+        assert len(sub) == 10
+        assert sub.config == trace.config
+        assert sub.policy == trace.policy
+        assert trace.ops[:10] == sub.ops  # original untouched
+        sub.replay()  # and it runs
+
+
+class TestFormatRobustness:
+    def test_truncated_trace_loads_without_end(self, tmp_path):
+        trace, _ = recorded_run(n_ops=100)
+        path = trace.save(tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the footer
+        loaded, end = OpTrace.load(path)
+        assert end == {}
+        assert len(loaded.ops) == len(trace.ops)
+
+    def test_corrupt_line_raises(self, tmp_path):
+        trace, _ = recorded_run(n_ops=50)
+        path = trace.save(tmp_path / "t.jsonl")
+        raw = path.read_text().splitlines()
+        raw[3] = raw[3][: len(raw[3]) // 2]
+        path.write_text("\n".join(raw) + "\n")
+        with pytest.raises(TraceError, match="corrupt trace line"):
+            OpTrace.load(path)
+
+    def test_op_before_header_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('["w", 1]\n')
+        with pytest.raises(TraceError, match="op before trace header"):
+            OpTrace.load(path)
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "end", "ops": 0}\n')
+        with pytest.raises(TraceError, match="no trace header"):
+            OpTrace.load(path)
+
+    def test_op_count_mismatch_raises(self, tmp_path):
+        trace, _ = recorded_run(n_ops=50)
+        path = trace.save(tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        footer = json.loads(lines[-1])
+        footer["ops"] += 1
+        lines[-1] = json.dumps(footer)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="end record says"):
+            OpTrace.load(path)
+
+    def test_unknown_op_kind_raises(self):
+        trace, _ = recorded_run(n_ops=10)
+        store = trace.build_store()
+        with pytest.raises(TraceError, match="unknown op kind"):
+            OpTrace.apply(store, ("x", 1))
+
+    def test_unsupported_version_raises(self, tmp_path):
+        trace, _ = recorded_run(n_ops=10)
+        path = trace.save(tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 99
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="unsupported trace version"):
+            OpTrace.load(path)
+
+
+class TestReplayCLI:
+    def test_replay_verifies_matching_digest(self, tmp_path, capsys):
+        trace, digest = recorded_run(n_ops=300)
+        path = trace.save(tmp_path / "t.jsonl", end={"digest": digest})
+        assert main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+
+    def test_replay_fails_on_digest_mismatch(self, tmp_path, capsys):
+        trace, _ = recorded_run(n_ops=300)
+        path = trace.save(tmp_path / "t.jsonl", end={"digest": "0" * 64})
+        assert main(["replay", str(path)]) == 1
+        assert "mismatch" in capsys.readouterr().err.lower()
+
+    def test_replay_without_recorded_digest_still_reports(
+        self, tmp_path, capsys
+    ):
+        trace, _ = recorded_run(n_ops=100)
+        path = trace.save(tmp_path / "t.jsonl")
+        assert main(["replay", str(path)]) == 0
+        assert "digest" in capsys.readouterr().out
