@@ -11,6 +11,7 @@ Usage (installed as ``repro``, or ``python -m repro``):
     repro ablation               # estimator + batch-size ablations
     repro simulate --policy mdc --dist zipf-80-20 --fill 0.8
     repro sweep fig5 --workers 4 --out runs/fig5 --resume
+    repro bench micro            # scalar vs batch write-engine benchmark
     repro policies               # list registered cleaning policies
     repro replay trace.jsonl     # re-run a recorded op trace, verify digest
     repro difftest --ops 10000   # store-vs-oracle differential harness
@@ -148,6 +149,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_quick(p)
     _add_seed(p)
 
+    p = sub.add_parser(
+        "bench",
+        help="performance micro-benchmarks of the simulator itself",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    p = bench_sub.add_parser(
+        "micro",
+        help="scalar vs vectorized write engine on the fig5 quick grid",
+    )
+    p.add_argument(
+        "--writes", type=int, default=None,
+        help="updates per workload (default 200000; --quick: 60000)",
+    )
+    p.add_argument(
+        "--trials", type=int, default=3,
+        help="timed passes per cell; the fastest wall clock wins",
+    )
+    p.add_argument(
+        "--policy", default="greedy", choices=available_policies(),
+        help="cleaning policy to drive (default greedy)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the JSON report here (default: BENCH_store.json when "
+        "no --check, else nowhere)",
+    )
+    p.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a committed BENCH_store.json; exit 1 when "
+        "batch writes/sec regresses beyond --tolerance",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional regression for --check (default 0.30)",
+    )
+    p.add_argument(
+        "--profile", default=None, metavar="PROF", nargs="?", const="micro.prof",
+        help="also cProfile the batch path and dump stats to PROF "
+        "(default micro.prof)",
+    )
+    _add_quick(p)
+    _add_seed(p)
+
     p = sub.add_parser("simulate", help="one custom simulation")
     p.add_argument("--policy", default="mdc", choices=available_policies())
     p.add_argument("--dist", default="zipf-80-20")
@@ -265,6 +309,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     elif args.command == "sweep":
         return _run_sweep_command(args)
+    elif args.command == "bench":
+        return _run_bench_command(args)
     elif args.command == "simulate":
         config = _standard_config(args.fill, args.sort_buffer)
         if args.report:
@@ -288,6 +334,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_replay_command(args)
     elif args.command == "difftest":
         return _run_difftest_command(args)
+    return 0
+
+
+def _run_bench_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro bench micro``: run, render, optionally gate."""
+    from repro.bench.micro import (
+        check_against_baseline,
+        load_report,
+        render_micro,
+        run_micro,
+        write_report,
+    )
+
+    writes = args.writes
+    if writes is None:
+        writes = 60_000 if args.quick else 200_000
+    report = run_micro(
+        n_writes=writes,
+        trials=args.trials,
+        seed=args.seed,
+        policy=args.policy,
+        profile_path=args.profile,
+    )
+    print(render_micro(report))
+    out = args.out
+    if out is None and args.check is None:
+        out = "BENCH_store.json"
+    if out:
+        write_report(report, out)
+        print("report written to %s" % out)
+    if args.check:
+        baseline = load_report(args.check)
+        problems = check_against_baseline(report, baseline, args.tolerance)
+        if problems:
+            for problem in problems:
+                print("perf regression: %s" % problem, file=sys.stderr)
+            return 1
+        print(
+            "no perf regression vs %s (tolerance %.0f%%)"
+            % (args.check, args.tolerance * 100.0)
+        )
     return 0
 
 

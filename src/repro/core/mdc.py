@@ -73,6 +73,10 @@ class MdcPolicy(CleaningPolicy):
         self.separate_user = separate_user
         self.separate_gc = separate_gc
         self.uses_sort_buffer = separate_user
+        # The exact-frequency variant ranks purely from segment columns
+        # (freq_sum replaces the clock-anchored estimator), so its
+        # priorities are cacheable per segment epoch.
+        self.clock_dependent_rank = estimator != ESTIMATOR_EXACT
         self.name = self._derive_name()
 
     def _derive_name(self) -> str:
@@ -110,26 +114,24 @@ class MdcPolicy(CleaningPolicy):
             page_ids = sorter.order_by_key(page_ids, self._keys(page_ids))
         return [(pid, GC_STREAM) for pid in page_ids]
 
+    def place_gc_batch(
+        self, page_ids: np.ndarray, src_segs: np.ndarray
+    ) -> Tuple[np.ndarray, None]:
+        if self.separate_gc and len(page_ids) > 1:
+            order = np.argsort(self._keys(page_ids), kind="stable")
+            page_ids = page_ids[order]
+        return page_ids, None
+
     # -- victim selection ------------------------------------------------
 
-    def rank(self, candidates: Sequence[int]) -> np.ndarray:
-        segs = self.store.segments
+    def rank_columns(self, segs, ids: np.ndarray) -> np.ndarray:
         capacity = segs.capacity
-        live_units = segs.live_units
-        live_count = segs.live_count
-        avail = np.array(
-            [capacity - live_units[s] for s in candidates], dtype=float
-        )
-        count = np.array([live_count[s] for s in candidates], dtype=float)
+        avail = capacity - segs.live_units[ids]
+        count = segs.live_count[ids]
         if self.estimator == ESTIMATOR_EXACT:
-            freq_sum = segs.freq_sum
-            freqs = np.array([freq_sum[s] for s in candidates], dtype=float)
-            return mdc_decline_exact(avail, count, capacity, freqs)
-        clock = self.store.clock
+            return mdc_decline_exact(avail, count, capacity, segs.freq_sum[ids])
         anchor = segs.up1 if self.estimator == ESTIMATOR_UP1 else segs.up2
-        age_since_update = np.array(
-            [clock - anchor[s] for s in candidates], dtype=float
-        )
+        age_since_update = self.store.clock - anchor[ids]
         return mdc_decline(avail, count, capacity, age_since_update)
 
     def describe(self) -> str:

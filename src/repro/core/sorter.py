@@ -27,14 +27,12 @@ def up2_keys(pages, pids: Sequence[int]) -> np.ndarray:
 
     ``pages`` is the store's :class:`~repro.store.PageTable`.
     """
-    carried = pages.carried_up2
-    return np.array([carried[p] for p in pids], dtype=float)
+    return pages.carried_up2[np.asarray(pids, dtype=np.int64)]
 
 
 def oracle_keys(pages, pids: Sequence[int]) -> np.ndarray:
     """Sort keys that cluster by exact update frequency (coldest first)."""
-    oracle = pages.oracle_freq
-    return np.array([oracle[p] for p in pids], dtype=float)
+    return pages.oracle_freq[np.asarray(pids, dtype=np.int64)]
 
 
 def order_by_key(pids: Sequence[int], keys: Sequence[float]) -> List[int]:

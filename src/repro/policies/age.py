@@ -9,8 +9,6 @@ cold data that was never going to be overwritten.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from repro.core.priority import age_priority
@@ -21,7 +19,9 @@ class AgePolicy(CleaningPolicy):
     """Clean strictly in seal-time order."""
 
     name = "age"
+    #: Seal time is fixed once sealed; priorities cache until the
+    #: segment's epoch moves (reset / re-seal).
+    clock_dependent_rank = False
 
-    def rank(self, candidates: Sequence[int]) -> np.ndarray:
-        seal_time = self.store.segments.seal_time
-        return age_priority([seal_time[s] for s in candidates])
+    def rank_columns(self, segs, ids: np.ndarray) -> np.ndarray:
+        return age_priority(segs.seal_time[ids])

@@ -4,13 +4,25 @@ A policy makes the two decisions the paper studies, and only those:
 
 1. **Placement** — which open segment (stream) each page write goes to,
    and whether/how batches of writes are sorted by update frequency
-   before packing (``route_user`` / ``user_sort_key`` / ``place_gc``).
+   before packing (``route_user`` / ``route_user_batch`` /
+   ``user_sort_key`` / ``place_gc``).
 2. **Victim selection** — which sealed segments to clean next
-   (``rank`` / ``select_victims``).
+   (``rank_columns`` / ``select_victims``).
 
 Everything mechanical (page table, space accounting, sealing, the
 cleaning cycle itself) lives in the store, so policies stay small and
 directly comparable — exactly the paper's experimental methodology.
+
+Victim ranking is column-based: ``rank_columns(segs, ids)`` computes
+priorities directly from the :class:`~repro.store.segments.SegmentTable`
+arrays with fancy indexing, no per-segment Python gathering.  The
+id-list :meth:`CleaningPolicy.rank` remains as a convenience wrapper
+(and as the override point for out-of-tree policies written against the
+old protocol).  Policies whose priority does not reference the moving
+clock declare ``clock_dependent_rank = False`` and get per-segment
+priority caching for free: the store's segment ``epoch`` counter marks
+which segments changed since the last cleaning cycle, and only those are
+re-scored.
 """
 
 from __future__ import annotations
@@ -21,12 +33,21 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.store.log_store import GC_STREAM, LogStructuredStore
+from repro.store.segments import SegmentTable
+
+#: Candidate-count multiple above which ``select_victims`` switches from
+#: a full sort to ``np.argpartition`` of the needed prefix.
+_PARTITION_FACTOR = 4
+#: Extra order entries taken beyond the requested batch, covering the
+#: net-gain extension and skipped zero-avail segments before the full
+#: sort fallback kicks in.
+_ORDER_SLACK = 16
 
 
 class CleaningPolicy(abc.ABC):
     """Base class for cleaning policies.
 
-    Subclasses usually only implement :meth:`rank`; the default
+    Subclasses usually only implement :meth:`rank_columns`; the default
     :meth:`select_victims` turns the ranking into a victim batch with a
     net-space-gain guarantee.
     """
@@ -36,9 +57,18 @@ class CleaningPolicy(abc.ABC):
     #: Whether user writes should pass through the store's sorting buffer
     #: (only the frequency-separating MDC variants use it).
     uses_sort_buffer = False
+    #: Whether :meth:`rank_columns` reads the store clock (or any other
+    #: global that moves between cleaning cycles).  When False, the
+    #: priority of a segment is a pure elementwise function of its
+    #: SegmentTable columns, and select_victims caches it per segment
+    #: until the segment's ``epoch`` advances.  The conservative default
+    #: (True) disables caching.
+    clock_dependent_rank = True
 
     def __init__(self) -> None:
         self.store: Optional[LogStructuredStore] = None
+        self._prio_cache: Optional[np.ndarray] = None
+        self._prio_epoch: Optional[np.ndarray] = None
 
     def bind(self, store: LogStructuredStore) -> None:
         """Called once by the store's constructor."""
@@ -49,6 +79,23 @@ class CleaningPolicy(abc.ABC):
     def route_user(self, page_id: int) -> int:
         """Stream (open segment) for a user write.  Default: one stream."""
         return 0
+
+    def route_user_batch(self, page_ids: np.ndarray) -> Optional[np.ndarray]:
+        """Streams for a batch of user writes, or ``None`` when routing
+        must be computed write-by-write.
+
+        The batch write engine calls this once per batch; a non-None
+        return promises that routing each page does not depend on the
+        effects of the preceding writes in the batch.  The default
+        mirrors the default :meth:`route_user` (everything to stream 0)
+        — but only while ``route_user`` itself is not overridden; a
+        policy that overrides ``route_user`` with per-write state
+        (multi-log's frequency classes) automatically falls back to the
+        scalar path unless it also overrides this method.
+        """
+        if type(self).route_user is not CleaningPolicy.route_user:
+            return None
+        return np.zeros(len(page_ids), dtype=np.int64)
 
     def user_sort_key(self, page_ids: Sequence[int]) -> Optional[Sequence[float]]:
         """Sort keys for a drained write-buffer batch; ``None`` keeps the
@@ -69,6 +116,22 @@ class CleaningPolicy(abc.ABC):
         """
         return [(pid, GC_STREAM) for pid in page_ids]
 
+    def place_gc_batch(
+        self, page_ids: np.ndarray, src_segs: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Array form of :meth:`place_gc`, or ``None`` to fall back to
+        the tuple protocol.
+
+        Returns ``(page_ids, streams)`` in emission order; a ``None``
+        stream array means everything goes to the GC stream.  The
+        default mirrors the default :meth:`place_gc` — but only while
+        ``place_gc`` itself is not overridden, so tuple-protocol
+        policies keep their behavior.
+        """
+        if type(self).place_gc is not CleaningPolicy.place_gc:
+            return None
+        return page_ids, None
+
     def on_segment_open(self, seg: int, stream: int) -> None:
         """Notification that ``seg`` became the open segment of
         ``stream``; policies that tag segments (multi-log) override."""
@@ -84,39 +147,108 @@ class CleaningPolicy(abc.ABC):
 
     # -- victim selection ------------------------------------------------
 
-    @abc.abstractmethod
     def rank(self, candidates: Sequence[int]) -> np.ndarray:
-        """Priority per candidate segment; lower = clean earlier."""
+        """Priority per candidate segment; lower = clean earlier.
+
+        Convenience wrapper over :meth:`rank_columns`; out-of-tree
+        policies may override this instead.
+        """
+        return self.rank_columns(
+            self.store.segments, np.asarray(candidates, dtype=np.int64)
+        )
+
+    def rank_columns(self, segs: SegmentTable, ids: np.ndarray) -> np.ndarray:
+        """Priority per candidate, computed from the segment-table
+        columns; lower = clean earlier.  ``ids`` is an int64 array.
+
+        When ``clock_dependent_rank`` is False this must be an
+        elementwise-pure function of the columns: segment ``s``'s
+        priority may depend only on values indexed by ``s`` (the epoch
+        cache re-scores segments individually).
+        """
+        if type(self).rank is CleaningPolicy.rank:
+            raise NotImplementedError(
+                "%s implements neither rank nor rank_columns" % type(self).__name__
+            )
+        return np.asarray(self.rank([int(s) for s in ids]), dtype=float)
+
+    def _ranked_priorities(self, ids: np.ndarray) -> np.ndarray:
+        """Priorities for ``ids``, through the epoch cache when the
+        ranking is cacheable."""
+        segs = self.store.segments
+        if self.clock_dependent_rank:
+            return np.asarray(self.rank_columns(segs, ids), dtype=float)
+        cache = self._prio_cache
+        if cache is None or cache.size < len(segs):
+            n = len(segs)
+            self._prio_cache = cache = np.zeros(n, dtype=np.float64)
+            self._prio_epoch = np.full(n, -1, dtype=np.int64)
+        seen = self._prio_epoch
+        epochs = segs.epoch[ids]
+        stale = seen[ids] != epochs
+        if stale.any():
+            stale_ids = ids[stale]
+            cache[stale_ids] = np.asarray(
+                self.rank_columns(segs, stale_ids), dtype=float
+            )
+            seen[stale_ids] = epochs[stale]
+        return cache[ids]
 
     def select_victims(
         self, candidates: Sequence[int], n: Optional[int] = None
     ) -> List[int]:
-        """Pick a victim batch by ascending :meth:`rank`.
+        """Pick a victim batch by ascending :meth:`rank_columns`.
 
         Takes the configured batch size, then keeps extending the batch
         until the reclaimable space in it is at least one whole segment,
-        so a cleaning cycle always makes net forward progress.  Returns
-        an empty list when nothing at all is reclaimable.
+        so a cleaning cycle always makes net forward progress.  Segments
+        with no reclaimable space (``A == 0``, priority ``+inf``) are
+        never selected — cleaning one burns an erase and relocates a
+        full segment of live pages for zero gain.  Returns an empty list
+        when nothing at all is reclaimable.
         """
         store = self.store
         if n is None:
             n = store.config.clean_batch
-        priorities = np.asarray(self.rank(candidates), dtype=float)
-        order = np.argsort(priorities, kind="stable")
-        segs = store.segments
-        capacity = segs.capacity
-        live_units = segs.live_units
-        victims: List[int] = []
-        reclaim = 0
-        for idx in order:
-            if len(victims) >= n and reclaim >= capacity:
-                break
-            seg = candidates[idx]
-            victims.append(seg)
-            reclaim += capacity - live_units[seg]
+        ids = np.asarray(candidates, dtype=np.int64)
+        if ids.size == 0:
+            return []
+        priorities = self._ranked_priorities(ids)
+        order = _ascending_prefix(priorities, n + _ORDER_SLACK)
+        victims, reclaim = self._take_victims(ids, order, priorities, n)
+        if (
+            order.size < ids.size
+            and not (len(victims) >= n and reclaim >= store.segments.capacity)
+        ):
+            # The partial order ran out before the batch was satisfied;
+            # only the full sort can tell whether more is reclaimable.
+            order = np.argsort(priorities, kind="stable")
+            victims, reclaim = self._take_victims(ids, order, priorities, n)
         if reclaim == 0:
             return []
         return victims
+
+    def _take_victims(
+        self,
+        ids: np.ndarray,
+        order: np.ndarray,
+        priorities: np.ndarray,
+        n: int,
+    ) -> Tuple[List[int], int]:
+        segs = self.store.segments
+        capacity = segs.capacity
+        ranked = ids[order]
+        avail = capacity - segs.live_units[ranked]
+        pos = np.flatnonzero(avail > 0)
+        if pos.size == 0:
+            return [], 0
+        cum = np.cumsum(avail[pos])
+        # Stop after the earliest prefix that satisfies both the batch
+        # size and the whole-segment net gain; take everything when the
+        # order runs out first.
+        t = max(n - 1, int(np.searchsorted(cum, capacity, side="left")))
+        t = min(t, pos.size - 1)
+        return ranked[pos[: t + 1]].tolist(), int(cum[t])
 
     # -- persistence ------------------------------------------------------
 
@@ -145,3 +277,24 @@ class CleaningPolicy(abc.ABC):
 
     def __repr__(self) -> str:
         return "<%s policy>" % self.name
+
+
+def _ascending_prefix(priorities: np.ndarray, need: int) -> np.ndarray:
+    """The first ``>= need`` entries of ``argsort(priorities, stable)``
+    without sorting everything.
+
+    ``argpartition`` finds the ``need`` smallest values; every index
+    whose priority is <= the largest of those is gathered and
+    stable-sorted.  Anything outside that set has a strictly larger
+    priority, so the result is exactly a prefix of the full stable
+    argsort — same victims, same tie-breaking, at O(n + k log k).
+    """
+    count = priorities.size
+    if need * _PARTITION_FACTOR >= count:
+        return np.argsort(priorities, kind="stable")
+    part = np.argpartition(priorities, need - 1)[:need]
+    cut = priorities[part].max()
+    if np.isnan(cut):
+        return np.argsort(priorities, kind="stable")
+    eligible = np.flatnonzero(priorities <= cut)
+    return eligible[np.argsort(priorities[eligible], kind="stable")]

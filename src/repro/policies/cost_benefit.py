@@ -17,8 +17,6 @@ reading so the difference is measurable.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from repro.core.priority import cost_benefit_paper_priority, cost_benefit_priority
@@ -29,15 +27,13 @@ class CostBenefitPolicy(CleaningPolicy):
     """Clean by descending ``(E * age) / (2 - E)``."""
 
     name = "cost-benefit"
+    #: ``age`` moves with the clock every cycle — nothing to cache.
+    clock_dependent_rank = True
 
-    def rank(self, candidates: Sequence[int]) -> np.ndarray:
-        segs = self.store.segments
-        clock = self.store.clock
+    def rank_columns(self, segs, ids: np.ndarray) -> np.ndarray:
         capacity = segs.capacity
-        live_units = segs.live_units
-        seal_time = segs.seal_time
-        avail = [capacity - live_units[s] for s in candidates]
-        age = [clock - seal_time[s] for s in candidates]
+        avail = capacity - segs.live_units[ids]
+        age = self.store.clock - segs.seal_time[ids]
         return cost_benefit_priority(avail, capacity, age)
 
 
@@ -46,13 +42,10 @@ class CostBenefitPaperPolicy(CleaningPolicy):
     with ``E`` the empty fraction (prefers *fuller* segments)."""
 
     name = "cost-benefit-paper"
+    clock_dependent_rank = True
 
-    def rank(self, candidates: Sequence[int]) -> np.ndarray:
-        segs = self.store.segments
-        clock = self.store.clock
+    def rank_columns(self, segs, ids: np.ndarray) -> np.ndarray:
         capacity = segs.capacity
-        live_units = segs.live_units
-        seal_time = segs.seal_time
-        avail = [capacity - live_units[s] for s in candidates]
-        age = [clock - seal_time[s] for s in candidates]
+        avail = capacity - segs.live_units[ids]
+        age = self.store.clock - segs.seal_time[ids]
         return cost_benefit_paper_priority(avail, capacity, age)

@@ -9,8 +9,6 @@ original LFS observation [23]).
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from repro.core.priority import greedy_priority
@@ -21,9 +19,9 @@ class GreedyPolicy(CleaningPolicy):
     """Clean by descending available space."""
 
     name = "greedy"
+    #: Available space is a pure column function; priorities cache until
+    #: a segment's epoch moves.
+    clock_dependent_rank = False
 
-    def rank(self, candidates: Sequence[int]) -> np.ndarray:
-        segs = self.store.segments
-        capacity = segs.capacity
-        live_units = segs.live_units
-        return greedy_priority([capacity - live_units[s] for s in candidates])
+    def rank_columns(self, segs, ids: np.ndarray) -> np.ndarray:
+        return greedy_priority(segs.capacity - segs.live_units[ids])

@@ -29,7 +29,7 @@ Two estimator variants, as in the paper:
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,10 @@ from repro.policies.base import CleaningPolicy
 #: Class id for pages with no usable frequency signal (never written, or
 #: zero oracle frequency): colder than any real class.
 _COLD_CLASS = -(10 ** 9)
+
+#: Sentinel in the segment->class column for segments no class has
+#: opened; sorts below every real class id.
+_UNASSIGNED = np.iinfo(np.int64).min
 
 
 class MultiLogPolicy(CleaningPolicy):
@@ -64,8 +68,9 @@ class MultiLogPolicy(CleaningPolicy):
         #: Existing classes, sorted cold -> hot (created lazily).
         self._classes: List[int] = []
         self._last_class = _COLD_CLASS
-        #: Segment -> class that wrote it (refreshed on every open).
-        self._seg_class: Dict[int, int] = {}
+        #: Segment -> class that wrote it (refreshed on every open); an
+        #: int64 column parallel to the segment table, allocated at bind.
+        self._seg_class: Optional[np.ndarray] = None
 
     def bind(self, store) -> None:
         super().bind(store)
@@ -75,6 +80,7 @@ class MultiLogPolicy(CleaningPolicy):
         # n_logs + 2 free segments; both must fit inside the slack.
         fit = max(1, (slack_segments - cfg.clean_trigger - 2) // 2)
         self._max_logs_effective = min(self.max_logs, fit)
+        self._seg_class = np.full(cfg.n_segments, _UNASSIGNED, dtype=np.int64)
 
     # -- frequency classes -------------------------------------------------
 
@@ -142,11 +148,36 @@ class MultiLogPolicy(CleaningPolicy):
         # colder than their log assumed.  Demote each one to the next
         # colder class than its source segment's: the gradual hot-to-cold
         # migration of the multi-log design.
-        placements = []
-        for pid, src in zip(page_ids, src_segs):
-            src_class = self._seg_class.get(src)
-            placements.append((pid, self._colder_class(src_class)))
-        return placements
+        classes = self._classes
+        if not classes or not page_ids:
+            # No classes exist yet: the first demotion creates the cold
+            # class, which the scalar path handles.
+            return [
+                (pid, self._colder_class(self._lookup_class(src)))
+                for pid, src in zip(page_ids, src_segs)
+            ]
+        src_cls = self._seg_class[np.asarray(src_segs, dtype=np.int64)]
+        cls_arr = np.asarray(classes, dtype=np.int64)
+        # bisect_left per source class, one step colder, floored at the
+        # coldest (the unassigned sentinel lands there on its own).
+        lo = np.searchsorted(cls_arr, src_cls, side="left")
+        colder = cls_arr[np.maximum(lo - 1, 0)]
+        return list(zip(page_ids, colder.tolist()))
+
+    def _lookup_class(self, seg: int) -> Optional[int]:
+        cls = self._seg_class[seg]
+        return None if cls == _UNASSIGNED else int(cls)
+
+    def place_gc_batch(
+        self, page_ids: np.ndarray, src_segs: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        # The exact variant reclassifies through _class_of, which can
+        # mutate the class set mid-batch — tuple protocol handles that.
+        if self.exact or not self._classes or page_ids.size == 0:
+            return None
+        cls_arr = np.asarray(self._classes, dtype=np.int64)
+        lo = np.searchsorted(cls_arr, self._seg_class[src_segs], side="left")
+        return page_ids, cls_arr[np.maximum(lo - 1, 0)]
 
     def _colder_class(self, cls: Optional[int]) -> int:
         classes = self._classes
@@ -170,16 +201,21 @@ class MultiLogPolicy(CleaningPolicy):
         self._seg_class[seg] = stream
 
     def state_dict(self) -> dict:
+        assigned = np.flatnonzero(self._seg_class != _UNASSIGNED)
         return {
             "classes": list(self._classes),
             "last_class": self._last_class,
-            "seg_class": {str(k): v for k, v in self._seg_class.items()},
+            "seg_class": {
+                str(int(s)): int(self._seg_class[s]) for s in assigned
+            },
         }
 
     def load_state_dict(self, state: dict) -> None:
         self._classes = [int(c) for c in state["classes"]]
         self._last_class = int(state["last_class"])
-        self._seg_class = {int(k): int(v) for k, v in state["seg_class"].items()}
+        self._seg_class.fill(_UNASSIGNED)
+        for k, v in state["seg_class"].items():
+            self._seg_class[int(k)] = int(v)
 
     def min_free_target(self) -> int:
         # One open segment per class can be allocated within a single
@@ -188,15 +224,13 @@ class MultiLogPolicy(CleaningPolicy):
 
     # -- victim selection ------------------------------------------------
 
-    def rank(self, candidates: Sequence[int]) -> np.ndarray:
+    #: The fallback ranking (available space) is a pure column function.
+    clock_dependent_rank = False
+
+    def rank_columns(self, segs, ids: np.ndarray) -> np.ndarray:
         """Global fallback ranking: most reclaimable space first (used
         when the local neighbourhood has nothing cleanable)."""
-        segs = self.store.segments
-        capacity = segs.capacity
-        live_units = segs.live_units
-        return np.array(
-            [-(capacity - live_units[s]) for s in candidates], dtype=float
-        )
+        return -(segs.capacity - segs.live_units[ids]).astype(float)
 
     def select_victims(
         self, candidates: Sequence[int], n: Optional[int] = None
@@ -205,32 +239,34 @@ class MultiLogPolicy(CleaningPolicy):
         neighbours; one segment per cycle."""
         segs = self.store.segments
         classes = self._classes
-        if classes:
+        ids = np.asarray(candidates, dtype=np.int64)
+        best: Optional[int] = None
+        best_avail = -1
+        if classes and ids.size:
             try:
                 pos = classes.index(self._last_class)
             except ValueError:
                 pos = 0
-            neighbourhood = set(classes[max(0, pos - 1) : pos + 2])
-        else:
-            neighbourhood = set()
-        capacity = segs.capacity
-        live_units = segs.live_units
-        seal_time = segs.seal_time
-        seg_class = self._seg_class
-        oldest: Dict[int, int] = {}
-        for seg in candidates:
-            cls = seg_class.get(seg)
-            if cls not in neighbourhood:
-                continue
-            cur = oldest.get(cls)
-            if cur is None or seal_time[seg] < seal_time[cur]:
-                oldest[cls] = seg
-        best: Optional[int] = None
-        best_avail = -1
-        for seg in oldest.values():
-            avail = capacity - live_units[seg]
-            if avail > best_avail:
-                best, best_avail = seg, avail
+            neighbourhood = classes[max(0, pos - 1) : pos + 2]
+            cand_cls = self._seg_class[ids]
+            seal_time = segs.seal_time[ids]
+            capacity = segs.capacity
+            live_units = segs.live_units
+            # Oldest candidate of each neighbourhood class, classes
+            # considered in the order the candidate scan first meets
+            # them (preserving the original dict-insertion tie order).
+            per_class = []
+            for cls in neighbourhood:
+                members = np.flatnonzero(cand_cls == cls)
+                if members.size == 0:
+                    continue
+                oldest = int(ids[members[np.argmin(seal_time[members])]])
+                per_class.append((int(members[0]), oldest))
+            per_class.sort()
+            for _, seg in per_class:
+                avail = capacity - int(live_units[seg])
+                if avail > best_avail:
+                    best, best_avail = seg, avail
         if best is None or best_avail == 0:
             # Local neighbourhood has nothing reclaimable: fall back to
             # the global greedy pick so the system keeps making progress.

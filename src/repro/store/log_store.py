@@ -20,6 +20,21 @@ The "clock" is the user-update counter (paper Section 4.2): one tick per
 user write, so update-frequency estimates are immune to wall-clock
 artifacts such as load variation.
 
+Write paths
+-----------
+
+:meth:`LogStructuredStore.write` is the scalar reference path: one page
+per call, one branch per bookkeeping rule.  :meth:`write_batch` is the
+vectorized engine the benchmarks drive: it splits a workload batch into
+*runs* — maximal prefixes with distinct page ids that fit the open
+segment (or the sorting buffer) — applies each run's bookkeeping with
+numpy fancy indexing, and falls back to the scalar path for exactly the
+writes that cross a seal / flush / clean boundary.  The two paths are
+bit-identical: every float accumulation in the batch path replays the
+scalar update order (``np.add.at`` and ``np.cumsum`` are sequential
+left-to-right folds), which the differential test suite locks down by
+comparing full state digests.
+
 Cleaning cycle
 --------------
 
@@ -38,6 +53,8 @@ import math
 from collections import deque
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.store.buffer import SortBuffer
 from repro.store.config import StoreConfig
 from repro.store.errors import OutOfSpaceError, PageSizeError
@@ -49,6 +66,43 @@ from repro.testkit.failpoints import failpoint
 #: Stream id used by policies that send relocated (GC) pages to their own
 #: open segment, separate from user writes.
 GC_STREAM = -1
+
+#: Batch chunk for the sequential load (one workload batch's worth).
+_LOAD_CHUNK = 1 << 14
+
+#: How far ahead a run may scan for a duplicate page id before chunking.
+_DUP_WINDOW = 1 << 12
+
+
+def _prev_occurrence(pids: np.ndarray) -> np.ndarray:
+    """For each batch position, the previous position holding the same
+    page id (-1 if none).  One stable argsort for the whole batch."""
+    n = pids.size
+    prev = np.full(n, -1, dtype=np.int64)
+    if n > 1:
+        order = np.argsort(pids, kind="stable")
+        sorted_pids = pids[order]
+        idx = np.flatnonzero(sorted_pids[1:] == sorted_pids[:-1]) + 1
+        prev[order[idx]] = order[idx - 1]
+    return prev
+
+
+def _fold_add(current: float, values: np.ndarray) -> float:
+    """``current + v0 + v1 + ...`` as a strict left-to-right float fold —
+    bit-identical to a scalar ``+=`` loop (cumsum accumulates in order)."""
+    tmp = np.empty(values.size + 1, dtype=np.float64)
+    tmp[0] = current
+    tmp[1:] = values
+    return float(np.cumsum(tmp)[-1])
+
+
+def _stream_runs(streams: np.ndarray):
+    """Yield ``(start, stop)`` bounds of maximal constant-stream runs."""
+    n = streams.size
+    bounds = np.flatnonzero(np.diff(streams) != 0) + 1
+    starts = np.concatenate(([0], bounds))
+    stops = np.concatenate((bounds, [n]))
+    return zip(starts.tolist(), stops.tolist())
 
 
 class LogStructuredStore:
@@ -90,6 +144,10 @@ class LogStructuredStore:
         #: Fallback "coldish" up2 for first-writes placed outside a sorted
         #: batch (Section 5.2.2, "First Write").
         self._cold_up2 = 0.0
+        #: Cached ascending array of sealed segment ids, rebuilt lazily
+        #: when a seal or a clean invalidated it.
+        self._sealed_cache = np.empty(0, dtype=np.int64)
+        self._sealed_dirty = True
         if config.sort_buffer_segments > 0 and policy.uses_sort_buffer:
             self.buffer: Optional[SortBuffer] = SortBuffer(
                 config.sort_buffer_segments * config.segment_units
@@ -149,18 +207,124 @@ class LogStructuredStore:
             self._emit(page_id, self.policy.route_user(page_id), is_gc=False)
         pages.last_write[page_id] = self.clock
 
+    def write_batch(
+        self,
+        page_ids: Sequence[int],
+        sizes: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Apply a batch of user updates — equivalent to calling
+        :meth:`write` once per element, but vectorized.
+
+        The batch is consumed as runs of *distinct* page ids that fit the
+        current open segment (direct placement) or the sorting buffer;
+        each run's invalidation, placement, and statistics bookkeeping is
+        applied with array operations that replay the exact scalar update
+        order, so batch and scalar execution produce byte-identical state
+        (the testkit's :func:`~repro.testkit.trace.state_digest` is the
+        oracle for this).  Writes at a seal / flush / clean boundary —
+        and whole batches for policies whose routing is inherently
+        per-page (multi-log) — go through the scalar path.
+        """
+        pids = np.ascontiguousarray(page_ids, dtype=np.int64)
+        if pids.ndim != 1:
+            raise ValueError("page_ids must be one-dimensional")
+        n = pids.size
+        if n == 0:
+            return
+        size_arr: Optional[np.ndarray] = None
+        if sizes is not None:
+            size_arr = np.ascontiguousarray(sizes, dtype=np.int64)
+            if size_arr.shape != pids.shape:
+                raise ValueError("sizes must be parallel to page_ids")
+            if (
+                size_arr.min() < 1
+                or size_arr.max() > self.config.segment_units
+            ):
+                # An invalid size must fail exactly where the scalar loop
+                # would: after the preceding valid writes were applied.
+                self._write_scalar_span(pids, size_arr, 0, n)
+                return
+        self.pages.ensure(int(pids.max()))
+
+        routes: Optional[np.ndarray] = None
+        uniform_routes = False
+        if self.buffer is None:
+            routes = self.policy.route_user_batch(pids)
+            if routes is None:
+                # Routing depends on per-write state; the scalar path is
+                # the only faithful execution.
+                self._write_scalar_span(pids, size_arr, 0, n)
+                return
+            routes = np.ascontiguousarray(routes, dtype=np.int64)
+            if routes.shape != pids.shape:
+                raise ValueError("route_user_batch returned a bad shape")
+            uniform_routes = bool((routes == routes[0]).all())
+
+        prev = _prev_occurrence(pids)
+        direct = self.buffer is None
+        start = 0
+        while start < n:
+            stop = min(n, start + _DUP_WINDOW)
+            if direct:
+                # The direct path handles repeated page ids inside a run
+                # (the dup's old location is a known slot of the open
+                # segment); runs break only at stream changes and
+                # capacity boundaries.
+                limit = stop
+            else:
+                # The buffered path replays rewrites through the sort
+                # buffer's replace bookkeeping; a repeated id ends the
+                # run so table state is committed before it recurs.
+                dup = np.flatnonzero(prev[start:stop] >= start)
+                limit = start + int(dup[0]) if dup.size else stop
+            run = pids[start:limit]
+            run_sizes = None if size_arr is None else size_arr[start:limit]
+            if not direct:
+                took = self._write_run_buffered(run, run_sizes)
+            else:
+                took = self._write_run_direct(
+                    run,
+                    run_sizes,
+                    routes[start:limit],
+                    uniform_routes,
+                    prev[start:limit] - start,
+                )
+            if took == 0:
+                # Boundary write: the next write seals, flushes, or
+                # cleans; the scalar path handles those transitions.
+                self._write_scalar_span(pids, size_arr, start, start + 1)
+                took = 1
+            start += took
+
+    def _write_scalar_span(
+        self,
+        pids: np.ndarray,
+        size_arr: Optional[np.ndarray],
+        start: int,
+        stop: int,
+    ) -> None:
+        """Feed ``pids[start:stop]`` through the scalar write path."""
+        if size_arr is None:
+            for i in range(start, stop):
+                self.write(int(pids[i]))
+        else:
+            for i in range(start, stop):
+                self.write(int(pids[i]), int(size_arr[i]))
+
     def load_sequential(self, n_pages: int, sizes: Optional[Sequence[int]] = None) -> None:
         """Write pages ``0 .. n_pages-1`` once each (the initial fill).
 
         These count as user writes; benchmarks exclude the load phase by
         measuring write amplification over a post-warm-up window.
         """
-        if sizes is None:
-            for pid in range(n_pages):
-                self.write(pid)
-        else:
-            for pid in range(n_pages):
-                self.write(pid, sizes[pid])
+        ids = np.arange(n_pages, dtype=np.int64)
+        size_arr = None if sizes is None else np.asarray(sizes, dtype=np.int64)
+        for start in range(0, n_pages, _LOAD_CHUNK):
+            chunk = ids[start:start + _LOAD_CHUNK]
+            self.write_batch(
+                chunk,
+                None if size_arr is None else size_arr[start:start + _LOAD_CHUNK],
+            )
 
     def trim(self, page_id: int) -> bool:
         """Discard a page's current version without writing a new one
@@ -199,8 +363,15 @@ class LogStructuredStore:
         if keys is not None:
             pids = [pid for _, pid in sorted(zip(keys, pids))]
         policy = self.policy
-        for pid in pids:
-            self._emit(pid, policy.route_user(pid), is_gc=False)
+        arr = np.asarray(pids, dtype=np.int64)
+        routes = policy.route_user_batch(arr)
+        if routes is None:
+            for pid in pids:
+                self._emit(pid, policy.route_user(pid), is_gc=False)
+            return
+        routes = np.ascontiguousarray(routes, dtype=np.int64)
+        for start, stop in _stream_runs(routes):
+            self._emit_run(arr[start:stop], int(routes[start]), is_gc=False)
 
     def set_oracle_frequencies(self, freqs: Sequence[float]) -> None:
         """Install exact per-page update frequencies for the ``-opt``
@@ -210,10 +381,10 @@ class LogStructuredStore:
         so segment ``freq_sum`` accounting stays consistent; to change a
         frequency mid-run use :meth:`set_page_frequency`.
         """
-        self.pages.ensure(len(freqs) - 1)
-        oracle = self.pages.oracle_freq
-        for pid, f in enumerate(freqs):
-            oracle[pid] = float(f)
+        pages = self.pages
+        pages.ensure(len(freqs) - 1)
+        pages.oracle_freq[: len(freqs)] = np.asarray(freqs, dtype=np.float64)
+        pages.oracle_active = True
 
     def set_page_frequency(self, page_id: int, freq: float) -> None:
         """Change one page's oracle frequency mid-run.
@@ -231,7 +402,9 @@ class LogStructuredStore:
         seg = pages.seg[page_id]
         if seg >= 0:
             self.segments.freq_sum[seg] += freq - old
+            self.segments.epoch[seg] += 1
         pages.oracle_freq[page_id] = freq
+        pages.oracle_active = True
 
     # ------------------------------------------------------------------
     # Derived state
@@ -242,40 +415,47 @@ class LogStructuredStore:
         """Segments currently in the free pool."""
         return len(self.free_list)
 
-    def sealed_segments(self) -> List[int]:
-        """Ids of all sealed (cleanable) segments."""
-        state = self.segments.state
-        return [s for s in range(len(state)) if state[s] == SEALED]
+    def sealed_segments(self) -> np.ndarray:
+        """Ids of all sealed (cleanable) segments, ascending.
+
+        Cached between cleaning cycles: seals and cleans mark the cache
+        dirty, so steady-state cycles skip the full state scan.  The
+        returned array is the cache itself — treat it as read-only.
+        """
+        if self._sealed_dirty:
+            self._sealed_cache = np.flatnonzero(self.segments.state == SEALED)
+            self._sealed_dirty = False
+        return self._sealed_cache
 
     def fill_factor_now(self) -> float:
         """Current fraction of device units holding live data."""
-        live = sum(self.segments.live_units)
+        live = int(self.segments.live_units.sum())
         if self.buffer is not None:
             live += self.buffer.used_units
         return live / self.config.device_units
 
     def live_page_count(self) -> int:
         """Pages holding a current version anywhere (device or buffer)."""
-        return sum(1 for s in self.pages.seg if s != NEVER_WRITTEN)
+        return int(np.count_nonzero(self.pages.seg != NEVER_WRITTEN))
 
     def wear_summary(self) -> dict:
         """Per-segment erase (reclaim) statistics — flash wear, in the
         SSD framing.  ``cv`` is the coefficient of variation: 0 means
         perfectly even wear."""
         counts = self.segments.erase_count
-        n = len(counts)
-        total = sum(counts)
+        n = counts.size
+        total = int(counts.sum())
         mean = total / n
         if mean > 0.0:
-            var = sum((c - mean) ** 2 for c in counts) / n
-            cv = var ** 0.5 / mean
+            diffs = counts - mean
+            cv = float(np.sqrt((diffs * diffs).mean()) / mean)
         else:
             cv = 0.0
         return {
             "total_erases": total,
             "mean": mean,
-            "max": max(counts),
-            "min": min(counts),
+            "max": int(counts.max()),
+            "min": int(counts.min()),
             "cv": cv,
         }
 
@@ -298,17 +478,20 @@ class LogStructuredStore:
         # Advance the segment's last-two-updates pair (Section 4.3).
         segs.up2[seg] = segs.up1[seg]
         segs.up1[seg] = self.clock
+        segs.epoch[seg] += 1
 
-    def _resolve_first_writes(self, pids: List[int]) -> None:
+    def _resolve_first_writes(self, pids: Sequence[int]) -> None:
         """Give never-before-written pages a "coldish" up2: the oldest up2
         in the batch being processed (Section 5.2.2, "First Write")."""
         carried = self.pages.carried_up2
-        known = [carried[p] for p in pids if carried[p] == carried[p]]
-        cold = min(known) if known else self._cold_up2
+        arr = np.asarray(pids, dtype=np.int64)
+        vals = carried[arr]
+        nan = np.isnan(vals)
+        known = vals[~nan]
+        cold = float(known.min()) if known.size else self._cold_up2
         self._cold_up2 = cold
-        for pid in pids:
-            if not (carried[pid] == carried[pid]):
-                carried[pid] = cold
+        if nan.any():
+            carried[arr[nan]] = cold
 
     def _emit(self, page_id: int, stream: int, is_gc: bool) -> None:
         """Append ``page_id`` to the open segment of ``stream``, sealing
@@ -324,7 +507,7 @@ class LogStructuredStore:
         """
         segs = self.segments
         pages = self.pages
-        size = pages.size[page_id]
+        size = int(pages.size[page_id])
         seg = self.open_segments.get(stream)
         if seg is not None and segs.used_units[seg] + size > segs.capacity:
             self._seal(seg)
@@ -359,6 +542,356 @@ class LogStructuredStore:
         else:
             self.stats.user_device_writes += 1
 
+    # ------------------------------------------------------------------
+    # Internals: the vectorized run engine
+    # ------------------------------------------------------------------
+
+    def _invalidate_run(
+        self,
+        run: np.ndarray,
+        old_seg: np.ndarray,
+        old_size: np.ndarray,
+        clocks: np.ndarray,
+        subtract_freq: bool,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Vectorized :meth:`_invalidate` for a run of writes.
+
+        Writes of the run that hit the same segment are grouped; within
+        a group the scalar path's rolling ``(up1, up2)`` advance means
+        write ``k`` (0-based) carries the midpoint against the segment's
+        original ``up2`` (k=0), original ``up1`` (k=1), or the clock of
+        the write two places earlier (k>=2) — computed here with a
+        shift-by-two inside each group.  A page id may occur more than
+        once (the direct path's in-run rewrites) — the per-page table
+        scatter happens in run position order so the last occurrence
+        wins, exactly as the scalar sequence would leave it.
+
+        Returns ``(on_dev, carried)``: the on-device mask and the
+        per-position carried values of the on-device subset (``None``
+        when nothing was on the device).
+
+        ``subtract_freq`` skips the ``freq_sum`` subtraction so the
+        direct path can interleave it with the emission's addition (the
+        scalar order alternates subtract/add per page on possibly the
+        same segment, and float addition does not commute).
+        """
+        segs = self.segments
+        pages = self.pages
+        on_dev = old_seg >= 0
+        if on_dev.all():
+            # Steady state: every page already lives on the device.
+            iseg = old_seg
+            iclk = clocks
+            inv_pids = run
+            inv_sizes = old_size
+        elif not on_dev.any():
+            return on_dev, None
+        else:
+            ip = np.flatnonzero(on_dev)
+            iseg = old_seg[ip]
+            iclk = clocks[ip]
+            inv_pids = run[ip]
+            inv_sizes = old_size[ip]
+        if iseg.size == 1 or np.bincount(iseg).max() == 1:
+            # Every write hits a different segment (the common case when
+            # runs are short relative to the device): every group is a
+            # singleton, so the rolling (up1, up2) advance is one
+            # elementwise step and the scatters need no conflict
+            # resolution.
+            sclk = iclk.astype(np.float64)
+            base = segs.up2[iseg]
+            carried = base + 0.5 * (sclk - base)
+            pages.carried_up2[inv_pids] = carried
+            segs.up2[iseg] = segs.up1[iseg]
+            segs.up1[iseg] = sclk
+            segs.live_count[iseg] -= 1
+            segs.live_units[iseg] -= inv_sizes
+            if subtract_freq:
+                segs.freq_sum[iseg] = segs.freq_sum[iseg] + (
+                    -pages.oracle_freq[inv_pids]
+                )
+            segs.epoch[iseg] += 1
+            return on_dev, carried
+        order = np.argsort(iseg, kind="stable")
+        sseg = iseg[order]
+        sclk = iclk[order].astype(np.float64)
+        m = sseg.size
+        newgrp = np.empty(m, dtype=bool)
+        newgrp[0] = True
+        newgrp[1:] = sseg[1:] != sseg[:-1]
+        gidx = np.arange(m)
+        gstart = np.maximum.accumulate(np.where(newgrp, gidx, 0))
+        rank = gidx - gstart
+        base = np.empty(m, dtype=np.float64)
+        first = rank == 0
+        base[first] = segs.up2[sseg[first]]
+        second = rank == 1
+        if second.any():
+            base[second] = segs.up1[sseg[second]]
+        later = rank >= 2
+        if later.any():
+            base[later] = sclk[gidx[later] - 2]
+        carried = np.empty(m, dtype=np.float64)
+        carried[order] = base + 0.5 * (sclk - base)
+        pages.carried_up2[inv_pids] = carried
+        ends = np.flatnonzero(np.append(newgrp[1:], True))
+        group_segs = sseg[ends]
+        orig_up1 = segs.up1[group_segs]
+        segs.up1[group_segs] = sclk[ends]
+        single = rank[ends] == 0
+        prev_clk = sclk[np.maximum(ends - 1, 0)]
+        segs.up2[group_segs] = np.where(single, orig_up1, prev_clk)
+        np.subtract.at(segs.live_count, iseg, 1)
+        np.subtract.at(segs.live_units, iseg, inv_sizes)
+        if subtract_freq:
+            np.add.at(segs.freq_sum, iseg, -pages.oracle_freq[inv_pids])
+        np.add.at(segs.epoch, iseg, 1)
+        return on_dev, carried
+
+    def _write_run_direct(
+        self,
+        run: np.ndarray,
+        run_sizes: Optional[np.ndarray],
+        run_routes: np.ndarray,
+        uniform_routes: bool,
+        prev_rel: np.ndarray,
+    ) -> int:
+        """Place as many of ``run`` as fit the open segment of the run's
+        first stream; returns the number of writes consumed (0 when the
+        next write needs a seal, an allocation, or a different stream's
+        state to advance first).
+
+        ``prev_rel`` maps each position to the previous occurrence of
+        its page id, relative to the run start (negative: none inside
+        the run).  A repeated id invalidates the slot its previous
+        occurrence just filled — the open segment itself — so in-run
+        rewrites stay on the vectorized path and merely leave garbage
+        behind in the open segment, as the scalar sequence would."""
+        segs = self.segments
+        pages = self.pages
+        stream = int(run_routes[0])
+        seg = self.open_segments.get(stream)
+        if seg is None:
+            return 0
+        k = run.size
+        if not uniform_routes:
+            same = run_routes == stream
+            if not same.all():
+                k = int(np.argmin(same))
+        fit = int(segs.capacity - segs.used_units[seg])
+        if run_sizes is None:
+            k = min(k, fit)
+            if k == 0:
+                return 0
+            run = run[:k]
+            sz = np.ones(k, dtype=np.int64)
+        else:
+            cum = np.cumsum(run_sizes[:k])
+            k = int(np.searchsorted(cum, fit, side="right"))
+            if k == 0:
+                return 0
+            run = run[:k]
+            sz = run_sizes[:k]
+
+        clock0 = self.clock
+        clocks = clock0 + 1 + np.arange(k, dtype=np.int64)
+        self.clock = clock0 + k
+        self.stats.user_writes += k
+
+        old_seg = pages.seg[run]
+        old_size = pages.size[run]
+        dup = prev_rel[:k] >= 0
+        if dup.any():
+            # In-run rewrite: the page's current version is the one this
+            # very run emitted at its previous occurrence.
+            old_seg[dup] = seg
+            old_size[dup] = sz[prev_rel[:k][dup]]
+        # Per-position carried values must be gathered before the
+        # invalidation scatters new ones (a later rewrite of the same
+        # page must not leak its value into an earlier emission).
+        carried = pages.carried_up2[run]
+        # freq_sum subtraction deferred: it interleaves with the
+        # emission's addition below to match the scalar order.
+        on_dev, inv_carried = self._invalidate_run(
+            run, old_seg, old_size, clocks, subtract_freq=False
+        )
+        if inv_carried is not None:
+            if inv_carried.size == k:
+                carried = inv_carried
+            else:
+                carried[on_dev] = inv_carried
+        nan = np.isnan(carried)
+        if nan.any():
+            carried[nan] = self._cold_up2
+        pages.carried_up2[run] = carried
+
+        pages.size[run] = sz
+        slots = segs.slots[seg]
+        slot0 = len(slots)
+        slots.extend(run.tolist())
+        segs.slot_sizes[seg].extend(sz.tolist())
+        pages.seg[run] = seg
+        pages.slot[run] = slot0 + np.arange(k)
+        total = int(sz.sum())
+        segs.live_count[seg] += k
+        segs.live_units[seg] += total
+        segs.used_units[seg] += total
+        segs.up2_sum[seg] = _fold_add(segs.up2_sum[seg], carried)
+        if pages.oracle_active:
+            # Scalar order per page: subtract from the old segment, add
+            # to the new one.  Replayed as one in-order scatter stream.
+            freqs = pages.oracle_freq[run]
+            idx = np.empty(2 * k, dtype=np.int64)
+            val = np.empty(2 * k, dtype=np.float64)
+            idx[0::2] = np.where(on_dev, old_seg, 0)
+            idx[1::2] = seg
+            val[0::2] = -freqs
+            val[1::2] = freqs
+            keep = np.ones(2 * k, dtype=bool)
+            keep[0::2] = on_dev
+            np.add.at(segs.freq_sum, idx[keep], val[keep])
+        self.stats.user_device_writes += k
+        pages.last_write[run] = clocks
+        return k
+
+    def _write_run_buffered(
+        self, run: np.ndarray, run_sizes: Optional[np.ndarray]
+    ) -> int:
+        """Absorb as many of ``run`` as the sorting buffer takes without
+        flushing; returns the number of writes consumed (0 when the next
+        write must flush first)."""
+        buffer = self.buffer
+        pages = self.pages
+        k0 = run.size
+        old_seg = pages.seg[run]
+        old_size = pages.size[run]
+        in_buf = old_seg == IN_BUFFER
+        sz = (
+            np.ones(k0, dtype=np.int64)
+            if run_sizes is None
+            else run_sizes
+        )
+        # A rewrite of a buffered page replaces in place (net size delta,
+        # no capacity check — mirroring SortBuffer.replace); a new page
+        # must fit or the run ends at it (the scalar path flushes there).
+        delta = np.where(in_buf, sz - old_size, sz)
+        used_before = buffer.used_units + np.concatenate(
+            ([0], np.cumsum(delta)[:-1])
+        )
+        viol = np.flatnonzero(
+            (~in_buf) & (used_before + sz > buffer.capacity_units)
+        )
+        k = int(viol[0]) if viol.size else k0
+        if k == 0:
+            return 0
+        if k < k0:
+            run = run[:k]
+            old_seg = old_seg[:k]
+            old_size = old_size[:k]
+            in_buf = in_buf[:k]
+            sz = sz[:k]
+            delta = delta[:k]
+
+        clock0 = self.clock
+        clocks = clock0 + 1 + np.arange(k, dtype=np.int64)
+        self.clock = clock0 + k
+        self.stats.user_writes += k
+
+        self._invalidate_run(
+            run, old_seg, old_size, clocks,
+            subtract_freq=pages.oracle_active,
+        )
+        if in_buf.any():
+            # Midpoint rule for rewrites of still-buffered pages.
+            bp = np.flatnonzero(in_buf)
+            carried = pages.carried_up2[run[bp]]
+            known = ~np.isnan(carried)
+            if known.any():
+                sel = bp[known]
+                carried = carried[known]
+                pages.carried_up2[run[sel]] = carried + 0.5 * (
+                    clocks[sel].astype(np.float64) - carried
+                )
+
+        # dict.update keeps existing keys in place and appends new ones
+        # in order — exactly SortBuffer.replace / SortBuffer.add.
+        buffer._sizes.update(zip(run.tolist(), sz.tolist()))
+        buffer.used_units += int(delta.sum())
+        pages.seg[run] = IN_BUFFER
+        pages.size[run] = sz
+        pages.last_write[run] = clocks
+        return k
+
+    def _emit_run(self, pids: np.ndarray, stream: int, is_gc: bool) -> None:
+        """Emit pages (sizes and carried estimates already final in the
+        page table) to ``stream``, vectorizing the fitting prefixes and
+        delegating seal / allocate / clean boundaries to :meth:`_emit`.
+
+        Sizes are gathered once up front: the pages being emitted are
+        not touched by the seal/allocate boundaries in between, so the
+        prefix sums stay valid for the whole run.
+        """
+        n = pids.size
+        if n == 0:
+            return
+        segs = self.segments
+        sizes = self.pages.size[pids]
+        cum = np.empty(n + 1, dtype=np.int64)
+        cum[0] = 0
+        np.cumsum(sizes, out=cum[1:])
+        i = 0
+        while i < n:
+            seg = self.open_segments.get(stream)
+            if seg is not None:
+                fit = segs.capacity - segs.used_units[seg]
+                k = int(np.searchsorted(cum, cum[i] + fit, side="right")) - 1 - i
+                if k > 0:
+                    self._append_run(seg, pids[i : i + k], sizes[i : i + k], is_gc)
+                    i += k
+                    continue
+                if is_gc:
+                    # GC never cleans recursively, so the boundary is a
+                    # plain seal + re-allocate — stay on the array path.
+                    self._seal(seg)
+                    del self.open_segments[stream]
+                    seg = None
+            if is_gc and seg is None:
+                seg = self._allocate()
+                self.open_segments[stream] = seg
+                self.policy.on_segment_open(seg, stream)
+                continue
+            self._emit(int(pids[i]), stream, is_gc)
+            i += 1
+
+    def _append_run(
+        self, seg: int, pids: np.ndarray, sizes: np.ndarray, is_gc: bool
+    ) -> None:
+        """Pure-append emission of a fitting run into an open segment."""
+        segs = self.segments
+        pages = self.pages
+        k = pids.size
+        slots = segs.slots[seg]
+        slot0 = len(slots)
+        slots.extend(pids.tolist())
+        segs.slot_sizes[seg].extend(sizes.tolist())
+        pages.seg[pids] = seg
+        pages.slot[pids] = slot0 + np.arange(k)
+        total = int(sizes.sum())
+        segs.live_count[seg] += k
+        segs.live_units[seg] += total
+        segs.used_units[seg] += total
+        segs.up2_sum[seg] = _fold_add(
+            segs.up2_sum[seg], pages.carried_up2[pids]
+        )
+        if pages.oracle_active:
+            segs.freq_sum[seg] = _fold_add(
+                segs.freq_sum[seg], pages.oracle_freq[pids]
+            )
+        if is_gc:
+            self.stats.gc_writes += k
+        else:
+            self.stats.user_device_writes += k
+
     def _seal(self, seg: int) -> None:
         """Close a full segment: fix its seal time and initialize its
         update-history pair from the pages it received (Section 5.2.2,
@@ -375,6 +908,8 @@ class LogStructuredStore:
         # up1 assumed midway between up2 and now, matching the paper's
         # midpoint assumption for unobserved last-update times.
         segs.up1[seg] = up2 + 0.5 * (self.clock - up2)
+        segs.epoch[seg] += 1
+        self._sealed_dirty = True
 
     def _clean_until_replenished(self) -> None:
         """Run cleaning cycles until the free pool recovers to the
@@ -428,39 +963,82 @@ class LogStructuredStore:
         self._cleaning = True
         try:
             candidates = self.sealed_segments()
-            if not candidates:
+            if candidates.size == 0:
                 raise OutOfSpaceError("nothing to clean: no sealed segments")
             victims = self.policy.select_victims(candidates, n_victims)
             if not victims:
                 raise OutOfSpaceError("policy selected no victims")
-            moved: List[int] = []
-            sources: List[int] = []
             stats = self.stats
-            reclaimed_units = 0
-            for victim in victims:
-                if segs.state[victim] != SEALED:
-                    raise OutOfSpaceError(
-                        "policy selected non-sealed victim %d (%s)"
-                        % (victim, segs.state_name(victim))
-                    )
-                stats.segments_cleaned += 1
-                stats.cleaned_emptiness_sum += segs.emptiness(victim)
-                reclaimed_units += segs.available_units(victim)
-                live = pages.live_pages_of(segs, victim)
-                # GC'd pages carry their source segment's up2
-                # (Section 5.2.2, "Garbage Collection Writes").
-                src_up2 = segs.up2[victim]
-                for pid in live:
-                    pages.carried_up2[pid] = src_up2
-                moved.extend(live)
-                sources.extend([victim] * len(live))
-            failpoint("store.clean.pre_relocate", victims=victims, moved=moved)
-            placements = list(self.policy.place_gc(moved, sources))
+            v_arr = np.asarray(victims, dtype=np.int64)
+            not_sealed = segs.state[v_arr] != SEALED
+            if not_sealed.any():
+                victim = int(v_arr[np.argmax(not_sealed)])
+                raise OutOfSpaceError(
+                    "policy selected non-sealed victim %d (%s)"
+                    % (victim, segs.state_name(victim))
+                )
+            stats.segments_cleaned += len(victims)
+            avail = segs.capacity - segs.live_units[v_arr]
+            stats.cleaned_emptiness_sum = _fold_add(
+                stats.cleaned_emptiness_sum, avail / float(segs.capacity)
+            )
+            reclaimed_units = int(avail.sum())
+            # Liveness of every victim's slots, resolved in one scatter
+            # (victims in selection order, slots in slot order — the
+            # relocation order the scalar path produces).
+            lens = [len(segs.slots[v]) for v in victims]
+            slot_pids = np.asarray(
+                [p for v in victims for p in segs.slots[v]], dtype=np.int64
+            )
+            seg_rep = np.repeat(v_arr, lens)
+            offs = np.concatenate(([0], np.cumsum(lens)[:-1]))
+            local_slot = np.arange(slot_pids.size) - np.repeat(offs, lens)
+            live_mask = (pages.seg[slot_pids] == seg_rep) & (
+                pages.slot[slot_pids] == local_slot
+            )
+            moved_arr = slot_pids[live_mask]
+            src_arr = seg_rep[live_mask]
+            # GC'd pages carry their source segment's up2
+            # (Section 5.2.2, "Garbage Collection Writes").
+            if moved_arr.size:
+                pages.carried_up2[moved_arr] = segs.up2[src_arr]
+            failpoint(
+                "store.clean.pre_relocate",
+                victims=victims,
+                moved=moved_arr.tolist(),
+            )
+            batch = self.policy.place_gc_batch(moved_arr, src_arr)
+            placements = (
+                None if batch is not None
+                else list(
+                    self.policy.place_gc(moved_arr.tolist(), src_arr.tolist())
+                )
+            )
             for victim in victims:
                 segs.reset(victim)
                 self.free_list.append(victim)
-            for pid, stream in placements:
-                self._emit(pid, stream, is_gc=True)
+            self._sealed_dirty = True
+            if batch is not None:
+                p_arr, s_arr = batch
+                if s_arr is None:
+                    self._emit_run(p_arr, GC_STREAM, is_gc=True)
+                else:
+                    for start, stop in _stream_runs(s_arr):
+                        self._emit_run(
+                            p_arr[start:stop], int(s_arr[start]), is_gc=True
+                        )
+            elif placements:
+                count = len(placements)
+                p_arr = np.fromiter(
+                    (p for p, _ in placements), dtype=np.int64, count=count
+                )
+                s_arr = np.fromiter(
+                    (s for _, s in placements), dtype=np.int64, count=count
+                )
+                for start, stop in _stream_runs(s_arr):
+                    self._emit_run(
+                        p_arr[start:stop], int(s_arr[start]), is_gc=True
+                    )
             stats.clean_cycles += 1
             return reclaimed_units
         finally:
@@ -503,7 +1081,7 @@ class LogStructuredStore:
             )
             assert segs.used_units[s] <= segs.capacity, segs.describe(s)
             assert segs.live_units[s] <= segs.used_units[s], segs.describe(s)
-        total_live = sum(segs.live_units)
+        total_live = int(segs.live_units.sum())
         assert total_live <= self.config.device_units
         for pid in range(len(pages.seg)):
             seg = pages.seg[pid]

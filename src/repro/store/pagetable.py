@@ -15,13 +15,18 @@ policies need:
 * ``oracle_freq`` — exact update frequency, populated by workloads that
   know it, consumed only by the ``-opt`` policy variants.
 
-The table grows on demand so trace workloads (TPC-C) can allocate new
-pages while running.
+The columns are numpy arrays so the batch write engine
+(:meth:`repro.store.LogStructuredStore.write_batch`) can gather and
+scatter whole runs of writes with fancy indexing.  The table grows on
+demand — trace workloads (TPC-C) allocate new pages while running — via
+capacity doubling: the public column properties expose views of the
+first ``len(table)`` entries, so growth is amortized O(1) per page and
+existing scalar call sites (``pages.seg[pid]``) are unchanged.
 """
 
 from __future__ import annotations
 
-from typing import List
+import numpy as np
 
 #: Location sentinel: page has never been written.
 NEVER_WRITTEN = -1
@@ -38,33 +43,92 @@ IN_FLIGHT = -3
 #: value when the page is first placed (Section 5.2.2, "First Write").
 NO_HISTORY = float("nan")
 
+_MIN_CAPACITY = 64
+
 
 class PageTable:
     """Column-wise per-page state, indexed by dense integer page ids."""
 
-    __slots__ = ("seg", "slot", "carried_up2", "last_write", "size", "oracle_freq")
+    __slots__ = (
+        "_n",
+        "_seg",
+        "_slot",
+        "_carried_up2",
+        "_last_write",
+        "_size",
+        "_oracle_freq",
+        "oracle_active",
+    )
 
     def __init__(self, n_pages: int = 0) -> None:
-        self.seg: List[int] = [NEVER_WRITTEN] * n_pages
-        self.slot: List[int] = [0] * n_pages
-        self.carried_up2: List[float] = [NO_HISTORY] * n_pages
-        self.last_write: List[int] = [0] * n_pages
-        self.size: List[int] = [1] * n_pages
-        self.oracle_freq: List[float] = [0.0] * n_pages
+        self._n = n_pages
+        cap = max(n_pages, _MIN_CAPACITY)
+        self._seg = np.full(cap, NEVER_WRITTEN, dtype=np.int64)
+        self._slot = np.zeros(cap, dtype=np.int64)
+        self._carried_up2 = np.full(cap, NO_HISTORY, dtype=np.float64)
+        self._last_write = np.zeros(cap, dtype=np.int64)
+        self._size = np.ones(cap, dtype=np.int64)
+        self._oracle_freq = np.zeros(cap, dtype=np.float64)
+        #: True once any oracle frequency has been installed; lets the
+        #: batch write path skip ``freq_sum`` bookkeeping entirely when
+        #: every frequency is the default 0.0.
+        self.oracle_active = False
+
+    # Each property returns a length-``_n`` *view* of the backing array;
+    # writes through the view mutate the table.  Views go stale across
+    # :meth:`ensure` (the backing array may be reallocated), so callers
+    # must re-read the property after any call that can grow the table.
+
+    @property
+    def seg(self) -> np.ndarray:
+        return self._seg[: self._n]
+
+    @property
+    def slot(self) -> np.ndarray:
+        return self._slot[: self._n]
+
+    @property
+    def carried_up2(self) -> np.ndarray:
+        return self._carried_up2[: self._n]
+
+    @property
+    def last_write(self) -> np.ndarray:
+        return self._last_write[: self._n]
+
+    @property
+    def size(self) -> np.ndarray:
+        return self._size[: self._n]
+
+    @property
+    def oracle_freq(self) -> np.ndarray:
+        return self._oracle_freq[: self._n]
 
     def __len__(self) -> int:
-        return len(self.seg)
+        return self._n
 
     def ensure(self, page_id: int) -> None:
         """Grow the table so ``page_id`` is addressable."""
-        missing = page_id + 1 - len(self.seg)
-        if missing > 0:
-            self.seg.extend([NEVER_WRITTEN] * missing)
-            self.slot.extend([0] * missing)
-            self.carried_up2.extend([NO_HISTORY] * missing)
-            self.last_write.extend([0] * missing)
-            self.size.extend([1] * missing)
-            self.oracle_freq.extend([0.0] * missing)
+        need = page_id + 1
+        if need <= self._n:
+            return
+        cap = len(self._seg)
+        if need > cap:
+            new_cap = max(need, 2 * cap)
+            self._seg = self._grown(self._seg, new_cap, NEVER_WRITTEN)
+            self._slot = self._grown(self._slot, new_cap, 0)
+            self._carried_up2 = self._grown(
+                self._carried_up2, new_cap, NO_HISTORY
+            )
+            self._last_write = self._grown(self._last_write, new_cap, 0)
+            self._size = self._grown(self._size, new_cap, 1)
+            self._oracle_freq = self._grown(self._oracle_freq, new_cap, 0.0)
+        self._n = need
+
+    @staticmethod
+    def _grown(arr: np.ndarray, new_cap: int, fill) -> np.ndarray:
+        out = np.full(new_cap, fill, dtype=arr.dtype)
+        out[: len(arr)] = arr
+        return out
 
     def is_live_slot(self, seg: int, slot: int, page_id: int) -> bool:
         """True iff segment ``seg`` slot ``slot`` holds the current version
@@ -75,15 +139,22 @@ class PageTable:
         """Return ``(seg, slot)``; ``seg`` may be a sentinel (< 0)."""
         return self.seg[page_id], self.slot[page_id]
 
-    def live_pages_of(self, segments, seg: int) -> List[int]:
-        """All page ids whose current version lives in ``seg``.
+    def live_pages_of(self, segments, seg: int):
+        """All page ids whose current version lives in ``seg``, in slot
+        order, as plain Python ints.
 
         ``segments`` is the :class:`~repro.store.segments.SegmentTable`
         owning the slot lists.
         """
-        seg_col, slot_col = self.seg, self.slot
-        return [
-            pid
-            for slot, pid in enumerate(segments.slots[seg])
-            if seg_col[pid] == seg and slot_col[pid] == slot
-        ]
+        return self.live_pages_arr(segments, seg).tolist()
+
+    def live_pages_arr(self, segments, seg: int) -> np.ndarray:
+        """Array form of :meth:`live_pages_of` (same pages, slot order)."""
+        slots = segments.slots[seg]
+        if not slots:
+            return np.empty(0, dtype=np.int64)
+        pids = np.asarray(slots, dtype=np.int64)
+        live = (self._seg[pids] == seg) & (
+            self._slot[pids] == np.arange(len(pids))
+        )
+        return pids[live]

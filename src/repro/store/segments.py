@@ -14,16 +14,25 @@ the last update time ``up1`` (so ``up2`` can be advanced as updates
 arrive), and the running sum of exact page update frequencies for the
 oracle-assisted ``-opt`` policy variants.
 
-The metadata is stored column-wise in plain Python lists: the write path
-touches one scalar per field per write, and CPython list indexing is
-faster than numpy scalar indexing.  Policies that want vectorized math
-snapshot the columns they need with :func:`numpy.asarray` over the
-(small) candidate set at cleaning time.
+The metadata is stored column-wise in numpy arrays: the batch write
+engine updates whole runs of writes with fancy indexing and
+``np.add.at``, and victim selection ranks candidates directly from the
+columns (:meth:`repro.policies.base.CleaningPolicy.rank_columns`)
+without per-segment Python gathering.
+
+``epoch`` is a bookkeeping counter, not simulator state: it advances
+whenever a segment's cleaning-priority inputs change (invalidation,
+seal, reset, oracle-frequency adjustment), which lets policies cache
+per-segment priorities between cleaning cycles and re-score only the
+segments whose epoch moved.  It is deliberately excluded from state
+digests and checkpoints.
 """
 
 from __future__ import annotations
 
 from typing import List
+
+import numpy as np
 
 #: Segment states.
 FREE = 0
@@ -50,30 +59,31 @@ class SegmentTable:
         "slots",
         "slot_sizes",
         "erase_count",
+        "epoch",
     )
 
     def __init__(self, n_segments: int, capacity: int) -> None:
         self.capacity = capacity
-        self.state: List[int] = [FREE] * n_segments
+        self.state = np.full(n_segments, FREE, dtype=np.int64)
         #: C — live (current) pages in the segment.
-        self.live_count: List[int] = [0] * n_segments
+        self.live_count = np.zeros(n_segments, dtype=np.int64)
         #: capacity - A — units occupied by live pages.
-        self.live_units: List[int] = [0] * n_segments
+        self.live_units = np.zeros(n_segments, dtype=np.int64)
         #: Units appended so far (the write cursor); never decreases while
         #: the segment is open, unlike ``live_units``.
-        self.used_units: List[int] = [0] * n_segments
+        self.used_units = np.zeros(n_segments, dtype=np.int64)
         #: Update-clock value when the segment was sealed.
-        self.seal_time: List[int] = [0] * n_segments
+        self.seal_time = np.zeros(n_segments, dtype=np.int64)
         #: Times of the last two updates that hit (invalidated a page of)
         #: the segment.  ``Upf = 2 / (u_now - up2)`` per Section 4.3.
-        self.up1: List[float] = [0.0] * n_segments
-        self.up2: List[float] = [0.0] * n_segments
+        self.up1 = np.zeros(n_segments, dtype=np.float64)
+        self.up2 = np.zeros(n_segments, dtype=np.float64)
         #: Sum of carried per-page up2 estimates of appended pages; at seal
         #: time the average initializes the segment's up2 (Section 5.2.2).
-        self.up2_sum: List[float] = [0.0] * n_segments
+        self.up2_sum = np.zeros(n_segments, dtype=np.float64)
         #: Sum of exact per-page update frequencies of live pages; only
         #: maintained when the store has a frequency oracle attached.
-        self.freq_sum: List[float] = [0.0] * n_segments
+        self.freq_sum = np.zeros(n_segments, dtype=np.float64)
         #: Append-ordered page ids per segment.  A slot ``i`` of segment
         #: ``s`` is live iff the page table still maps ``slots[s][i]`` to
         #: ``(s, i)``.
@@ -83,7 +93,9 @@ class SegmentTable:
         self.slot_sizes: List[List[int]] = [[] for _ in range(n_segments)]
         #: Times this segment has been reclaimed — in SSD terms, its
         #: erase count (flash wear).  Never reset.
-        self.erase_count: List[int] = [0] * n_segments
+        self.erase_count = np.zeros(n_segments, dtype=np.int64)
+        #: Change counter for priority caching; see the module docstring.
+        self.epoch = np.zeros(n_segments, dtype=np.int64)
 
     def __len__(self) -> int:
         return len(self.state)
@@ -102,10 +114,11 @@ class SegmentTable:
         self.freq_sum[seg] = 0.0
         self.slots[seg] = []
         self.slot_sizes[seg] = []
+        self.epoch[seg] += 1
 
     def available_units(self, seg: int) -> int:
         """``A`` — reclaimable space of a segment, in units."""
-        return self.capacity - self.live_units[seg]
+        return int(self.capacity - self.live_units[seg])
 
     def emptiness(self, seg: int) -> float:
         """``E = A / B`` — the fraction of the segment that is empty."""
@@ -113,7 +126,7 @@ class SegmentTable:
 
     def state_name(self, seg: int) -> str:
         """Human-readable state (``free`` / ``open`` / ``sealed``)."""
-        return _STATE_NAMES[self.state[seg]]
+        return _STATE_NAMES[int(self.state[seg])]
 
     def describe(self, seg: int) -> str:
         """Human-readable one-line summary (debugging aid)."""

@@ -107,7 +107,12 @@ class SweepStats:
     wall_seconds: float = 0.0
     job_seconds: float = 0.0
     skipped_job_seconds: float = 0.0
+    #: Effective concurrency the sweep ran with.
     workers: int = 1
+    #: The pre-clamp request (:func:`repro.sweep.report
+    #: .parallel_experiment` records it; plain :func:`run_sweep` honors
+    #: ``workers`` literally so the two are then equal).
+    workers_requested: int = 1
 
     @property
     def speedup_vs_serial(self) -> float:
@@ -140,9 +145,15 @@ def run_sweep(
 
     Args:
         specs: The grid; duplicate digests are collapsed.
-        workers: Concurrent worker processes.  ``<= 1`` runs jobs inline
-            in this process (no fork overhead; ``timeout`` is then not
-            enforced, since there is no process to kill).
+        workers: Concurrent worker processes, honored literally —
+            callers wanting per-process isolation (crash containment,
+            timeouts) get it even on a single-CPU machine.  The
+            CPU-count clamp that protects interactive sweeps from
+            oversubscription lives one layer up, in
+            :func:`repro.sweep.report.parallel_experiment`.  ``<= 1``
+            runs jobs inline in this process (no fork overhead;
+            ``timeout`` is then not enforced, since there is no process
+            to kill).
         manifest: Optional journal.  Jobs already recorded in it are
             skipped and their stored results returned; newly finished
             jobs are appended, so a killed sweep resumes where it died.
@@ -156,7 +167,8 @@ def run_sweep(
         progress: Callback invoked after every skip/finish/retry/failure.
     """
     start = time.perf_counter()
-    stats = SweepStats(workers=max(1, workers))
+    workers = max(1, workers)
+    stats = SweepStats(workers=workers, workers_requested=workers)
 
     unique: Dict[str, JobSpec] = {}
     for spec in specs:

@@ -81,24 +81,27 @@ def state_digest(store: LogStructuredStore) -> str:
             stats.clean_cycles,
         ),
     )
+    # Numpy columns hash via ``.tolist()``: the repr of a list of Python
+    # scalars is what the digest covered when the tables were plain
+    # lists, so digests stay comparable across storage layouts.
     pages = store.pages
-    feed("page_seg", pages.seg)
-    feed("page_slot", pages.slot)
-    feed("page_carried_up2", pages.carried_up2)
-    feed("page_last_write", pages.last_write)
-    feed("page_size", pages.size)
-    feed("page_oracle", pages.oracle_freq)
+    feed("page_seg", pages.seg.tolist())
+    feed("page_slot", pages.slot.tolist())
+    feed("page_carried_up2", pages.carried_up2.tolist())
+    feed("page_last_write", pages.last_write.tolist())
+    feed("page_size", pages.size.tolist())
+    feed("page_oracle", pages.oracle_freq.tolist())
     segs = store.segments
-    feed("seg_state", segs.state)
-    feed("seg_live_count", segs.live_count)
-    feed("seg_live_units", segs.live_units)
-    feed("seg_used_units", segs.used_units)
-    feed("seg_seal_time", segs.seal_time)
-    feed("seg_up1", segs.up1)
-    feed("seg_up2", segs.up2)
-    feed("seg_up2_sum", segs.up2_sum)
-    feed("seg_freq_sum", segs.freq_sum)
-    feed("seg_erase_count", segs.erase_count)
+    feed("seg_state", segs.state.tolist())
+    feed("seg_live_count", segs.live_count.tolist())
+    feed("seg_live_units", segs.live_units.tolist())
+    feed("seg_used_units", segs.used_units.tolist())
+    feed("seg_seal_time", segs.seal_time.tolist())
+    feed("seg_up1", segs.up1.tolist())
+    feed("seg_up2", segs.up2.tolist())
+    feed("seg_up2_sum", segs.up2_sum.tolist())
+    feed("seg_freq_sum", segs.freq_sum.tolist())
+    feed("seg_erase_count", segs.erase_count.tolist())
     feed("slots", segs.slots)
     feed("slot_sizes", segs.slot_sizes)
     feed("free_list", list(store.free_list))

@@ -70,10 +70,10 @@ class TestCorruptionDetection:
                 rejected += 1
             else:
                 assert restored.clock == store.clock
-                assert restored.pages.seg == store.pages.seg
-                assert restored.pages.slot == store.pages.slot
+                assert restored.pages.seg.tolist() == store.pages.seg.tolist()
+                assert restored.pages.slot.tolist() == store.pages.slot.tolist()
                 assert restored.stats.snapshot() == store.stats.snapshot()
-                assert restored.segments.live_count == store.segments.live_count
+                assert restored.segments.live_count.tolist() == store.segments.live_count.tolist()
         # The payload dominates the file, so most flips must be caught.
         assert rejected > 0
 

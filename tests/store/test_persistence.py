@@ -40,10 +40,10 @@ class TestRoundTrip:
         restored = load_store(path, make_policy(policy))
         assert restored.clock == original.clock
         assert restored.stats.snapshot() == original.stats.snapshot()
-        assert restored.pages.seg == original.pages.seg
-        assert restored.pages.slot == original.pages.slot
-        assert restored.segments.live_count == original.segments.live_count
-        assert restored.segments.up2 == original.segments.up2
+        assert restored.pages.seg.tolist() == original.pages.seg.tolist()
+        assert restored.pages.slot.tolist() == original.pages.slot.tolist()
+        assert restored.segments.live_count.tolist() == original.segments.live_count.tolist()
+        assert restored.segments.up2.tolist() == original.segments.up2.tolist()
         assert list(restored.free_list) == list(original.free_list)
         assert restored.open_segments == original.open_segments
         restored.check_invariants()
@@ -59,7 +59,7 @@ class TestRoundTrip:
             pid = (i * 13 + 7) % n
             a.write(pid)
             b.write(pid)
-        assert a.pages.seg == b.pages.seg
+        assert a.pages.seg.tolist() == b.pages.seg.tolist()
         assert a.stats.gc_writes == b.stats.gc_writes
         assert a.stats.write_amplification == b.stats.write_amplification
 
@@ -70,7 +70,7 @@ class TestRoundTrip:
         restored_policy = make_policy("multi-log")
         load_store(path, restored_policy)
         assert restored_policy._classes == original.policy._classes
-        assert restored_policy._seg_class == original.policy._seg_class
+        assert restored_policy._seg_class.tolist() == original.policy._seg_class.tolist()
 
 
 class TestSafety:

@@ -176,3 +176,38 @@ class TestRetry:
         assert time.perf_counter() - start < 30  # nowhere near the 60s sleep
         clean, _ = run_sweep(specs, workers=1)
         assert results == clean
+
+
+class TestWorkerClamp:
+    """Worker counts above the CPU count are clamped at the
+    ``parallel_experiment`` layer — oversubscribing a CPU-bound sweep
+    only adds scheduling overhead — while ``run_sweep`` itself honors
+    the request literally (the crash/timeout tests above depend on
+    getting worker *processes* even on a single-CPU box)."""
+
+    def test_run_sweep_honors_request_literally(self):
+        specs = tiny_specs(policies=("greedy",))
+        _, stats = run_sweep(specs, workers=64)
+        assert stats.workers == 64
+        assert stats.workers_requested == 64
+        assert stats.executed == 1
+
+    def test_nonpositive_request_runs_inline(self):
+        specs = tiny_specs(policies=("greedy",))
+        _, stats = run_sweep(specs, workers=0)
+        assert stats.workers == 1
+        assert stats.executed == 1
+
+    def test_parallel_experiment_clamps_and_records_request(self):
+        from repro.bench.experiments import demo_experiment
+        from repro.sweep.executor import default_workers
+        from repro.sweep.report import parallel_experiment
+
+        report = parallel_experiment(demo_experiment, workers=64)
+        stats = report.stats
+        assert stats.workers_requested == 64
+        assert stats.workers == min(64, default_workers())
+        assert stats.workers <= (os.cpu_count() or 1)
+        assert report.summary["workers"] == stats.workers
+        assert report.summary["workers_requested"] == 64
+        assert report.summary["cpu_count"] == os.cpu_count()

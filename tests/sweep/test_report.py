@@ -2,6 +2,7 @@
 
 import io
 import json
+import os
 
 import pytest
 
@@ -46,7 +47,8 @@ class TestArtifacts:
         assert summary["experiment"] == "demo_experiment"
         assert summary["jobs"] == 4
         assert summary["executed"] == 4
-        assert summary["workers"] == 2
+        assert summary["workers"] == min(2, os.cpu_count() or 1)
+        assert summary["workers_requested"] == 2
         assert summary["wall_clock_s"] > 0
         assert summary["speedup_vs_serial_estimate"] > 0
         assert (tmp_path / "demo.txt").read_text().rstrip("\n") == (
