@@ -17,6 +17,7 @@ from repro.bench.charts import bar_chart, line_plot
 from repro.bench.runner import (
     SimulationResult,
     drive,
+    observed_runner,
     prepare_store,
     run_simulation,
     run_until_converged,
@@ -43,6 +44,7 @@ __all__ = [
     "drive",
     "format_series",
     "format_table",
+    "observed_runner",
     "prepare_store",
     "run_simulation",
     "run_until_converged",

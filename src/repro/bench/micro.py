@@ -259,3 +259,83 @@ def write_report(report: Dict, path: str) -> None:
 def load_report(path: str) -> Dict:
     with open(path) as fh:
         return json.load(fh)
+
+
+# ----------------------------------------------------------------------
+# Benchmark history (benchmarks/history.jsonl)
+# ----------------------------------------------------------------------
+
+#: Where ``repro bench micro`` appends its headline numbers by default.
+HISTORY_PATH = "benchmarks/history.jsonl"
+
+
+def _git_sha() -> str:
+    """Short commit id keying a history entry: the working tree's HEAD,
+    or ``GITHUB_SHA`` under CI, or ``"unknown"``."""
+    import os
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    sha = os.environ.get("GITHUB_SHA", "")
+    return sha[:12] if sha else "unknown"
+
+
+def history_entry(report: Dict, sha: Optional[str] = None) -> Dict:
+    """One history line: the commit plus each workload's headline rates
+    (batch/scalar writes per second and the speedup)."""
+    entry: Dict = {
+        "sha": sha if sha is not None else _git_sha(),
+        "benchmark": report.get("benchmark", "store-micro"),
+        "policy": report.get("policy"),
+        "writes": report.get("writes"),
+        "trials": report.get("trials"),
+        "workloads": {},
+    }
+    for name, cell in report.get("workloads", {}).items():
+        entry["workloads"][name] = {
+            "batch_writes_per_sec": cell["batch"]["writes_per_sec"],
+            "scalar_writes_per_sec": cell["scalar"]["writes_per_sec"],
+            "speedup": cell["speedup"],
+            "cycle_p95_ms": cell["batch"]["cycle_p95_ms"],
+        }
+    return entry
+
+
+def append_history(
+    report: Dict, path: str = HISTORY_PATH, sha: Optional[str] = None
+) -> Dict:
+    """Append the report's :func:`history_entry` to the JSONL benchmark
+    trajectory; returns the appended entry."""
+    import os
+
+    entry = history_entry(report, sha=sha)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True))
+        fh.write("\n")
+    return entry
+
+
+def load_history(path: str = HISTORY_PATH) -> List[Dict]:
+    """Parse the benchmark trajectory (empty list when absent)."""
+    import os
+
+    if not os.path.exists(path):
+        return []
+    entries = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries

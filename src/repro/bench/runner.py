@@ -92,9 +92,12 @@ def drive(store: LogStructuredStore, workload: Workload, n_writes: int) -> None:
     faster.
     """
     remaining = n_writes
+    obs = store.obs
     for batch in workload.batches(n_writes):
         store.write_batch(np.asarray(batch, dtype=np.int64))
         remaining -= len(batch)
+        if obs is not None:
+            obs.maybe_sample()
     assert remaining == 0
 
 
@@ -105,6 +108,9 @@ def run_simulation(
     total_writes: Optional[int] = None,
     write_multiplier: float = 30.0,
     measure_fraction: float = 0.5,
+    observe: Union[None, str, "MetricsWriter"] = None,
+    sample_interval: Optional[int] = None,
+    meta: Optional[Dict] = None,
 ) -> SimulationResult:
     """Fixed-length run: warm up, then measure Wamp over the tail.
 
@@ -114,20 +120,58 @@ def run_simulation(
             writes 100x the device size at full scale).
         measure_fraction: Fraction of the run, at the tail, over which
             write amplification is measured.
+        observe: Attach a :class:`~repro.obs.StoreObserver` for the
+            measured run and export its rows — a JSONL path, or a shared
+            :class:`~repro.obs.MetricsWriter` (so an experiment's runs
+            concatenate into one ``metrics.jsonl``).
+        sample_interval: Time-series sample spacing in update ticks
+            (default: a quarter of the page population).
+        meta: Extra key/values merged into the exported ``meta`` row.
     """
     if not 0.0 < measure_fraction <= 1.0:
         raise ValueError("measure_fraction must be in (0, 1]")
     if isinstance(policy, str):
         policy = make_policy(policy)
     store = prepare_store(config, policy, workload)
+    observer = None
+    writer = None
+    if observe is not None:
+        from repro.obs import MetricsWriter, StoreObserver
+
+        writer = (
+            observe
+            if isinstance(observe, MetricsWriter)
+            else MetricsWriter(str(observe))
+        )
+        observer = StoreObserver(store, sample_interval=sample_interval)
+        observer.attach()
+        observer.sample_now()  # the post-load baseline row
     total = total_writes if total_writes is not None else int(
         write_multiplier * workload.n_pages
     )
     warmup = int(total * (1.0 - measure_fraction))
-    drive(store, workload, warmup)
-    mark = store.stats.snapshot()
-    drive(store, workload, total - warmup)
-    window = store.stats.window_since(mark)
+    try:
+        drive(store, workload, warmup)
+        mark = store.stats.snapshot()
+        drive(store, workload, total - warmup)
+        window = store.stats.window_since(mark)
+        if observer is not None:
+            observer.sample_now()  # the final row, whatever the clock
+            run_meta = {
+                "policy": policy.name,
+                "workload": workload.name,
+                "fill_factor": config.fill_factor,
+                "n_segments": config.n_segments,
+                "segment_units": config.segment_units,
+                "total_writes": total,
+                "wamp": window.write_amplification,
+            }
+            if meta:
+                run_meta.update(meta)
+            writer.write_rows(observer.rows(run_meta))
+    finally:
+        if observer is not None:
+            observer.detach()
     return SimulationResult(
         policy=policy.name,
         workload=workload.name,
@@ -136,6 +180,32 @@ def run_simulation(
         window=window,
         extras=_policy_extras(policy),
     )
+
+
+def observed_runner(
+    path: Union[str, "MetricsWriter"],
+    sample_interval: Optional[int] = None,
+    meta: Optional[Dict] = None,
+):
+    """A drop-in :func:`run_simulation` replacement that records every
+    run it executes into one shared ``metrics.jsonl``.
+
+    Experiment functions take a ``runner`` argument with
+    :func:`run_simulation`'s signature; injecting this gives the whole
+    experiment observability without touching its loop.
+    """
+    from repro.obs import MetricsWriter
+
+    writer = path if isinstance(path, MetricsWriter) else MetricsWriter(str(path))
+
+    def run(config, policy, workload, **kwargs):
+        kwargs.setdefault("observe", writer)
+        kwargs.setdefault("sample_interval", sample_interval)
+        kwargs.setdefault("meta", meta)
+        return run_simulation(config, policy, workload, **kwargs)
+
+    run.writer = writer
+    return run
 
 
 def run_until_converged(

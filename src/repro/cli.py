@@ -74,6 +74,32 @@ def _multiplier(base: float, quick: bool) -> float:
     return base / 4.0 if quick else base
 
 
+def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="JSONL",
+        help="record observability rows (time series, cleaning decisions, "
+        "events) for every simulation of this experiment into one "
+        "metrics.jsonl file",
+    )
+    parser.add_argument(
+        "--sample-interval", type=int, default=None, metavar="TICKS",
+        help="clock ticks between time-series samples (default: a quarter "
+        "of the store's user pages); only with --metrics-out",
+    )
+
+
+def _experiment_runner(args: argparse.Namespace):
+    """The ``runner=`` for an experiment: an observing one when
+    ``--metrics-out`` was given, else None (the serial default)."""
+    if getattr(args, "metrics_out", None) is None:
+        return None
+    from repro.bench import observed_runner
+
+    return observed_runner(
+        args.metrics_out, sample_interval=args.sample_interval
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and dispatch one subcommand; returns exit code."""
     parser = argparse.ArgumentParser(
@@ -86,29 +112,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("table1", help="Table 1: analysis vs simulation")
     _add_quick(p)
     _add_seed(p)
+    _add_metrics_out(p)
     p = sub.add_parser("table2", help="Table 2: hot/cold minimum cost")
     _add_quick(p)
     _add_seed(p)
+    _add_metrics_out(p)
     p = sub.add_parser("fig3", help="Figure 3: MDC ablation breakdown")
     _add_quick(p)
     _add_seed(p)
+    _add_metrics_out(p)
     p = sub.add_parser("fig4", help="Figure 4: sort-buffer size sweep")
     _add_quick(p)
     _add_seed(p)
+    _add_metrics_out(p)
     p = sub.add_parser("fig5", help="Figure 5: policy comparison")
     p.add_argument(
         "--dist",
         default="zipf-80-20",
         choices=["uniform", "zipf-80-20", "zipf-90-10"],
     )
+    p.add_argument(
+        "--fills", default=None, metavar="F1,F2,...",
+        help="comma-separated fill factors (default: the paper's grid); "
+        "e.g. --fills 0.5 for a single-fill run",
+    )
     _add_quick(p)
     _add_seed(p)
+    _add_metrics_out(p)
     p = sub.add_parser("fig6", help="Figure 6: TPC-C trace replay")
     p.add_argument("--warehouses", type=int, default=1)
     _add_seed(p)
     p = sub.add_parser("ablation", help="estimator and batch-size ablations")
     _add_quick(p)
     _add_seed(p)
+    _add_metrics_out(p)
 
     p = sub.add_parser(
         "sweep",
@@ -145,6 +182,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument(
         "--no-progress", action="store_true",
         help="suppress the live progress line on stderr",
+    )
+    p.add_argument(
+        "--obs", action="store_true",
+        help="record each job's observability rows; merged into "
+        "<out>/metrics.jsonl (with <out>/convergence.json) after the sweep",
+    )
+    p.add_argument(
+        "--sample-interval", type=int, default=None, metavar="TICKS",
+        help="clock ticks between time-series samples (only with --obs)",
     )
     _add_quick(p)
     _add_seed(p)
@@ -189,6 +235,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also cProfile the batch path and dump stats to PROF "
         "(default micro.prof)",
     )
+    p.add_argument(
+        "--history", default=None, metavar="JSONL",
+        help="append the headline numbers, keyed by git SHA, to this "
+        "JSONL trajectory (default benchmarks/history.jsonl)",
+    )
+    p.add_argument(
+        "--no-history", action="store_true",
+        help="skip the benchmarks/history.jsonl append",
+    )
     _add_quick(p)
     _add_seed(p)
 
@@ -206,6 +261,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     sub.add_parser("policies", help="list registered cleaning policies")
+
+    p = sub.add_parser(
+        "obs",
+        help="inspect a metrics.jsonl produced by --metrics-out / --obs",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "summarize", help="per-run sample/decision/event counts + final Wamp"
+    )
+    p.add_argument("file", help="path to a metrics.jsonl")
+    p.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    p = obs_sub.add_parser(
+        "report", help="per-run convergence table (clock vs windowed Wamp)"
+    )
+    p.add_argument("file", help="path to a metrics.jsonl")
+    p.add_argument(
+        "--csv", default=None, metavar="OUT",
+        help="also write the sample time-series as CSV",
+    )
+    p = obs_sub.add_parser("tail", help="print the last N event rows")
+    p.add_argument("file", help="path to a metrics.jsonl")
+    p.add_argument(
+        "-n", type=int, default=20, help="events to show (default 20)"
+    )
+    p.add_argument(
+        "--kind", default=None,
+        help="only events of this kind (e.g. clean_cycle)",
+    )
+    p = obs_sub.add_parser(
+        "validate", help="schema-check a metrics.jsonl; exit 1 on problems"
+    )
+    p.add_argument("file", help="path to a metrics.jsonl")
+    p.add_argument(
+        "--require-decisions", action="store_true",
+        help="additionally require >=1 cleaning-decision record per run",
+    )
 
     p = sub.add_parser(
         "replay",
@@ -260,35 +353,55 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table1":
         print(
             table1_experiment(
-                write_multiplier=_multiplier(8, args.quick), seed=args.seed
+                write_multiplier=_multiplier(8, args.quick),
+                seed=args.seed,
+                runner=_experiment_runner(args),
             )
         )
+        _note_metrics(args)
     elif args.command == "table2":
         print(
             table2_experiment(
-                write_multiplier=_multiplier(30, args.quick), seed=args.seed
+                write_multiplier=_multiplier(30, args.quick),
+                seed=args.seed,
+                runner=_experiment_runner(args),
             )
         )
+        _note_metrics(args)
     elif args.command == "fig3":
         print(
             fig3_experiment(
-                write_multiplier=_multiplier(30, args.quick), seed=args.seed
+                write_multiplier=_multiplier(30, args.quick),
+                seed=args.seed,
+                runner=_experiment_runner(args),
             )
         )
+        _note_metrics(args)
     elif args.command == "fig4":
         print(
             fig4_experiment(
-                write_multiplier=_multiplier(30, args.quick), seed=args.seed
+                write_multiplier=_multiplier(30, args.quick),
+                seed=args.seed,
+                runner=_experiment_runner(args),
             )
         )
+        _note_metrics(args)
     elif args.command == "fig5":
+        fig5_kwargs = {}
+        if args.fills:
+            fig5_kwargs["fills"] = tuple(
+                float(x) for x in args.fills.split(",") if x.strip()
+            )
         print(
             fig5_experiment(
                 args.dist,
                 write_multiplier=_multiplier(25, args.quick),
                 seed=args.seed,
+                runner=_experiment_runner(args),
+                **fig5_kwargs,
             )
         )
+        _note_metrics(args)
     elif args.command == "fig6":
         print(
             fig6_experiment(
@@ -296,17 +409,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         )
     elif args.command == "ablation":
+        runner = _experiment_runner(args)  # shared: one merged metrics file
         print(
             ablation_estimator_experiment(
-                write_multiplier=_multiplier(30, args.quick), seed=args.seed
+                write_multiplier=_multiplier(30, args.quick),
+                seed=args.seed,
+                runner=runner,
             )
         )
         print()
         print(
             ablation_batch_experiment(
-                write_multiplier=_multiplier(30, args.quick), seed=args.seed
+                write_multiplier=_multiplier(30, args.quick),
+                seed=args.seed,
+                runner=runner,
             )
         )
+        _note_metrics(args)
     elif args.command == "sweep":
         return _run_sweep_command(args)
     elif args.command == "bench":
@@ -315,12 +434,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = _standard_config(args.fill, args.sort_buffer)
         if args.report:
             from repro.bench import drive, prepare_store
+            from repro.obs import StoreObserver
             from repro.store.reporting import describe
 
             workload = make_workload(args.dist, config.user_pages, args.seed)
             store = prepare_store(config, args.policy, workload)
-            drive(store, workload, int(args.multiplier * workload.n_pages))
-            print(describe(store))
+            # Observe the post-load drive so the report shows the steady
+            # -state (windowed) Wamp next to the cumulative one.
+            with StoreObserver(store) as observer:
+                drive(store, workload, int(args.multiplier * workload.n_pages))
+                print(describe(store, window=observer.window()))
         else:
             workload = make_workload(args.dist, config.user_pages, args.seed)
             result = run_simulation(
@@ -330,6 +453,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "policies":
         for name in available_policies():
             print(name)
+    elif args.command == "obs":
+        return _run_obs_command(args)
     elif args.command == "replay":
         return _run_replay_command(args)
     elif args.command == "difftest":
@@ -337,9 +462,125 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def _note_metrics(args: argparse.Namespace) -> None:
+    """Tell the user where --metrics-out landed (no-op without it)."""
+    if getattr(args, "metrics_out", None):
+        print("observability rows written to %s" % args.metrics_out)
+
+
+def _run_obs_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro obs``: inspect/validate a metrics.jsonl."""
+    import json
+
+    from repro.obs import (
+        aggregate_convergence,
+        load_rows,
+        samples_to_csv,
+        summarize_rows,
+        validate_rows,
+    )
+
+    try:
+        rows = load_rows(args.file)
+    except (OSError, ValueError) as exc:
+        print("obs error: %s" % exc, file=sys.stderr)
+        return 1
+
+    if args.obs_command == "validate":
+        problems = validate_rows(
+            rows, require_decisions=args.require_decisions
+        )
+        if problems:
+            for problem in problems:
+                print("schema violation: %s" % problem, file=sys.stderr)
+            return 1
+        runs = sum(1 for r in rows if r.get("type") == "meta")
+        print(
+            "%s: %d rows across %d runs, schema valid"
+            % (args.file, len(rows), runs)
+        )
+    elif args.obs_command == "summarize":
+        summary = summarize_rows(rows)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        print(
+            "%s: schema %d, %d runs"
+            % (args.file, summary["schema"], summary["runs"])
+        )
+        for run in summary["per_run"]:
+            meta = run["run"]
+            label = meta.get("job") or "%s/%s" % (
+                meta.get("policy"), meta.get("workload"),
+            )
+            wamp = (
+                "%.4f" % run["final_wamp_win"]
+                if run["final_wamp_win"] is not None
+                else "n/a"
+            )
+            print(
+                "  %-40s samples=%-4d decisions=%-5d clock=%-9s Wamp=%s"
+                % (
+                    label,
+                    run["samples"],
+                    run["decisions"],
+                    run["final_clock"],
+                    wamp,
+                )
+            )
+    elif args.obs_command == "report":
+        series = aggregate_convergence(rows)
+        for block in series:
+            meta = block["run"]
+            label = meta.get("job") or "%s/%s" % (
+                meta.get("policy"), meta.get("workload"),
+            )
+            print("%s:" % label)
+            print(
+                "  %10s %10s %12s %8s %8s"
+                % ("clock", "wamp_win", "dev_wamp_win", "fill", "free")
+            )
+            for i in range(len(block["clock"])):
+                print(
+                    "  %10d %10.4f %12.4f %8.4f %8d"
+                    % (
+                        block["clock"][i],
+                        block["wamp_win"][i],
+                        block["device_wamp_win"][i],
+                        block["fill"][i],
+                        block["free_segments"][i],
+                    )
+                )
+        if args.csv:
+            n = samples_to_csv(args.csv, rows)
+            print("%d samples written to %s" % (n, args.csv))
+    elif args.obs_command == "tail":
+        events = [r for r in rows if r.get("type") == "event"]
+        if args.kind:
+            events = [r for r in events if r.get("kind") == args.kind]
+        for event in events[-args.n:]:
+            extras = {
+                k: v
+                for k, v in event.items()
+                if k not in ("type", "seq", "clock", "kind")
+            }
+            print(
+                "seq=%-6d clock=%-9d %-16s %s"
+                % (
+                    event["seq"],
+                    event["clock"],
+                    event["kind"],
+                    json.dumps(extras, sort_keys=True),
+                )
+            )
+    return 0
+
+
 def _run_bench_command(args: argparse.Namespace) -> int:
     """Dispatch ``repro bench micro``: run, render, optionally gate."""
     from repro.bench.micro import (
+        HISTORY_PATH,
+        append_history,
         check_against_baseline,
         load_report,
         render_micro,
@@ -364,6 +605,12 @@ def _run_bench_command(args: argparse.Namespace) -> int:
     if out:
         write_report(report, out)
         print("report written to %s" % out)
+    if not args.no_history:
+        history_path = args.history or HISTORY_PATH
+        entry = append_history(report, path=history_path)
+        print(
+            "headline appended to %s (sha %s)" % (history_path, entry["sha"])
+        )
     if args.check:
         baseline = load_report(args.check)
         problems = check_against_baseline(report, baseline, args.tolerance)
@@ -471,6 +718,8 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             retries=args.retries,
             progress=progress,
+            obs=args.obs,
+            sample_interval=args.sample_interval,
         )
     except SweepError as exc:
         print("sweep error: %s" % exc, file=sys.stderr)
@@ -492,6 +741,15 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             report.out_dir,
         )
     )
+    if "obs" in s:
+        print(
+            "observability: %s/%s (%d jobs with rows)"
+            % (
+                report.out_dir,
+                s["obs"]["metrics_file"],
+                s["obs"]["jobs_with_metrics"],
+            )
+        )
     return 0
 
 

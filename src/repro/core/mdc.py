@@ -134,6 +134,18 @@ class MdcPolicy(CleaningPolicy):
         age_since_update = self.store.clock - anchor[ids]
         return mdc_decline(avail, count, capacity, age_since_update)
 
+    def decision_columns(self, segs, ids: np.ndarray) -> dict:
+        columns = super().decision_columns(segs, ids)
+        # The score *is* the decline estimate; name it so traces read in
+        # the paper's vocabulary.
+        columns["decline"] = columns["score"]
+        if self.estimator == ESTIMATOR_EXACT:
+            columns["freq_sum"] = segs.freq_sum[ids].copy()
+        else:
+            anchor = segs.up1 if self.estimator == ESTIMATOR_UP1 else segs.up2
+            columns["age_since_update"] = self.store.clock - anchor[ids]
+        return columns
+
     def describe(self) -> str:
         return "%s (estimator=%s, sep_user=%s, sep_gc=%s)" % (
             self.name,

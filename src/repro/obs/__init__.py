@@ -1,0 +1,71 @@
+"""Observability for the store: events, metrics, time-series, tracing.
+
+See OBSERVABILITY.md for the model and the overhead budget.  The public
+surface:
+
+* :class:`StoreObserver` — attach to a store; captures everything.
+* :class:`EventBus` / :class:`Event` — the typed ring-buffered stream.
+* :class:`MetricsRegistry` — counters / gauges / histograms with
+  snapshot-delta windowing.
+* :class:`TimeSeriesSampler` — clock-keyed convergence sampling.
+* :mod:`repro.obs.export` — JSONL/CSV writers, validation, aggregation.
+"""
+
+from repro.obs.events import (
+    BUFFER_FLUSH,
+    CLEAN_CYCLE,
+    EVENT_KINDS,
+    FAILPOINT_FIRED,
+    SEGMENT_SEALED,
+    VICTIM_SELECTED,
+    Event,
+    EventBus,
+)
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    MetricsWriter,
+    aggregate_convergence,
+    load_rows,
+    samples_to_csv,
+    summarize_rows,
+    validate_file,
+    validate_rows,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.observer import StoreObserver
+from repro.obs.samplers import TimeSeriesSampler, default_interval
+
+__all__ = [
+    "BUFFER_FLUSH",
+    "CLEAN_CYCLE",
+    "EVENT_KINDS",
+    "FAILPOINT_FIRED",
+    "SEGMENT_SEALED",
+    "VICTIM_SELECTED",
+    "SCHEMA_VERSION",
+    "Counter",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "MetricsWriter",
+    "StoreObserver",
+    "TimeSeriesSampler",
+    "aggregate_convergence",
+    "default_interval",
+    "load_rows",
+    "samples_to_csv",
+    "summarize_rows",
+    "validate_file",
+    "validate_rows",
+    "write_jsonl",
+]

@@ -1,0 +1,112 @@
+"""A typed, ring-buffered event stream for store internals.
+
+The store's interesting moments — a segment sealing, a cleaning cycle,
+a victim being chosen, the sorting buffer draining, a failpoint firing —
+are *events*: discrete, timestamped on the update clock, and carrying a
+small structured payload.  The bus keeps the most recent ``capacity``
+events in a ring (old events are counted, then dropped), tallies every
+kind cumulatively, and fans events out to subscribers.
+
+The bus is only ever consulted through the store's ``obs`` slot, which
+is ``None`` unless an observer is attached — the disabled cost on the
+write path is exactly one attribute test at each (per-segment, never
+per-write) hook site.  See OBSERVABILITY.md for the overhead budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Any, Callable, Dict, List
+
+#: Event kinds emitted by the store hooks.
+SEGMENT_SEALED = "segment_sealed"
+CLEAN_CYCLE = "clean_cycle"
+VICTIM_SELECTED = "victim_selected"
+BUFFER_FLUSH = "buffer_flush"
+FAILPOINT_FIRED = "failpoint"
+
+#: Every kind the store itself can emit (exporters validate against it).
+EVENT_KINDS = (
+    SEGMENT_SEALED,
+    CLEAN_CYCLE,
+    VICTIM_SELECTED,
+    BUFFER_FLUSH,
+    FAILPOINT_FIRED,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """One occurrence: a global sequence number, the store clock at the
+    moment of emission, the kind tag, and a JSON-ready payload."""
+
+    seq: int
+    clock: int
+    kind: str
+    payload: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSONL row form (``type: "event"``)."""
+        row = {
+            "type": "event",
+            "seq": self.seq,
+            "clock": self.clock,
+            "kind": self.kind,
+        }
+        row.update(self.payload)
+        return row
+
+
+class EventBus:
+    """Ring buffer of :class:`Event` plus cumulative per-kind counts.
+
+    Args:
+        capacity: Ring size; the oldest events are dropped (and counted
+            in :attr:`dropped`) once the ring is full.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ring: "deque[Event]" = deque(maxlen=capacity)
+        #: Cumulative emissions per kind — never truncated by the ring.
+        self.counts: Dict[str, int] = {}
+        #: Events pushed out of the ring by newer ones.
+        self.dropped = 0
+        self._seq = 0
+        #: Callables invoked synchronously with each new event.
+        self.subscribers: List[Callable[[Event], None]] = []
+
+    def emit(self, kind: str, clock: int, **payload: Any) -> Event:
+        """Record one event; returns it (mostly for tests)."""
+        self._seq += 1
+        event = Event(seq=self._seq, clock=clock, kind=kind, payload=payload)
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        for subscriber in self.subscribers:
+            subscriber(event)
+        return event
+
+    def events(self) -> List[Event]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def tail(self, n: int) -> List[Event]:
+        """The most recent ``n`` retained events, oldest first."""
+        if n <= 0:
+            return []
+        ring = self._ring
+        if n >= len(ring):
+            return list(ring)
+        return list(ring)[-n:]
+
+    def total_emitted(self) -> int:
+        """Events ever emitted (retained + dropped)."""
+        return self._seq
+
+    def __len__(self) -> int:
+        return len(self._ring)

@@ -1,0 +1,274 @@
+"""JSONL/CSV export, schema validation, and aggregation for obs rows.
+
+The on-disk format is line-delimited JSON (``metrics.jsonl``).  Each run
+contributes a block of rows opened by a ``meta`` header::
+
+    {"type": "meta", "schema": 1, "run": {"label": ..., "policy": ...}}
+    {"type": "sample", "clock": ..., "wamp_win": ..., ...}
+    {"type": "decision", "clock": ..., "policy": ..., "victims": [...]}
+    {"type": "metrics", "counters": {...}, "gauges": {...}, ...}
+    {"type": "event", "seq": ..., "kind": "clean_cycle", ...}
+
+Several runs (a fig5 policy grid, a sweep) concatenate blocks in one
+file; :func:`aggregate_convergence` splits them back apart on the meta
+headers.  :func:`validate_rows` is the schema contract CI enforces.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.events import EVENT_KINDS
+
+#: Version stamped into every meta row; bump on breaking row changes.
+SCHEMA_VERSION = 1
+
+#: Every row type a metrics.jsonl may contain.
+ROW_TYPES = ("meta", "sample", "decision", "event", "metrics")
+
+_SAMPLE_KEYS = (
+    "clock",
+    "user_writes",
+    "device_writes_multiple",
+    "wamp_cum",
+    "wamp_win",
+    "device_wamp_win",
+    "mean_cleaned_emptiness_win",
+    "fill",
+    "free_segments",
+    "live_pages",
+    "emptiness_hist",
+    "temperature_cv",
+    "wear_cv",
+)
+_DECISION_KEYS = ("clock", "policy", "candidates", "victims")
+_VICTIM_KEYS = ("seg", "A", "C", "up2", "score")
+_EVENT_KEYS = ("seq", "clock", "kind")
+_METRICS_KEYS = ("counters", "gauges", "histograms")
+
+
+class MetricsWriter:
+    """Append-oriented JSONL writer: truncates the target on the first
+    row, appends afterwards — so one writer shared across the runs of an
+    experiment yields a single fresh multi-block file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self.rows_written = 0
+
+    def write_rows(self, rows: Iterable[Dict]) -> int:
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        mode = "w" if self.rows_written == 0 else "a"
+        n = 0
+        with open(self.path, mode, encoding="utf-8") as fh:
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True))
+                fh.write("\n")
+                n += 1
+        self.rows_written += n
+        return n
+
+    def write_row(self, row: Dict) -> None:
+        self.write_rows([row])
+
+
+def write_jsonl(path: str, rows: Iterable[Dict]) -> int:
+    """Write ``rows`` to a fresh JSONL file; returns the row count."""
+    return MetricsWriter(path).write_rows(rows)
+
+
+def load_rows(path: str) -> List[Dict]:
+    """Parse a JSONL file back into row dicts."""
+    rows = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def samples_to_csv(path: str, rows: Iterable[Dict]) -> int:
+    """Write the ``sample`` rows among ``rows`` as a CSV time-series
+    (list-valued fields are ``|``-joined); returns the sample count."""
+    samples = [r for r in rows if r.get("type") == "sample"]
+    parent = os.path.dirname(str(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_SAMPLE_KEYS)
+        for row in samples:
+            writer.writerow(
+                [
+                    "|".join(str(v) for v in row[k])
+                    if isinstance(row.get(k), list)
+                    else row.get(k)
+                    for k in _SAMPLE_KEYS
+                ]
+            )
+    return len(samples)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+
+def _check_keys(row: Dict, keys, where: str, errors: List[str]) -> bool:
+    missing = [k for k in keys if k not in row]
+    if missing:
+        errors.append("%s: missing keys %s" % (where, ", ".join(missing)))
+        return False
+    return True
+
+
+def validate_rows(
+    rows: Iterable[Dict], require_decisions: bool = False
+) -> List[str]:
+    """Schema-check a row stream; returns a list of problems (empty =
+    valid).
+
+    Enforced: every row typed and preceded by a ``meta`` header; meta
+    carries the supported schema version; samples carry the full
+    time-series key set; decisions carry non-empty victim lists with the
+    common ranking keys; events carry known kinds.  With
+    ``require_decisions``, every run block must contain at least one
+    decision record (the fig5 acceptance criterion).
+    """
+    errors: List[str] = []
+    runs = 0
+    decisions_in_run = 0
+    saw_rows_in_run = False
+    for i, row in enumerate(rows):
+        where = "row %d" % i
+        rtype = row.get("type")
+        if rtype not in ROW_TYPES:
+            errors.append("%s: unknown type %r" % (where, rtype))
+            continue
+        if rtype == "meta":
+            if runs and require_decisions and decisions_in_run == 0:
+                errors.append(
+                    "run %d has no decision records" % (runs - 1)
+                )
+            runs += 1
+            decisions_in_run = 0
+            saw_rows_in_run = False
+            if row.get("schema") != SCHEMA_VERSION:
+                errors.append(
+                    "%s: schema %r, expected %d"
+                    % (where, row.get("schema"), SCHEMA_VERSION)
+                )
+            if not isinstance(row.get("run"), dict):
+                errors.append("%s: meta.run must be an object" % where)
+            continue
+        if runs == 0:
+            errors.append("%s: %s row before any meta header" % (where, rtype))
+            continue
+        saw_rows_in_run = True
+        if rtype == "sample":
+            if _check_keys(row, _SAMPLE_KEYS, where, errors):
+                if not isinstance(row["emptiness_hist"], list):
+                    errors.append("%s: emptiness_hist must be a list" % where)
+        elif rtype == "decision":
+            decisions_in_run += 1
+            if not _check_keys(row, _DECISION_KEYS, where, errors):
+                continue
+            victims = row["victims"]
+            if not isinstance(victims, list) or not victims:
+                errors.append("%s: victims must be a non-empty list" % where)
+                continue
+            for j, victim in enumerate(victims):
+                _check_keys(
+                    victim, _VICTIM_KEYS, "%s victim %d" % (where, j), errors
+                )
+        elif rtype == "event":
+            if _check_keys(row, _EVENT_KEYS, where, errors):
+                if row["kind"] not in EVENT_KINDS:
+                    errors.append(
+                        "%s: unknown event kind %r" % (where, row["kind"])
+                    )
+        elif rtype == "metrics":
+            _check_keys(row, _METRICS_KEYS, where, errors)
+    if runs == 0:
+        errors.append("no meta header found")
+    elif require_decisions and saw_rows_in_run and decisions_in_run == 0:
+        errors.append("run %d has no decision records" % (runs - 1))
+    return errors
+
+
+def validate_file(path: str, require_decisions: bool = False) -> List[str]:
+    """:func:`validate_rows` over a JSONL file."""
+    return validate_rows(load_rows(path), require_decisions=require_decisions)
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+
+def _split_runs(rows: Iterable[Dict]) -> List[Dict]:
+    """Group a row stream into per-run blocks on the meta headers."""
+    runs: List[Dict] = []
+    current: Optional[Dict] = None
+    for row in rows:
+        if row.get("type") == "meta":
+            current = {"run": row.get("run", {}), "rows": []}
+            runs.append(current)
+        elif current is not None:
+            current["rows"].append(row)
+    return runs
+
+
+def aggregate_convergence(rows: Iterable[Dict]) -> List[Dict]:
+    """Per-run convergence series: parallel clock / windowed-Wamp /
+    fill arrays, ready to plot or average across a sweep grid."""
+    out = []
+    for block in _split_runs(rows):
+        samples = [r for r in block["rows"] if r.get("type") == "sample"]
+        out.append(
+            {
+                "run": block["run"],
+                "clock": [s["clock"] for s in samples],
+                "wamp_win": [s["wamp_win"] for s in samples],
+                "device_wamp_win": [s["device_wamp_win"] for s in samples],
+                "fill": [s["fill"] for s in samples],
+                "free_segments": [s["free_segments"] for s in samples],
+            }
+        )
+    return out
+
+
+def summarize_rows(rows: Iterable[Dict]) -> Dict:
+    """Compact summary of a metrics file (the ``repro obs summarize``
+    payload): per run, the final windowed Wamp, sample/decision/event
+    counts, and the policies that made decisions."""
+    blocks = _split_runs(rows)
+    runs = []
+    for block in blocks:
+        samples = [r for r in block["rows"] if r.get("type") == "sample"]
+        decisions = [r for r in block["rows"] if r.get("type") == "decision"]
+        events: Dict[str, int] = {}
+        for row in block["rows"]:
+            if row.get("type") == "metrics":
+                for kind, n in row.get("event_counts", {}).items():
+                    events[kind] = events.get(kind, 0) + n
+        last = samples[-1] if samples else None
+        runs.append(
+            {
+                "run": block["run"],
+                "samples": len(samples),
+                "decisions": len(decisions),
+                "decision_policies": sorted({d["policy"] for d in decisions}),
+                "final_clock": last["clock"] if last else None,
+                "final_wamp_win": last["wamp_win"] if last else None,
+                "final_fill": last["fill"] if last else None,
+                "event_counts": events,
+            }
+        )
+    return {"schema": SCHEMA_VERSION, "runs": len(blocks), "per_run": runs}

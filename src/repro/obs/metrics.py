@@ -1,0 +1,202 @@
+"""Counters, gauges, and fixed-bucket histograms with snapshot/delta
+semantics.
+
+The store's own :class:`~repro.store.stats.StoreStats` follows a
+snapshot-then-delta discipline: cumulative counters, immutable
+snapshots, windows as snapshot differences.  This module generalizes
+that to arbitrary named instruments so observers can measure anything
+(events per kind, cleaned-emptiness distributions, free-pool depth)
+with the same windowing model — :meth:`MetricsSnapshot.delta` is to
+:meth:`MetricsRegistry.snapshot` exactly what
+:meth:`~repro.store.stats.StatsSnapshot.delta` is to
+:meth:`~repro.store.stats.StoreStats.snapshot`.
+
+Counters and histogram bucket counts subtract in a delta; gauges are
+instantaneous, so a delta carries the *later* snapshot's value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase; got %d" % n)
+        self.value += n
+
+
+class Gauge:
+    """An instantaneous value (free segments, fill factor, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``edges`` are ascending upper bounds; an observation lands in the
+    first bucket whose edge is ``>= value``, or in the overflow bucket
+    beyond the last edge.  Running ``total``/``count`` support a mean
+    without retaining observations.
+    """
+
+    __slots__ = ("edges", "bucket_counts", "total", "count")
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ValueError("a histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bucket edges must be strictly ascending")
+        self.edges = edges
+        #: One count per edge plus the overflow bucket.
+        self.bucket_counts = [0] * (len(edges) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = len(self.edges)
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                idx = i
+                break
+        self.bucket_counts[idx] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable copy of a registry's instruments at one instant."""
+
+    counters: Mapping[str, int]
+    gauges: Mapping[str, float]
+    #: name -> (edges, bucket counts incl. overflow, total, count)
+    histograms: Mapping[
+        str, Tuple[Tuple[float, ...], Tuple[int, ...], float, int]
+    ]
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """The window from ``earlier`` to this snapshot.
+
+        Counters and histogram buckets subtract (an instrument absent
+        from ``earlier`` counts from zero); gauges keep this snapshot's
+        instantaneous value.
+        """
+        counters = {
+            name: value - earlier.counters.get(name, 0)
+            for name, value in self.counters.items()
+        }
+        histograms = {}
+        for name, (edges, buckets, total, count) in self.histograms.items():
+            prev = earlier.histograms.get(name)
+            if prev is None:
+                histograms[name] = (edges, buckets, total, count)
+                continue
+            p_edges, p_buckets, p_total, p_count = prev
+            if p_edges != edges:
+                raise ValueError(
+                    "histogram %r changed bucket edges between snapshots" % name
+                )
+            histograms[name] = (
+                edges,
+                tuple(b - pb for b, pb in zip(buckets, p_buckets)),
+                total - p_total,
+                count - p_count,
+            )
+        return MetricsSnapshot(
+            counters=counters, gauges=dict(self.gauges), histograms=histograms
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form (the ``type: "metrics"`` export row body)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {
+                    "edges": list(edges),
+                    "counts": list(buckets),
+                    "total": total,
+                    "count": count,
+                }
+                for name, (edges, buckets, total, count) in self.histograms.items()
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            if edges is None:
+                raise KeyError(
+                    "histogram %r does not exist yet; pass bucket edges" % name
+                )
+            histogram = self._histograms[name] = Histogram(edges)
+        elif edges is not None and tuple(float(e) for e in edges) != histogram.edges:
+            raise ValueError("histogram %r already exists with other edges" % name)
+        return histogram
+
+    def names(self) -> List[str]:
+        """All instrument names, sorted."""
+        return sorted(
+            set(self._counters) | set(self._gauges) | set(self._histograms)
+        )
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Immutable copy of every instrument."""
+        return MetricsSnapshot(
+            counters={n: c.value for n, c in self._counters.items()},
+            gauges={n: g.value for n, g in self._gauges.items()},
+            histograms={
+                n: (h.edges, tuple(h.bucket_counts), h.total, h.count)
+                for n, h in self._histograms.items()
+            },
+        )
+
+    def window_since(self, earlier: MetricsSnapshot) -> MetricsSnapshot:
+        """Instrument deltas since ``earlier`` (gauges stay current)."""
+        return self.snapshot().delta(earlier)

@@ -1,0 +1,222 @@
+"""The store-facing observer: hooks, decision tracing, and export rows.
+
+A :class:`StoreObserver` plugs into the store's ``obs`` slot.  The store
+calls four hooks — :meth:`on_seal`, :meth:`on_flush`, :meth:`on_victims`,
+:meth:`on_clean` — all of which fire at per-segment frequency (a seal, a
+buffer drain, a cleaning cycle), never once per write.  With no observer
+attached each hook site costs exactly one ``store.obs is None`` test,
+which is how the <2% disabled-overhead budget in OBSERVABILITY.md is met
+by construction.
+
+Decision tracing answers "why this segment?" after the fact: at every
+victim selection the observer records the policy's full ranking context
+for the chosen victims via
+:meth:`~repro.policies.base.CleaningPolicy.decision_columns` — MDC's
+``A``/``C``/``up2``/decline score, and each other family's equivalents —
+*before* the store resets the victims and wipes their columns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.obs import events as ev
+from repro.obs.export import SCHEMA_VERSION
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.samplers import TimeSeriesSampler
+from repro.store.stats import WindowStats
+from repro.testkit.failpoints import FAILPOINTS
+
+#: Bucket edges of the cleaned-emptiness histogram (fractions of a
+#: segment; the overflow bucket is unreachable but keeps edges regular).
+_EMPTINESS_EDGES = tuple((i + 1) / 10 for i in range(10))
+
+
+def _py(value):
+    """Plain-Python scalar for JSON export (numpy scalars have .item)."""
+    return value.item() if hasattr(value, "item") else value
+
+
+class StoreObserver:
+    """Event stream + metrics + time-series sampling for one store.
+
+    Args:
+        store: The store to observe; ``attach`` links the two.
+        sample_interval: Update ticks between time-series samples
+            (default: :func:`~repro.obs.samplers.default_interval`).
+        ring_capacity: Event ring size.
+        hist_buckets: Emptiness-histogram buckets in samples.
+        capture_failpoints: Subscribe to the failpoint registry so armed
+            or traced failpoints show up in the event stream.
+        max_decisions: Most recent decision records retained.
+    """
+
+    def __init__(
+        self,
+        store,
+        sample_interval: Optional[int] = None,
+        ring_capacity: int = 4096,
+        hist_buckets: int = 10,
+        capture_failpoints: bool = True,
+        max_decisions: int = 1024,
+    ) -> None:
+        self.store = store
+        self.bus = ev.EventBus(capacity=ring_capacity)
+        self.metrics = MetricsRegistry()
+        self.sampler = TimeSeriesSampler(
+            store, interval=sample_interval, hist_buckets=hist_buckets
+        )
+        self.decisions: "deque[Dict]" = deque(maxlen=max_decisions)
+        self.decisions_dropped = 0
+        self._capture_failpoints = capture_failpoints
+        self._start = store.stats.snapshot()
+        self._attached = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def attach(self) -> "StoreObserver":
+        """Install into ``store.obs`` and start capturing."""
+        if self.store.obs is not None and self.store.obs is not self:
+            raise RuntimeError("store already has an observer attached")
+        self.store.obs = self
+        if self._capture_failpoints and not self._attached:
+            FAILPOINTS.add_listener(self._on_failpoint)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Remove from the store; the captured data stays readable."""
+        if self.store.obs is self:
+            self.store.obs = None
+        if self._attached and self._capture_failpoints:
+            FAILPOINTS.remove_listener(self._on_failpoint)
+        self._attached = False
+
+    def __enter__(self) -> "StoreObserver":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- store hooks (per-segment frequency, never per-write) ----------
+
+    def on_seal(self, seg: int) -> None:
+        segs = self.store.segments
+        self.metrics.counter("segments_sealed").inc()
+        self.bus.emit(
+            ev.SEGMENT_SEALED,
+            self.store.clock,
+            seg=int(seg),
+            live_count=int(segs.live_count[seg]),
+            used_units=int(segs.used_units[seg]),
+        )
+
+    def on_flush(self, pages: int) -> None:
+        self.metrics.counter("buffer_flushes").inc()
+        self.metrics.counter("buffer_flush_pages").inc(pages)
+        self.bus.emit(ev.BUFFER_FLUSH, self.store.clock, pages=int(pages))
+
+    def on_victims(self, candidates: np.ndarray, victims: Sequence[int]) -> None:
+        """Called right after victim validation, before the victims'
+        segment-table columns are reset."""
+        store = self.store
+        policy = store.policy
+        ids = np.asarray(victims, dtype=np.int64)
+        columns = policy.decision_columns(store.segments, ids)
+        names = list(columns)
+        rows = [
+            dict(
+                {"seg": int(seg)},
+                **{name: _py(columns[name][i]) for name in names},
+            )
+            for i, seg in enumerate(victims)
+        ]
+        if len(self.decisions) == self.decisions.maxlen:
+            self.decisions_dropped += 1
+        self.decisions.append(
+            {
+                "type": "decision",
+                "clock": store.clock,
+                "policy": getattr(policy, "name", type(policy).__name__),
+                "candidates": int(len(candidates)),
+                "victims": rows,
+            }
+        )
+        self.metrics.counter("victim_selections").inc()
+        self.bus.emit(
+            ev.VICTIM_SELECTED,
+            store.clock,
+            victims=[int(v) for v in victims],
+            candidates=int(len(candidates)),
+        )
+
+    def on_clean(
+        self,
+        victims: Sequence[int],
+        moved: int,
+        reclaimed_units: int,
+        emptiness: Sequence[float],
+    ) -> None:
+        self.metrics.counter("clean_cycles").inc()
+        self.metrics.counter("pages_relocated").inc(int(moved))
+        self.metrics.counter("units_reclaimed").inc(int(reclaimed_units))
+        hist = self.metrics.histogram("cleaned_emptiness", _EMPTINESS_EDGES)
+        for e in emptiness:
+            hist.observe(float(e))
+        self.metrics.gauge("free_segments").set(self.store.free_segment_count)
+        self.bus.emit(
+            ev.CLEAN_CYCLE,
+            self.store.clock,
+            victims=[int(v) for v in victims],
+            moved=int(moved),
+            reclaimed_units=int(reclaimed_units),
+        )
+
+    def _on_failpoint(self, name: str, ctx: Dict) -> None:
+        self.metrics.counter("failpoints_hit").inc()
+        self.bus.emit(ev.FAILPOINT_FIRED, self.store.clock, name=name)
+
+    # -- sampling ------------------------------------------------------
+
+    def maybe_sample(self) -> Optional[Dict]:
+        """Sample if the store clock passed the next mark (the bench
+        driver calls this once per workload batch)."""
+        return self.sampler.maybe_sample()
+
+    def sample_now(self) -> Optional[Dict]:
+        """Force a sample (baseline at attach, final at export)."""
+        return self.sampler.sample_now()
+
+    # -- export --------------------------------------------------------
+
+    def window(self) -> WindowStats:
+        """Store statistics over the observed interval (since attach)."""
+        return self.store.stats.window_since(self._start)
+
+    def rows(self, meta: Optional[Dict] = None) -> Iterator[Dict]:
+        """All captured data as JSONL-ready rows: one ``meta`` header,
+        then samples, decision records, a metrics snapshot, and the
+        retained events."""
+        header = {"type": "meta", "schema": SCHEMA_VERSION}
+        header["run"] = dict(meta) if meta else {}
+        header["run"].setdefault(
+            "policy",
+            getattr(self.store.policy, "name", type(self.store.policy).__name__),
+        )
+        yield header
+        for sample in self.sampler.samples:
+            yield sample
+        for decision in self.decisions:
+            yield decision
+        row = self.metrics.snapshot().to_dict()
+        row["type"] = "metrics"
+        row["clock"] = self.store.clock
+        row["events_dropped"] = self.bus.dropped
+        row["decisions_dropped"] = self.decisions_dropped
+        row["event_counts"] = dict(self.bus.counts)
+        yield row
+        for event in self.bus.events():
+            yield event.to_dict()

@@ -25,3 +25,8 @@ class AgePolicy(CleaningPolicy):
 
     def rank_columns(self, segs, ids: np.ndarray) -> np.ndarray:
         return age_priority(segs.seal_time[ids])
+
+    def decision_columns(self, segs, ids: np.ndarray) -> dict:
+        columns = super().decision_columns(segs, ids)
+        columns["seal_time"] = segs.seal_time[ids].astype(np.float64)
+        return columns

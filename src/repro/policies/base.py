@@ -172,6 +172,25 @@ class CleaningPolicy(abc.ABC):
             )
         return np.asarray(self.rank([int(s) for s in ids]), dtype=float)
 
+    def decision_columns(self, segs: SegmentTable, ids: np.ndarray) -> dict:
+        """The ranking context behind a victim choice, one array per
+        named quantity, parallel to ``ids``.
+
+        This is what decision tracing exports so "why this segment?" is
+        answerable after the fact.  Every policy shares the base set —
+        available space ``A``, live count ``C``, the segment's second
+        last update ``up2``, and the policy's own priority ``score``
+        (lower = cleaned earlier) — and subclasses append the inputs
+        specific to their formula (MDC's decline estimate, cost-benefit's
+        age, multi-log's class, ...).
+        """
+        return {
+            "A": (segs.capacity - segs.live_units[ids]).astype(np.float64),
+            "C": segs.live_count[ids].astype(np.float64),
+            "up2": segs.up2[ids].copy(),
+            "score": np.asarray(self.rank_columns(segs, ids), dtype=float),
+        }
+
     def _ranked_priorities(self, ids: np.ndarray) -> np.ndarray:
         """Priorities for ``ids``, through the epoch cache when the
         ranking is cacheable."""

@@ -36,6 +36,15 @@ class CostBenefitPolicy(CleaningPolicy):
         age = self.store.clock - segs.seal_time[ids]
         return cost_benefit_priority(avail, capacity, age)
 
+    def decision_columns(self, segs, ids: np.ndarray) -> dict:
+        columns = super().decision_columns(segs, ids)
+        columns["age"] = (self.store.clock - segs.seal_time[ids]).astype(
+            np.float64
+        )
+        # The priority is the negated benefit/cost ratio.
+        columns["benefit"] = -columns["score"]
+        return columns
+
 
 class CostBenefitPaperPolicy(CleaningPolicy):
     """The formula exactly as printed in the paper: ``(1 - E) * age / E``
@@ -49,3 +58,11 @@ class CostBenefitPaperPolicy(CleaningPolicy):
         avail = capacity - segs.live_units[ids]
         age = self.store.clock - segs.seal_time[ids]
         return cost_benefit_paper_priority(avail, capacity, age)
+
+    def decision_columns(self, segs, ids: np.ndarray) -> dict:
+        columns = super().decision_columns(segs, ids)
+        columns["age"] = (self.store.clock - segs.seal_time[ids]).astype(
+            np.float64
+        )
+        columns["benefit"] = -columns["score"]
+        return columns

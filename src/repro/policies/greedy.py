@@ -25,3 +25,8 @@ class GreedyPolicy(CleaningPolicy):
 
     def rank_columns(self, segs, ids: np.ndarray) -> np.ndarray:
         return greedy_priority(segs.capacity - segs.live_units[ids])
+
+    def decision_columns(self, segs, ids: np.ndarray) -> dict:
+        columns = super().decision_columns(segs, ids)
+        columns["emptiness"] = columns["A"] / segs.capacity
+        return columns

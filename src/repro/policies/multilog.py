@@ -232,6 +232,16 @@ class MultiLogPolicy(CleaningPolicy):
         when the local neighbourhood has nothing cleanable)."""
         return -(segs.capacity - segs.live_units[ids]).astype(float)
 
+    def decision_columns(self, segs, ids: np.ndarray) -> dict:
+        columns = super().decision_columns(segs, ids)
+        cls = self._seg_class[ids].astype(np.float64)
+        # The unassigned sentinel would dwarf every real class id in the
+        # export; map it just below the cold class instead.
+        cls[self._seg_class[ids] == _UNASSIGNED] = _COLD_CLASS - 1
+        columns["log_class"] = cls
+        columns["seal_time"] = segs.seal_time[ids].astype(np.float64)
+        return columns
+
     def select_victims(
         self, candidates: Sequence[int], n: Optional[int] = None
     ) -> List[int]:

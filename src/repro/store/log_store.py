@@ -140,6 +140,10 @@ class LogStructuredStore:
         #: in this mapping has state OPEN.
         self.open_segments = {}
         self.policy = policy
+        #: Attached :class:`~repro.obs.observer.StoreObserver`, or None.
+        #: Hooks fire only at per-segment sites (seal / flush / clean),
+        #: so the disabled cost is one attribute test per such site.
+        self.obs = None
         self._cleaning = False
         #: Fallback "coldish" up2 for first-writes placed outside a sorted
         #: batch (Section 5.2.2, "First Write").
@@ -358,6 +362,9 @@ class LogStructuredStore:
             return
         failpoint("store.flush.pre_drain", buffered=len(buffer))
         pids = buffer.drain()
+        obs = self.obs
+        if obs is not None:
+            obs.on_flush(len(pids))
         self._resolve_first_writes(pids)
         keys = self.policy.user_sort_key(pids)
         if keys is not None:
@@ -910,6 +917,9 @@ class LogStructuredStore:
         segs.up1[seg] = up2 + 0.5 * (self.clock - up2)
         segs.epoch[seg] += 1
         self._sealed_dirty = True
+        obs = self.obs
+        if obs is not None:
+            obs.on_seal(seg)
 
     def _clean_until_replenished(self) -> None:
         """Run cleaning cycles until the free pool recovers to the
@@ -977,6 +987,11 @@ class LogStructuredStore:
                     "policy selected non-sealed victim %d (%s)"
                     % (victim, segs.state_name(victim))
                 )
+            obs = self.obs
+            if obs is not None:
+                # The decision record needs the victims' ranking columns,
+                # which segs.reset() below wipes — capture them now.
+                obs.on_victims(candidates, victims)
             stats.segments_cleaned += len(victims)
             avail = segs.capacity - segs.live_units[v_arr]
             stats.cleaned_emptiness_sum = _fold_add(
@@ -1040,6 +1055,13 @@ class LogStructuredStore:
                         p_arr[start:stop], int(s_arr[start]), is_gc=True
                     )
             stats.clean_cycles += 1
+            if obs is not None:
+                obs.on_clean(
+                    victims,
+                    moved_arr.size,
+                    reclaimed_units,
+                    avail / float(segs.capacity),
+                )
             return reclaimed_units
         finally:
             self._cleaning = False

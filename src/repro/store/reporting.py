@@ -8,10 +8,13 @@ per-segment dump the tests print on failures.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.store.log_store import LogStructuredStore
 from repro.store.segments import SEALED
+from repro.store.stats import WindowStats
 
 
 def emptiness_histogram(
@@ -25,15 +28,15 @@ def emptiness_histogram(
     """
     if buckets < 1:
         raise ValueError("buckets must be positive")
-    counts = [0] * buckets
     segs = store.segments
-    for s in range(len(segs)):
-        if segs.state[s] != SEALED:
-            continue
-        e = segs.emptiness(s)
-        idx = min(buckets - 1, int(e * buckets))
-        counts[idx] += 1
-    return counts
+    sealed = segs.state == SEALED
+    if not sealed.any():
+        return [0] * buckets
+    e = (segs.capacity - segs.live_units[sealed]) / segs.capacity
+    # Emptiness is in [0, 1]; truncation matches int(e * buckets), with
+    # the e == 1.0 edge folded into the last band.
+    idx = np.minimum(buckets - 1, (e * buckets).astype(np.int64))
+    return np.bincount(idx, minlength=buckets).tolist()
 
 
 def checkerboard(store: LogStructuredStore, segment: int) -> str:
@@ -46,8 +49,17 @@ def checkerboard(store: LogStructuredStore, segment: int) -> str:
     return "".join(cells)
 
 
-def describe(store: LogStructuredStore) -> str:
-    """One-screen summary: occupancy, cleaning stats, wear, histogram."""
+def describe(
+    store: LogStructuredStore, window: Optional[WindowStats] = None
+) -> str:
+    """One-screen summary: occupancy, cleaning stats, wear, histogram.
+
+    Write amplification is reported twice: the cumulative figure (which
+    includes the initial load and so understates the converged value on
+    short runs) and a windowed one.  The window comes from the
+    ``window`` argument, else from the attached observer's measurement
+    interval; with neither it is marked unavailable.
+    """
     cfg = store.config
     stats = store.stats
     wear = store.wear_summary()
@@ -58,10 +70,20 @@ def describe(store: LogStructuredStore) -> str:
         % (i / 10, (i + 1) / 10, n, "#" * round(20 * n / peak))
         for i, n in enumerate(hist)
     )
+    if window is None and store.obs is not None:
+        window = store.obs.window()
+    if window is not None:
+        windowed = "%.3f windowed (over %d user writes)" % (
+            window.write_amplification,
+            window.user_writes,
+        )
+    else:
+        windowed = "n/a windowed (no measurement window)"
     return (
         "store: %d segments x %d units (fill target %.2f, now %.3f)\n"
         "policy: %s\n"
-        "writes: %d user (%d to device), %d GC, %d trims -> Wamp %.3f\n"
+        "writes: %d user (%d to device), %d GC, %d trims\n"
+        "Wamp: %.3f cumulative (includes load), %s\n"
         "cleaning: %d cycles, %d segments, mean E when cleaned %.3f\n"
         "wear: %d erases (min %d / mean %.1f / max %d, cv %.2f)\n"
         "sealed-segment emptiness histogram:\n%s"
@@ -76,6 +98,7 @@ def describe(store: LogStructuredStore) -> str:
             stats.gc_writes,
             stats.trims,
             stats.write_amplification,
+            windowed,
             stats.clean_cycles,
             stats.segments_cleaned,
             (stats.cleaned_emptiness_sum / stats.segments_cleaned)
@@ -98,20 +121,19 @@ def temperature_report(store: LogStructuredStore) -> Dict[str, float]:
     Higher is better — perfect mixing drives it toward zero.
     """
     segs = store.segments
-    rates = []
-    for s in range(len(segs)):
-        if segs.state[s] != SEALED or segs.live_count[s] == 0:
-            continue
-        if segs.freq_sum[s] > 0:
-            rates.append(segs.freq_sum[s] / segs.live_count[s])
-        else:
-            age = max(1.0, store.clock - segs.up2[s])
-            rates.append(2.0 / age)
-    if not rates:
+    mask = (segs.state == SEALED) & (segs.live_count > 0)
+    n = int(np.count_nonzero(mask))
+    if n == 0:
         return {"segments": 0, "cv": 0.0}
-    mean = sum(rates) / len(rates)
-    var = sum((r - mean) ** 2 for r in rates) / len(rates)
+    freq = segs.freq_sum[mask]
+    count = segs.live_count[mask]
+    # No oracle signal -> the recency fallback 2/(now - up2), the same
+    # two-interval shape MDC's estimator uses.
+    age = np.maximum(1.0, store.clock - segs.up2[mask])
+    rates = np.where(freq > 0, freq / count, 2.0 / age)
+    mean = float(rates.mean())
+    var = float(((rates - mean) ** 2).mean())
     return {
-        "segments": len(rates),
+        "segments": n,
         "cv": (var ** 0.5 / mean) if mean else 0.0,
     }

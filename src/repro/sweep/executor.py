@@ -54,6 +54,44 @@ def execute_job(spec_dict: Dict) -> Dict:
     return payload
 
 
+class ObsJobRunner:
+    """A job runner that also records each job's observability rows.
+
+    Mirrors :func:`execute_job` but threads a per-job JSONL file
+    (``<metrics_dir>/<digest>.jsonl``) through
+    :func:`~repro.sweep.spec.run_job` — per-job files because jobs run
+    in separate processes that cannot share one append stream.  The
+    report layer merges them into the sweep's ``metrics.jsonl`` in spec
+    order after the sweep finishes.
+
+    A plain picklable class (not a closure) so it survives the spawn
+    start method as well as fork.
+    """
+
+    def __init__(
+        self, metrics_dir: str, sample_interval: Optional[int] = None
+    ) -> None:
+        self.metrics_dir = str(metrics_dir)
+        self.sample_interval = sample_interval
+
+    def job_metrics_path(self, digest: str) -> str:
+        return os.path.join(self.metrics_dir, "%s.jsonl" % digest)
+
+    def __call__(self, spec_dict: Dict) -> Dict:
+        spec = JobSpec.from_dict(spec_dict)
+        failpoint("sweep.executor.pre_job", spec=spec)
+        random.seed(int(spec.digest(), 16))
+        payload = result_to_dict(
+            run_job(
+                spec,
+                observe=self.job_metrics_path(spec.digest()),
+                sample_interval=self.sample_interval,
+            )
+        )
+        failpoint("sweep.executor.post_job", spec=spec, payload=payload)
+        return payload
+
+
 def _worker_entry(job_runner: Callable, spec_dict: Dict, conn) -> None:
     """Worker process body: run one job, send one message, exit."""
     try:

@@ -26,9 +26,11 @@ from typing import Any, Callable, Dict, Optional, Union
 
 from repro.bench.experiments import ExperimentOutput
 from repro.sweep.executor import (
+    ObsJobRunner,
     ProgressEvent,
     SweepStats,
     default_workers,
+    execute_job,
     run_sweep,
 )
 from repro.sweep.manifest import Manifest
@@ -43,6 +45,12 @@ from repro.sweep.spec import (
 
 #: File name of the machine-readable summary inside an output dir.
 SUMMARY_NAME = "summary.json"
+
+#: Merged observability rows of every job, in spec order.
+METRICS_NAME = "metrics.jsonl"
+
+#: Aggregated per-job convergence curves (clock vs windowed Wamp).
+CONVERGENCE_NAME = "convergence.json"
 
 
 class ProgressPrinter:
@@ -138,6 +146,41 @@ def build_summary(
     }
 
 
+def _merge_job_metrics(specs, out_path: pathlib.Path, job_runner) -> int:
+    """Merge per-job observability files into one ``metrics.jsonl``.
+
+    Jobs run in separate processes, so each writes its own
+    ``metrics/<digest>.jsonl``; this concatenates them in spec order
+    (stable across worker counts and scheduling) and aggregates the
+    convergence curves.  Returns the number of jobs that produced rows
+    (resumed jobs did not re-run and have none).
+    """
+    from repro.obs import MetricsWriter, aggregate_convergence, load_rows
+
+    writer = MetricsWriter(str(out_path / METRICS_NAME))
+    merged = 0
+    all_rows = []
+    seen = set()
+    for spec in specs:
+        digest = spec.digest()
+        if digest in seen:
+            continue
+        seen.add(digest)
+        job_path = job_runner.job_metrics_path(digest)
+        if not os.path.exists(job_path):
+            continue
+        rows = load_rows(job_path)
+        if rows:
+            writer.write_rows(rows)
+            all_rows.extend(rows)
+            merged += 1
+    (out_path / CONVERGENCE_NAME).write_text(
+        json.dumps(aggregate_convergence(all_rows), indent=2, sort_keys=True)
+        + "\n"
+    )
+    return merged
+
+
 def parallel_experiment(
     experiment: Callable[..., ExperimentOutput],
     workers: Optional[int] = None,
@@ -147,6 +190,8 @@ def parallel_experiment(
     retries: int = 1,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     name: Optional[str] = None,
+    obs: bool = False,
+    sample_interval: Optional[int] = None,
     **kwargs,
 ) -> SweepReport:
     """Run any experiment function through the sweep engine.
@@ -166,12 +211,27 @@ def parallel_experiment(
             silently interleave in one directory.
         timeout / retries / progress: Passed to
             :func:`repro.sweep.executor.run_sweep`.
+        obs: Record each job's observability rows (time series, cleaning
+            decisions, events).  Requires ``out_dir``; the per-job files
+            land in ``out_dir/metrics/`` and are merged, in spec order,
+            into ``out_dir/metrics.jsonl``, with the convergence curves
+            aggregated into ``out_dir/convergence.json``.  Observability
+            never enters job digests, so obs and non-obs sweeps share
+            manifests — but jobs *resumed* from a manifest were not
+            re-run and contribute no rows.
+        sample_interval: Clock ticks between time-series samples
+            (default: a quarter of the store's user pages).
         kwargs: Forwarded to the experiment function (grid parameters).
 
     Returns:
         A :class:`SweepReport`; ``report.output`` is byte-identical to
         ``experiment(**kwargs)`` run serially.
     """
+    if obs and out_dir is None:
+        raise SweepError(
+            "observability (obs=True / --obs) needs an output directory "
+            "to write metrics.jsonl into; pass out_dir (--out)"
+        )
     if workers is None:
         workers = default_workers()
     requested = max(1, workers)
@@ -194,6 +254,12 @@ def parallel_experiment(
             )
         manifest.ensure_header(run_name, digest)
 
+    job_runner: Callable[[Dict], Dict] = execute_job
+    if obs:
+        metrics_dir = out_path / "metrics"
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+        job_runner = ObsJobRunner(str(metrics_dir), sample_interval)
+
     try:
         results, stats = run_sweep(
             specs,
@@ -201,6 +267,7 @@ def parallel_experiment(
             manifest=manifest,
             timeout=timeout,
             retries=retries,
+            job_runner=job_runner,
             progress=progress,
         )
     finally:
@@ -226,6 +293,14 @@ def parallel_experiment(
     output = experiment(runner=_replay_runner(results), **kwargs)
     summary = build_summary(run_name, kwargs, stats, digest)
 
+    if obs:
+        merged = _merge_job_metrics(specs, out_path, job_runner)
+        summary["obs"] = {
+            "metrics_file": METRICS_NAME,
+            "convergence_file": CONVERGENCE_NAME,
+            "jobs_with_metrics": merged,
+        }
+
     if out_path is not None:
         (out_path / SUMMARY_NAME).write_text(
             json.dumps(summary, indent=2, sort_keys=True) + "\n"
@@ -248,6 +323,8 @@ def run_named_sweep(
     timeout: Optional[float] = None,
     retries: int = 1,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    obs: bool = False,
+    sample_interval: Optional[int] = None,
 ) -> SweepReport:
     """Run one of the registered experiment grids (``repro sweep``)."""
     try:
@@ -268,5 +345,7 @@ def run_named_sweep(
         retries=retries,
         progress=progress,
         name=run_name,
+        obs=obs,
+        sample_interval=sample_interval,
         **kwargs,
     )

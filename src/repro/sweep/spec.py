@@ -200,8 +200,18 @@ def spec_from_call(
     )
 
 
-def run_job(spec: JobSpec) -> SimulationResult:
-    """Execute one job deterministically (same spec ⇒ same result)."""
+def run_job(
+    spec: JobSpec,
+    observe=None,
+    sample_interval: Optional[int] = None,
+) -> SimulationResult:
+    """Execute one job deterministically (same spec ⇒ same result).
+
+    ``observe``/``sample_interval`` pass through to
+    :func:`repro.bench.runner.run_simulation`; observability is pure
+    output, so it never enters the spec or its digest (observed and
+    unobserved runs of the same spec share manifest entries).
+    """
     workload = workload_from_spec(spec.workload)
     return run_simulation(
         spec.config,
@@ -210,6 +220,9 @@ def run_job(spec: JobSpec) -> SimulationResult:
         total_writes=spec.total_writes,
         write_multiplier=spec.write_multiplier,
         measure_fraction=spec.measure_fraction,
+        observe=observe,
+        sample_interval=sample_interval,
+        meta=None if observe is None else {"job": spec.label, "digest": spec.digest()},
     )
 
 

@@ -12,7 +12,10 @@ import pytest
 
 from repro.bench.micro import (
     MICRO_WORKLOADS,
+    append_history,
     check_against_baseline,
+    history_entry,
+    load_history,
     load_report,
     micro_workload,
     render_micro,
@@ -112,6 +115,44 @@ class TestBaselineCheck:
             }
         }
         assert check_against_baseline(self._report(1.0), base) == []
+
+
+class TestHistory:
+    def test_entry_carries_headline_numbers(self, tiny_report):
+        entry = history_entry(tiny_report, sha="abc123")
+        assert entry["sha"] == "abc123"
+        assert entry["benchmark"] == "store-micro"
+        cell = entry["workloads"]["uniform"]
+        assert cell["batch_writes_per_sec"] == (
+            tiny_report["workloads"]["uniform"]["batch"]["writes_per_sec"]
+        )
+        assert cell["speedup"] == tiny_report["workloads"]["uniform"]["speedup"]
+
+    def test_sha_defaults_to_git_head(self, tiny_report):
+        entry = history_entry(tiny_report)
+        assert entry["sha"]  # repo HEAD, GITHUB_SHA, or "unknown"
+
+    def test_append_and_load_round_trip(self, tiny_report, tmp_path):
+        path = tmp_path / "nested" / "history.jsonl"
+        first = append_history(tiny_report, path=str(path), sha="one")
+        second = append_history(tiny_report, path=str(path), sha="two")
+        entries = load_history(str(path))
+        assert entries == [first, second]
+        assert [e["sha"] for e in entries] == ["one", "two"]
+
+    def test_load_missing_history_is_empty(self, tmp_path):
+        assert load_history(str(tmp_path / "none.jsonl")) == []
+
+
+def test_committed_history_is_well_formed():
+    """benchmarks/history.jsonl (the committed trajectory) stays
+    parseable, with every entry keyed by a commit."""
+    path = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+    entries = load_history(str(path / "history.jsonl"))
+    assert entries, "the seeded benchmark history must not be empty"
+    for entry in entries:
+        assert entry["sha"]
+        assert entry["workloads"]
 
 
 def test_committed_baseline_is_well_formed():

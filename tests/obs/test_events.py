@@ -1,0 +1,68 @@
+"""The typed ring-buffered event bus."""
+
+import pytest
+
+from repro.obs import (
+    CLEAN_CYCLE,
+    EVENT_KINDS,
+    SEGMENT_SEALED,
+    Event,
+    EventBus,
+)
+
+
+class TestEvent:
+    def test_to_dict_is_a_flat_jsonl_row(self):
+        event = Event(seq=3, clock=17, kind=CLEAN_CYCLE, payload={"moved": 5})
+        row = event.to_dict()
+        assert row == {
+            "type": "event",
+            "seq": 3,
+            "clock": 17,
+            "kind": "clean_cycle",
+            "moved": 5,
+        }
+
+    def test_kinds_are_distinct(self):
+        assert len(set(EVENT_KINDS)) == len(EVENT_KINDS)
+
+
+class TestEventBus:
+    def test_emit_and_order(self):
+        bus = EventBus()
+        bus.emit(SEGMENT_SEALED, clock=1, seg=0)
+        bus.emit(CLEAN_CYCLE, clock=2, victims=[0])
+        kinds = [e.kind for e in bus.events()]
+        assert kinds == [SEGMENT_SEALED, CLEAN_CYCLE]
+        assert [e.seq for e in bus.events()] == [1, 2]
+
+    def test_ring_drops_oldest_but_counts_stay_cumulative(self):
+        bus = EventBus(capacity=2)
+        for clock in range(5):
+            bus.emit(SEGMENT_SEALED, clock=clock, seg=clock)
+        assert len(bus) == 2
+        assert bus.dropped == 3
+        assert bus.total_emitted() == 5
+        assert bus.counts[SEGMENT_SEALED] == 5
+        # The ring keeps the most recent events.
+        assert [e.payload["seg"] for e in bus.events()] == [3, 4]
+
+    def test_tail(self):
+        bus = EventBus()
+        for clock in range(4):
+            bus.emit(SEGMENT_SEALED, clock=clock, seg=clock)
+        assert [e.clock for e in bus.tail(2)] == [2, 3]
+        assert bus.tail(0) == []
+        assert len(bus.tail(100)) == 4
+
+    def test_subscribers_see_every_event(self):
+        bus = EventBus(capacity=1)
+        seen = []
+        bus.subscribers.append(seen.append)
+        bus.emit(SEGMENT_SEALED, clock=1, seg=0)
+        bus.emit(SEGMENT_SEALED, clock=2, seg=1)
+        assert [e.clock for e in seen] == [1, 2]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventBus(capacity=0)

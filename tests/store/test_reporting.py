@@ -1,5 +1,6 @@
 """Store introspection reports."""
 
+import numpy as np
 import pytest
 
 from repro.policies import make_policy
@@ -10,6 +11,7 @@ from repro.store.reporting import (
     emptiness_histogram,
     temperature_report,
 )
+from repro.store.segments import FREE, OPEN, SEALED
 
 
 @pytest.fixture
@@ -38,6 +40,22 @@ class TestHistogram:
         hist = emptiness_histogram(store)
         assert hist[0] == sum(hist)  # everything fully live after load
 
+    def test_no_sealed_segments_gives_zero_histogram(self, small_config):
+        store = LogStructuredStore(small_config, make_policy("greedy"))
+        assert emptiness_histogram(store, buckets=7) == [0] * 7
+
+    def test_matches_scalar_reference(self, busy_store):
+        """The vectorized histogram equals the per-segment loop."""
+        segs = busy_store.segments
+        for buckets in (3, 10, 17):
+            expected = [0] * buckets
+            for seg in range(segs.state.size):
+                if segs.state[seg] != SEALED:
+                    continue
+                e = (segs.capacity - segs.live_units[seg]) / segs.capacity
+                expected[min(buckets - 1, int(e * buckets))] += 1
+            assert emptiness_histogram(busy_store, buckets) == expected
+
 
 class TestCheckerboard:
     def test_marks_live_and_dead(self, small_config):
@@ -50,6 +68,32 @@ class TestCheckerboard:
         assert board.count("#") == store.segments.live_count[seg]
         assert len(board) == len(store.segments.slots[seg])
 
+    def test_open_segment_shows_only_written_slots(self, small_config):
+        """An open segment's board covers just the slots written so far;
+        a rewrite inside it leaves a dead slot next to the live one."""
+        store = LogStructuredStore(small_config, make_policy("greedy"))
+        store.load_sequential(small_config.user_pages)
+        store.write(0)  # relocates page 0 into an open segment...
+        store.write(0)  # ...then obsoletes that very slot
+        seg, _ = store.pages.location(0)
+        assert store.segments.state[seg] == OPEN
+        board = checkerboard(store, seg)
+        assert board.count("#") == store.segments.live_count[seg]
+        assert "." in board and "#" in board
+        assert len(board) == len(store.segments.slots[seg])
+
+    def test_free_segment_is_all_dead(self, busy_store):
+        """A free segment — including one recycled by cleaning — shows
+        no live pages: its slot list was wiped by the reset, so the
+        board is empty rather than crashing on stale slots."""
+        assert busy_store.stats.clean_cycles > 0
+        free_segs = np.flatnonzero(busy_store.segments.state == FREE)
+        assert free_segs.size > 0
+        for seg in free_segs[:4]:
+            board = checkerboard(busy_store, int(seg))
+            assert "#" not in board
+            assert board == "." * len(busy_store.segments.slots[int(seg)])
+
 
 class TestDescribe:
     def test_mentions_key_metrics(self, busy_store):
@@ -59,11 +103,73 @@ class TestDescribe:
         assert "histogram" in text
         assert "greedy" in text
 
+    def test_reports_cumulative_and_windowed_wamp(self, busy_store):
+        """Both figures appear: the cumulative one always, the windowed
+        one when a measurement window is supplied."""
+        text = describe(busy_store)
+        assert "cumulative" in text
+        assert "n/a windowed" in text  # no window, no observer
+
+        snap = busy_store.stats.snapshot()
+        n = busy_store.config.user_pages
+        for i in range(1000):
+            busy_store.write((i * 3) % n)
+        window = busy_store.stats.window_since(snap)
+        text = describe(busy_store, window=window)
+        assert "%.3f windowed (over %d user writes)" % (
+            window.write_amplification, window.user_writes,
+        ) in text
+
+    def test_uses_attached_observer_window(self, busy_store):
+        from repro.obs import StoreObserver
+
+        with StoreObserver(busy_store) as observer:
+            n = busy_store.config.user_pages
+            for i in range(1000):
+                busy_store.write((i * 3) % n)
+            text = describe(busy_store)
+            assert "%.3f windowed" % (
+                observer.window().write_amplification,
+            ) in text
+
 
 class TestTemperature:
     def test_empty_store(self, small_config):
         store = LogStructuredStore(small_config, make_policy("greedy"))
         assert temperature_report(store)["segments"] == 0
+
+    def test_no_oracle_uses_recency_fallback(self, busy_store):
+        """Without oracle frequencies (``freq_sum`` all zero) the rate
+        falls back to ``2 / age`` from the up2 recency, the same
+        two-interval shape MDC's estimator uses."""
+        segs = busy_store.segments
+        mask = (segs.state == SEALED) & (segs.live_count > 0)
+        assert not segs.freq_sum[mask].any()  # greedy installs no oracle
+        age = np.maximum(1.0, busy_store.clock - segs.up2[mask])
+        rates = 2.0 / age
+        mean = rates.mean()
+        expected_cv = np.sqrt(((rates - mean) ** 2).mean()) / mean
+        report = temperature_report(busy_store)
+        assert report["segments"] == int(mask.sum())
+        assert report["cv"] == pytest.approx(float(expected_cv))
+        assert report["cv"] > 0.0
+
+    def test_oracle_rates_used_when_installed(self, small_config):
+        from repro.workloads import HotColdWorkload
+
+        store = LogStructuredStore(small_config, make_policy("greedy"))
+        wl = HotColdWorkload.from_skew(small_config.user_pages, 90, seed=3)
+        store.set_oracle_frequencies(wl.frequencies())
+        store.load_sequential(wl.n_pages)
+        segs = store.segments
+        mask = (segs.state == SEALED) & (segs.live_count > 0)
+        assert (segs.freq_sum[mask] > 0).all()
+        rates = segs.freq_sum[mask] / segs.live_count[mask]
+        mean = rates.mean()
+        expected_cv = np.sqrt(((rates - mean) ** 2).mean()) / mean
+        assert temperature_report(store)["cv"] == pytest.approx(
+            float(expected_cv)
+        )
 
     def test_separated_store_has_higher_cv(self):
         """A separating policy leaves segments with more heterogeneous

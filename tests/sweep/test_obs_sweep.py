@@ -1,0 +1,78 @@
+"""Observability through the sweep engine (``repro sweep --obs``)."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import demo_experiment
+from repro.obs import validate_file
+from repro.sweep.executor import ObsJobRunner
+from repro.sweep.report import (
+    CONVERGENCE_NAME,
+    METRICS_NAME,
+    parallel_experiment,
+)
+from repro.sweep.spec import SweepError, expand_grid
+
+
+class TestObsJobRunner:
+    def test_runs_job_and_writes_metrics(self, tmp_path):
+        spec = expand_grid(demo_experiment)[0]
+        runner = ObsJobRunner(str(tmp_path), sample_interval=50)
+        payload = runner(spec.to_dict())
+        assert payload["policy"] == spec.policy
+        path = runner.job_metrics_path(spec.digest())
+        assert validate_file(path, require_decisions=True) == []
+
+    def test_is_picklable(self, tmp_path):
+        import pickle
+
+        runner = ObsJobRunner(str(tmp_path), sample_interval=7)
+        clone = pickle.loads(pickle.dumps(runner))
+        assert clone.metrics_dir == runner.metrics_dir
+        assert clone.sample_interval == 7
+
+    def test_observability_does_not_change_results(self, tmp_path):
+        from repro.sweep.executor import execute_job
+
+        spec = expand_grid(demo_experiment)[0]
+        plain = execute_job(spec.to_dict())
+        observed = ObsJobRunner(str(tmp_path))(spec.to_dict())
+        assert plain == observed
+
+
+class TestParallelExperimentObs:
+    def test_obs_requires_out_dir(self):
+        with pytest.raises(SweepError):
+            parallel_experiment(demo_experiment, workers=1, obs=True)
+
+    def test_sweep_merges_metrics_in_spec_order(self, tmp_path):
+        report = parallel_experiment(
+            demo_experiment,
+            workers=2,
+            out_dir=tmp_path,
+            obs=True,
+            sample_interval=50,
+        )
+        specs = expand_grid(demo_experiment)
+        merged = tmp_path / METRICS_NAME
+        assert validate_file(str(merged), require_decisions=True) == []
+        from repro.obs import load_rows
+
+        metas = [
+            r for r in load_rows(str(merged)) if r["type"] == "meta"
+        ]
+        assert [m["run"]["digest"] for m in metas] == [
+            s.digest() for s in specs
+        ]
+        assert report.summary["obs"]["jobs_with_metrics"] == len(specs)
+        convergence = json.loads((tmp_path / CONVERGENCE_NAME).read_text())
+        assert len(convergence) == len(specs)
+        assert all(block["clock"] for block in convergence)
+
+    def test_obs_output_identical_to_serial(self, tmp_path):
+        serial = demo_experiment()
+        swept = parallel_experiment(
+            demo_experiment, workers=2, out_dir=tmp_path, obs=True
+        )
+        assert swept.output.rendered == serial.rendered
