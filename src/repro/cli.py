@@ -12,6 +12,9 @@ Usage (installed as ``repro``, or ``python -m repro``):
     repro simulate --policy mdc --dist zipf-80-20 --fill 0.8
     repro sweep fig5 --workers 4 --out runs/fig5 --resume
     repro bench micro            # scalar vs batch write-engine benchmark
+    repro bench service          # sharded-service scaling vs serial baseline
+    repro serve --shards 4       # drive the sharded service front-end
+    repro loadgen ops.jsonl      # record a deterministic client op trace
     repro policies               # list registered cleaning policies
     repro replay trace.jsonl     # re-run a recorded op trace, verify digest
     repro difftest --ops 10000   # store-vs-oracle differential harness
@@ -26,6 +29,13 @@ the synthetic workload families (see ``repro.testkit``).
 Quick variants of the heavy experiments accept ``--quick`` to shrink
 write counts by ~4x (coarser numbers, same shapes).  Every experiment
 takes ``--seed`` so single runs are reproducible from the command line.
+
+``repro serve`` runs the sharded service front-end (``repro.service``)
+under its deterministic concurrent client harness — or, with
+``--from``, replays an op trace recorded by ``repro loadgen`` — and
+reports aggregate writes/sec, per-shard Wamp, and queue depth.  The
+same seed and parameters reproduce the same load byte for byte, so a
+recorded trace and the in-process generator are interchangeable.
 
 ``repro sweep`` runs a whole experiment grid through the parallel
 orchestrator (``repro.sweep``): jobs fan out over worker processes, each
@@ -86,6 +96,116 @@ def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
         help="clock ticks between time-series samples (default: a quarter "
         "of the store's user pages); only with --metrics-out",
     )
+
+
+def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``repro serve`` and ``repro loadgen`` (the
+    :class:`repro.service.HarnessConfig` surface)."""
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="store shards behind the router (default 4)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=None,
+        help="simulated concurrent clients (default 8)",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=None,
+        help="tenants; clients are assigned round-robin (default 4)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=None,
+        help="total client ops (default 200000; --quick: 24000)",
+    )
+    parser.add_argument(
+        "--keys-per-tenant", type=int, default=None,
+        help="keyspace size per tenant (default 4096; --quick: 1024)",
+    )
+    parser.add_argument(
+        "--dist", default=None,
+        choices=["uniform", "zipf-80-20", "zipf-90-10", "hotcold"],
+        help="per-tenant keyspace skew (default zipf-80-20)",
+    )
+    parser.add_argument(
+        "--value-bytes", type=int, default=None,
+        help="max value size; sizes draw uniformly from 1..N (default 96)",
+    )
+    parser.add_argument(
+        "--delete-frac", type=float, default=None,
+        help="fraction of ops that are deletes (default 0.03)",
+    )
+    parser.add_argument(
+        "--policy", default=None, choices=available_policies(),
+        help="per-shard cleaning policy (default mdc)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="ingest flush-on-size threshold in ops (default 256)",
+    )
+    parser.add_argument(
+        "--flush-interval", type=int, default=None,
+        help="ticks before flush-on-tick kicks in (default 4)",
+    )
+    parser.add_argument(
+        "--max-depth", type=int, default=None,
+        help="queued ops before backpressure flushes (default 4096)",
+    )
+    parser.add_argument(
+        "--tick-every", type=int, default=None,
+        help="client ops between service clock ticks (default 512)",
+    )
+    parser.add_argument(
+        "--tenant-spread", type=float, default=None,
+        help="fraction of the ring one tenant's keys cover (default 1.0)",
+    )
+    parser.add_argument(
+        "--gc-budget", type=int, default=None,
+        help="page relocations per maintenance round, pool-wide "
+        "(default: two segments' worth)",
+    )
+    parser.add_argument(
+        "--gc-max-share", type=float, default=None,
+        help="largest budget fraction one shard may spend (default 0.5)",
+    )
+    _add_quick(parser)
+    _add_seed(parser)
+
+
+def _harness_config(args: argparse.Namespace):
+    """Build a :class:`repro.service.HarnessConfig` from parsed flags
+    (``--quick`` picks the small base shape; explicit flags override)."""
+    from repro.service import HarnessConfig
+
+    base = (
+        HarnessConfig.quick(seed=args.seed)
+        if args.quick
+        else HarnessConfig(seed=args.seed)
+    )
+    flag_to_field = {
+        "shards": "n_shards",
+        "clients": "n_clients",
+        "tenants": "n_tenants",
+        "ops": "ops",
+        "keys_per_tenant": "keys_per_tenant",
+        "dist": "dist",
+        "value_bytes": "value_bytes",
+        "delete_frac": "delete_frac",
+        "policy": "policy",
+        "batch_size": "batch_size",
+        "flush_interval": "flush_interval",
+        "max_depth": "max_depth",
+        "tick_every": "tick_every",
+        "tenant_spread": "tenant_spread",
+        "gc_budget": "gc_budget",
+        "gc_max_share": "gc_max_share",
+        "sample_interval": "sample_interval",
+    }
+    overrides = {}
+    for flag, field in flag_to_field.items():
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[field] = value
+    return base.scaled(**overrides) if overrides else base
 
 
 def _experiment_runner(args: argparse.Namespace):
@@ -246,6 +366,73 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_quick(p)
     _add_seed(p)
+    p = bench_sub.add_parser(
+        "service",
+        help="sharded-service scaling: serial baseline vs the batched "
+        "service at several shard counts (BENCH_service.json)",
+    )
+    p.add_argument(
+        "--shards-list", default="1,2,4", metavar="N1,N2,...",
+        help="shard counts to benchmark (default 1,2,4)",
+    )
+    p.add_argument(
+        "--ops", type=int, default=None,
+        help="client ops per configuration (default 200000; --quick: 24000)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the JSON report here (default BENCH_service.json)",
+    )
+    p.add_argument(
+        "--history", default=None, metavar="JSONL",
+        help="append the headline numbers, keyed by git SHA, to this "
+        "JSONL trajectory (default benchmarks/history.jsonl)",
+    )
+    p.add_argument(
+        "--no-history", action="store_true",
+        help="skip the benchmarks/history.jsonl append",
+    )
+    _add_quick(p)
+    _add_seed(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="drive the sharded service front-end under the concurrent "
+        "client harness (or replay a recorded op trace)",
+    )
+    _add_harness_flags(p)
+    p.add_argument(
+        "--from", dest="from_file", default=None, metavar="OPS_JSONL",
+        help="replay an op trace recorded by 'repro loadgen' instead of "
+        "generating load in-process (the trace's embedded config is "
+        "used; --shards still overrides the shard count)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="JSONL",
+        help="export the service + per-shard observability rows "
+        "(schema v1; byte-identical across same-seed runs)",
+    )
+    p.add_argument(
+        "--sample-interval", type=int, default=None, metavar="TICKS",
+        help="store clock ticks between per-shard time-series samples",
+    )
+    p.add_argument(
+        "--history", default=None, metavar="JSONL",
+        help="append aggregate writes/sec, keyed by git SHA, to this "
+        "JSONL trajectory (default benchmarks/history.jsonl)",
+    )
+    p.add_argument(
+        "--no-history", action="store_true",
+        help="skip the benchmarks/history.jsonl append",
+    )
+
+    p = sub.add_parser(
+        "loadgen",
+        help="record the harness's deterministic client op trace as "
+        "JSONL for later 'repro serve --from' replay",
+    )
+    p.add_argument("out", help="output path for the op-trace JSONL")
+    _add_harness_flags(p)
 
     p = sub.add_parser("simulate", help="one custom simulation")
     p.add_argument("--policy", default="mdc", choices=available_policies())
@@ -430,6 +617,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep_command(args)
     elif args.command == "bench":
         return _run_bench_command(args)
+    elif args.command == "serve":
+        return _run_serve_command(args)
+    elif args.command == "loadgen":
+        return _run_loadgen_command(args)
     elif args.command == "simulate":
         config = _standard_config(args.fill, args.sort_buffer)
         if args.report:
@@ -466,6 +657,23 @@ def _note_metrics(args: argparse.Namespace) -> None:
     """Tell the user where --metrics-out landed (no-op without it)."""
     if getattr(args, "metrics_out", None):
         print("observability rows written to %s" % args.metrics_out)
+
+
+def _obs_label(meta: dict) -> str:
+    """Display label of a run block: the sweep job id when present,
+    the service/shard identity for service exports, else
+    policy/workload."""
+    label = meta.get("job")
+    if label:
+        return label
+    component = meta.get("component")
+    if component == "service":
+        return "service (%s shards, %s)" % (meta.get("shards"), meta.get("policy"))
+    if component == "shard":
+        return "shard %s/%s (%s)" % (
+            meta.get("shard"), meta.get("shards"), meta.get("policy"),
+        )
+    return "%s/%s" % (meta.get("policy"), meta.get("workload"))
 
 
 def _run_obs_command(args: argparse.Namespace) -> int:
@@ -509,33 +717,43 @@ def _run_obs_command(args: argparse.Namespace) -> int:
             % (args.file, summary["schema"], summary["runs"])
         )
         for run in summary["per_run"]:
-            meta = run["run"]
-            label = meta.get("job") or "%s/%s" % (
-                meta.get("policy"), meta.get("workload"),
-            )
+            label = _obs_label(run["run"])
             wamp = (
                 "%.4f" % run["final_wamp_win"]
                 if run["final_wamp_win"] is not None
                 else "n/a"
             )
+            dropped = ""
+            if run.get("events_dropped") or run.get("decisions_dropped"):
+                dropped = " dropped=%d ev/%d dec" % (
+                    run.get("events_dropped", 0),
+                    run.get("decisions_dropped", 0),
+                )
             print(
-                "  %-40s samples=%-4d decisions=%-5d clock=%-9s Wamp=%s"
+                "  %-40s samples=%-4d decisions=%-5d clock=%-9s Wamp=%s%s"
                 % (
                     label,
                     run["samples"],
                     run["decisions"],
                     run["final_clock"],
                     wamp,
+                    dropped,
+                )
+            )
+        if summary.get("events_dropped") or summary.get("decisions_dropped"):
+            print(
+                "  capture rings dropped %d event(s) and %d decision "
+                "record(s) across all runs; retained events under-count "
+                "the run (grow ring_capacity/max_decisions to keep more)"
+                % (
+                    summary.get("events_dropped", 0),
+                    summary.get("decisions_dropped", 0),
                 )
             )
     elif args.obs_command == "report":
         series = aggregate_convergence(rows)
         for block in series:
-            meta = block["run"]
-            label = meta.get("job") or "%s/%s" % (
-                meta.get("policy"), meta.get("workload"),
-            )
-            print("%s:" % label)
+            print("%s:" % _obs_label(block["run"]))
             print(
                 "  %10s %10s %12s %8s %8s"
                 % ("clock", "wamp_win", "dev_wamp_win", "fill", "free")
@@ -576,8 +794,58 @@ def _run_obs_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro serve``: generate or replay load, report."""
+    from repro.service import read_ops_jsonl, replay_ops, run_harness
+    from repro.service.bench import append_serve_history
+
+    if args.from_file:
+        try:
+            file_cfg, ops = read_ops_jsonl(args.from_file)
+        except (OSError, ValueError, KeyError) as exc:
+            print("serve error: %s" % exc, file=sys.stderr)
+            return 1
+        cfg = file_cfg if file_cfg is not None else _harness_config(args)
+        if args.shards is not None:
+            cfg = cfg.scaled(n_shards=args.shards)
+        if args.sample_interval is not None:
+            cfg = cfg.scaled(sample_interval=args.sample_interval)
+        result = replay_ops(cfg, ops, metrics_out=args.metrics_out)
+        print("replayed %d ops from %s" % (len(ops), args.from_file))
+    else:
+        cfg = _harness_config(args)
+        result = run_harness(cfg, metrics_out=args.metrics_out)
+    print(result.report())
+    if args.metrics_out:
+        print("observability rows written to %s" % args.metrics_out)
+    if not args.no_history:
+        from repro.bench.micro import HISTORY_PATH
+
+        history_path = args.history or HISTORY_PATH
+        entry = append_serve_history(result, cfg.seed, path=history_path)
+        print(
+            "headline appended to %s (sha %s)" % (history_path, entry["sha"])
+        )
+    return 0
+
+
+def _run_loadgen_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro loadgen``: record the deterministic op trace."""
+    from repro.service import write_ops_jsonl
+
+    cfg = _harness_config(args)
+    n = write_ops_jsonl(cfg, args.out)
+    print(
+        "%d ops (%d clients, %d tenants, %s) written to %s"
+        % (n, cfg.n_clients, cfg.n_tenants, cfg.dist, args.out)
+    )
+    return 0
+
+
 def _run_bench_command(args: argparse.Namespace) -> int:
-    """Dispatch ``repro bench micro``: run, render, optionally gate."""
+    """Dispatch ``repro bench ...``: run, render, optionally gate."""
+    if args.bench_command == "service":
+        return _run_bench_service_command(args)
     from repro.bench.micro import (
         HISTORY_PATH,
         append_history,
@@ -622,6 +890,61 @@ def _run_bench_command(args: argparse.Namespace) -> int:
             "no perf regression vs %s (tolerance %.0f%%)"
             % (args.check, args.tolerance * 100.0)
         )
+    return 0
+
+
+def _run_bench_service_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro bench service``: scaling report + gate."""
+    from repro.bench.micro import HISTORY_PATH
+    from repro.service.bench import (
+        BENCH_PATH,
+        append_service_history,
+        check_service_report,
+        render_service_bench,
+        run_service_bench,
+        write_service_report,
+    )
+
+    try:
+        shard_counts = tuple(
+            int(x) for x in args.shards_list.split(",") if x.strip()
+        )
+    except ValueError:
+        print(
+            "bench service: --shards-list must be comma-separated "
+            "integers, got %r" % args.shards_list,
+            file=sys.stderr,
+        )
+        return 1
+    report = run_service_bench(
+        shard_counts=shard_counts,
+        quick=args.quick,
+        seed=args.seed,
+        ops=args.ops,
+    )
+    print(render_service_bench(report))
+    out = args.out or BENCH_PATH
+    write_service_report(report, out)
+    print("report written to %s" % out)
+    if not args.no_history:
+        history_path = args.history or HISTORY_PATH
+        entry = append_service_history(report, path=history_path)
+        print(
+            "headline appended to %s (sha %s)" % (history_path, entry["sha"])
+        )
+    problems = check_service_report(report)
+    if problems:
+        for problem in problems:
+            print("service regression: %s" % problem, file=sys.stderr)
+        if args.quick:
+            # At --quick op counts fixed overheads dominate and the
+            # batching advantage has no room to show; report, don't gate.
+            print(
+                "bench service: throughput gate is advisory under --quick",
+                file=sys.stderr,
+            )
+            return 0
+        return 1
     return 0
 
 

@@ -23,7 +23,9 @@ write amplification — are exact.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.policies import make_policy
 from repro.policies.base import CleaningPolicy
@@ -104,6 +106,58 @@ class LogStructuredKVStore:
             self._slot_of[key] = slot
         self.store.write(slot, size=units)
         self._values[key] = bytes(value)
+
+    def put_many(self, items: Iterable[Tuple[Key, bytes]]) -> int:
+        """Insert or overwrite a batch of ``(key, value)`` pairs through
+        the store's vectorized :meth:`~repro.store.LogStructuredStore.
+        write_batch` engine; returns the number of pairs applied.
+
+        State-identical to calling :meth:`put` once per pair, in order —
+        including duplicate keys inside the batch (the last value wins,
+        and every occurrence counts as a user write) and the error
+        position (an invalid pair raises :class:`KVError` *after* the
+        valid prefix was applied, exactly as a ``put`` loop would).
+        This is the service ingest fast path: one coalesced multi-key
+        batch costs one ``write_batch`` call instead of a per-key loop.
+        """
+        staged: List[Tuple[Key, bytes]] = []
+        slots: List[int] = []
+        units: List[int] = []
+
+        def apply(count: int) -> None:
+            if count:
+                self.store.write_batch(
+                    np.asarray(slots[:count], dtype=np.int64),
+                    np.asarray(units[:count], dtype=np.int64),
+                )
+                for key, value in staged[:count]:
+                    self._values[key] = value
+
+        for key, value in items:
+            if not isinstance(value, (bytes, bytearray)):
+                apply(len(staged))
+                raise KVError(
+                    "values must be bytes, got %s" % type(value).__name__
+                )
+            value = bytes(value)
+            u = self._units_for(value)
+            if u > self.store.config.segment_units:
+                apply(len(staged))
+                raise KVError(
+                    "value of %d bytes exceeds the %d-byte record limit"
+                    % (len(value), self.max_value_bytes)
+                )
+            slot = self._slot_of.get(key)
+            if slot is None:
+                slot = self._free_slots.pop() if self._free_slots else self._next_slot
+                if slot == self._next_slot:
+                    self._next_slot += 1
+                self._slot_of[key] = slot
+            staged.append((key, value))
+            slots.append(slot)
+            units.append(u)
+        apply(len(staged))
+        return len(staged)
 
     def get(self, key: Key, default: Optional[bytes] = None) -> Optional[bytes]:
         """Fetch a value; ``default`` when the key is absent."""

@@ -247,17 +247,27 @@ def aggregate_convergence(rows: Iterable[Dict]) -> List[Dict]:
 def summarize_rows(rows: Iterable[Dict]) -> Dict:
     """Compact summary of a metrics file (the ``repro obs summarize``
     payload): per run, the final windowed Wamp, sample/decision/event
-    counts, and the policies that made decisions."""
+    counts, the policies that made decisions, and how much the capture
+    rings dropped (cumulative EventBus/decision-deque drops — nonzero
+    means the retained events under-count what actually happened)."""
     blocks = _split_runs(rows)
     runs = []
+    total_events_dropped = 0
+    total_decisions_dropped = 0
     for block in blocks:
         samples = [r for r in block["rows"] if r.get("type") == "sample"]
         decisions = [r for r in block["rows"] if r.get("type") == "decision"]
         events: Dict[str, int] = {}
+        events_dropped = 0
+        decisions_dropped = 0
         for row in block["rows"]:
             if row.get("type") == "metrics":
                 for kind, n in row.get("event_counts", {}).items():
                     events[kind] = events.get(kind, 0) + n
+                events_dropped += int(row.get("events_dropped", 0) or 0)
+                decisions_dropped += int(row.get("decisions_dropped", 0) or 0)
+        total_events_dropped += events_dropped
+        total_decisions_dropped += decisions_dropped
         last = samples[-1] if samples else None
         runs.append(
             {
@@ -269,6 +279,14 @@ def summarize_rows(rows: Iterable[Dict]) -> Dict:
                 "final_wamp_win": last["wamp_win"] if last else None,
                 "final_fill": last["fill"] if last else None,
                 "event_counts": events,
+                "events_dropped": events_dropped,
+                "decisions_dropped": decisions_dropped,
             }
         )
-    return {"schema": SCHEMA_VERSION, "runs": len(blocks), "per_run": runs}
+    return {
+        "schema": SCHEMA_VERSION,
+        "runs": len(blocks),
+        "per_run": runs,
+        "events_dropped": total_events_dropped,
+        "decisions_dropped": total_decisions_dropped,
+    }

@@ -1,0 +1,183 @@
+"""The service scaling benchmark behind ``repro bench service``.
+
+Runs the same deterministic client load three ways — the serial
+single-shard baseline (per-key scalar puts, no batching) and the full
+batched service at each requested shard count — and reports, per
+configuration:
+
+* aggregate writes/sec (wall clock, reported here and in the history
+  trajectory only — never in obs exports);
+* per-shard Wamp and the Wamp *spread* (max - min), the fairness
+  signal for the pool's budgeted cleaning;
+* the ingest queue-depth p95, the batching/backpressure signal.
+
+``BENCH_service.json`` is the committed snapshot of this report (see
+EXPERIMENTS.md); CI's service smoke job appends each run's headline to
+``benchmarks/history.jsonl`` next to the micro-benchmark trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.micro import HISTORY_PATH, _git_sha
+from repro.service.harness import (
+    HarnessConfig,
+    run_harness,
+    run_serial_baseline,
+)
+
+#: Default committed report location.
+BENCH_PATH = "BENCH_service.json"
+
+#: Shard counts the committed baseline covers.
+DEFAULT_SHARD_COUNTS = (1, 2, 4)
+
+
+def run_service_bench(
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    quick: bool = False,
+    seed: int = 0,
+    ops: Optional[int] = None,
+) -> Dict:
+    """Run the serial baseline plus one harness run per shard count."""
+    cfg = HarnessConfig.quick(seed=seed) if quick else HarnessConfig(seed=seed)
+    if ops is not None:
+        cfg = cfg.scaled(ops=ops)
+    serial = run_serial_baseline(cfg.scaled(n_shards=1))
+    shards: Dict[str, Dict] = {}
+    for n in shard_counts:
+        result = run_harness(cfg.scaled(n_shards=n))
+        shards[str(n)] = result.to_dict()
+    return {
+        "benchmark": "service",
+        "quick": quick,
+        "seed": seed,
+        "config": dataclasses.asdict(cfg),
+        "serial": serial.to_dict(),
+        "shards": shards,
+    }
+
+
+def render_service_bench(report: Dict) -> str:
+    """Human-readable table of a service bench report."""
+    lines = [
+        "service scaling benchmark (ops=%d, dist=%s, seed=%d)"
+        % (
+            report["config"]["ops"],
+            report["config"]["dist"],
+            report["seed"],
+        ),
+        "  %-18s %12s %9s %10s %10s %10s"
+        % ("configuration", "writes/sec", "speedup", "Wamp", "spread", "q p95"),
+    ]
+    serial = report["serial"]
+    base = serial["writes_per_sec"]
+
+    def row(label: str, r: Dict) -> str:
+        return "  %-18s %12.0f %8.2fx %10.4f %10.4f %10d" % (
+            label,
+            r["writes_per_sec"],
+            r["writes_per_sec"] / base if base else float("inf"),
+            r["wamp_aggregate"],
+            r["wamp_spread"],
+            r["queue_depth_p95"],
+        )
+
+    lines.append(row("serial 1 shard", serial))
+    for n in sorted(report["shards"], key=int):
+        lines.append(row("service %s shard(s)" % n, report["shards"][n]))
+    return "\n".join(lines)
+
+
+def check_service_report(report: Dict) -> List[str]:
+    """Acceptance checks: every batched service configuration must at
+    least match the serial single-shard baseline's throughput."""
+    problems = []
+    base = report["serial"]["writes_per_sec"]
+    for n, r in report["shards"].items():
+        if r["writes_per_sec"] < base:
+            problems.append(
+                "service with %s shard(s) ran at %.0f writes/sec, below the "
+                "serial baseline's %.0f" % (n, r["writes_per_sec"], base)
+            )
+    return problems
+
+
+def write_service_report(report: Dict, path: str = BENCH_PATH) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_service_report(path: str = BENCH_PATH) -> Dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def service_history_entry(report: Dict, sha: Optional[str] = None) -> Dict:
+    """One ``benchmarks/history.jsonl`` line: the commit plus each
+    configuration's aggregate writes/sec and fairness numbers."""
+    entry: Dict = {
+        "sha": sha if sha is not None else _git_sha(),
+        "benchmark": "service",
+        "seed": report["seed"],
+        "quick": report["quick"],
+        "ops": report["config"]["ops"],
+        "serial_writes_per_sec": round(report["serial"]["writes_per_sec"], 1),
+        "shards": {},
+    }
+    for n, r in sorted(report["shards"].items(), key=lambda kv: int(kv[0])):
+        entry["shards"][n] = {
+            "writes_per_sec": round(r["writes_per_sec"], 1),
+            "wamp_spread": round(r["wamp_spread"], 6),
+            "queue_depth_p95": r["queue_depth_p95"],
+        }
+    return entry
+
+
+def _append_entry(entry: Dict, path: str) -> Dict:
+    import os
+
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True))
+        fh.write("\n")
+    return entry
+
+
+def append_service_history(
+    report: Dict, path: str = HISTORY_PATH, sha: Optional[str] = None
+) -> Dict:
+    """Append :func:`service_history_entry` to the benchmark
+    trajectory; returns the appended entry."""
+    return _append_entry(service_history_entry(report, sha=sha), path)
+
+
+def serve_history_entry(result, seed: int, sha: Optional[str] = None) -> Dict:
+    """One history line for a single ``repro serve`` run (what the CI
+    service smoke job appends): aggregate writes/sec plus the fairness
+    and queueing headline numbers."""
+    return {
+        "sha": sha if sha is not None else _git_sha(),
+        "benchmark": "service-serve",
+        "seed": seed,
+        "shards": result.shards,
+        "ops": result.ops,
+        "writes_per_sec": round(result.writes_per_sec, 1),
+        "wamp_aggregate": round(result.wamp_aggregate, 6),
+        "wamp_spread": round(result.wamp_spread, 6),
+        "queue_depth_p95": result.queue_depth_p95,
+    }
+
+
+def append_serve_history(
+    result, seed: int, path: str = HISTORY_PATH, sha: Optional[str] = None
+) -> Dict:
+    """Append :func:`serve_history_entry` to the benchmark trajectory;
+    returns the appended entry."""
+    return _append_entry(serve_history_entry(result, seed, sha=sha), path)

@@ -1,0 +1,208 @@
+"""A pool of KV shards with globally-budgeted cleaning.
+
+Each shard is a complete :class:`~repro.kvstore.LogStructuredKVStore`
+— its own device, page table, and cleaning-policy instance (policies
+bind to exactly one store, so the pool always constructs per-shard
+policies from the policy *name*).
+
+Cleaning governance
+-------------------
+
+Left alone, every shard cleans reactively: the store runs cleaning
+cycles inline the moment its free pool dips below ``clean_trigger``,
+stalling whatever write triggered it.  The pool adds a *proactive*
+layer: :meth:`StorePool.maintain` runs between ingest batches, tops up
+any shard whose free pool fell below ``free_target`` — and meters the
+work with a **global slack budget**: at most ``gc_budget`` page
+relocations per maintenance round across the whole pool, of which one
+shard may consume at most ``gc_max_share``.  A hot shard (skewed
+tenant, unlucky routing) therefore cannot monopolize maintenance
+bandwidth and starve the other shards into reactive-cleaning stalls —
+it spends its share, yields, and the remaining budget goes to the next
+neediest shard.  Shards are visited most-starved-first (largest free
+deficit, ties toward the lower shard id) so the ordering is
+deterministic and need-driven.
+
+Reactive cleaning stays enabled underneath as the correctness
+backstop: the budget shapes *when* cleaning happens, never whether a
+write can complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.kvstore import LogStructuredKVStore
+from repro.obs import MetricsRegistry
+from repro.policies.base import CleaningPolicy
+from repro.store import StoreConfig
+
+
+class StorePool:
+    """``n_shards`` independent KV shards plus the cleaning governor.
+
+    Args:
+        n_shards: Number of shards (>= 1).
+        config: Per-shard device geometry (every shard gets the same).
+        policy: Cleaning-policy *name* (each shard binds its own
+            instance; a shared policy object is rejected).
+        unit_bytes: KV record granularity, passed to every shard.
+        gc_budget: Page relocations allowed per maintenance round,
+            pool-wide (default: two segments' worth).
+        gc_max_share: Largest fraction of a round's budget one shard
+            may consume.
+        free_target: Proactive free-segment floor per shard (default:
+            ``clean_trigger + 1`` — one segment of headroom before the
+            reactive trigger).
+        metrics: Service metrics registry for governor counters.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        config: StoreConfig,
+        policy: Union[str, CleaningPolicy] = "mdc",
+        unit_bytes: int = 64,
+        gc_budget: Optional[int] = None,
+        gc_max_share: float = 0.5,
+        free_target: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1, got %d" % n_shards)
+        if not isinstance(policy, str):
+            raise TypeError(
+                "StorePool needs a policy name; policy instances bind to "
+                "exactly one store and cannot be shared across shards"
+            )
+        if not 0.0 < gc_max_share <= 1.0:
+            raise ValueError("gc_max_share must be in (0, 1]")
+        self.config = config
+        self.policy_name = policy
+        self.unit_bytes = unit_bytes
+        self.shards: List[LogStructuredKVStore] = [
+            LogStructuredKVStore(config, policy=policy, unit_bytes=unit_bytes)
+            for _ in range(n_shards)
+        ]
+        self.gc_budget = (
+            gc_budget if gc_budget is not None else 2 * config.segment_units
+        )
+        if self.gc_budget < 1:
+            raise ValueError("gc_budget must be >= 1")
+        self.gc_max_share = gc_max_share
+        self.free_target = (
+            free_target if free_target is not None else config.clean_trigger + 1
+        )
+        self.metrics = metrics
+
+    # -- shape -----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __getitem__(self, shard: int) -> LogStructuredKVStore:
+        return self.shards[shard]
+
+    def add_shard(self) -> LogStructuredKVStore:
+        """Append one fresh, empty shard (service-level rebalancing
+        moves the keys)."""
+        shard = LogStructuredKVStore(
+            self.config, policy=self.policy_name, unit_bytes=self.unit_bytes
+        )
+        self.shards.append(shard)
+        return shard
+
+    # -- cleaning governance --------------------------------------------
+
+    def maintain(self) -> int:
+        """One budgeted maintenance round; returns pages relocated.
+
+        Tops up shards below ``free_target`` most-starved-first until
+        the round budget (or every shard's per-round share) is spent.
+        """
+        budget = self.gc_budget
+        share_cap = max(1, int(self.gc_max_share * budget))
+        needy = [
+            (self.free_target - kv.store.free_segment_count, i)
+            for i, kv in enumerate(self.shards)
+            if kv.store.free_segment_count < self.free_target
+        ]
+        if not needy:
+            return 0
+        needy.sort(key=lambda pair: (-pair[0], pair[1]))
+        spent_total = 0
+        capped = False
+        for _deficit, i in needy:
+            if spent_total >= budget:
+                capped = True
+                break
+            store = self.shards[i].store
+            spent_shard = 0
+            while (
+                store.free_segment_count < self.free_target
+                and spent_total < budget
+                and spent_shard < share_cap
+            ):
+                if store.sealed_segments().size == 0:
+                    break  # nothing cleanable yet (young shard)
+                before = store.stats.gc_writes
+                store.clean()
+                moved = store.stats.gc_writes - before
+                spent_shard += moved
+                spent_total += moved
+                if self.metrics is not None:
+                    self.metrics.counter("gc_governed_cycles").inc()
+            if spent_shard >= share_cap and (
+                store.free_segment_count < self.free_target
+            ):
+                capped = True
+        if self.metrics is not None and spent_total:
+            self.metrics.counter("gc_governed_pages").inc(spent_total)
+            if capped:
+                self.metrics.counter("gc_budget_capped_rounds").inc()
+        return spent_total
+
+    # -- aggregate introspection ----------------------------------------
+
+    def free_segments(self) -> List[int]:
+        """Per-shard free-pool depth."""
+        return [kv.store.free_segment_count for kv in self.shards]
+
+    def wamp_per_shard(self) -> List[float]:
+        """Per-shard cumulative write amplification."""
+        return [kv.write_amplification for kv in self.shards]
+
+    def stats_summary(self) -> Dict[str, float]:
+        """Pool-wide counters: user writes, GC writes, keys, and the
+        per-shard Wamp spread (max - min over shards that saw writes)."""
+        user = sum(kv.store.stats.user_writes for kv in self.shards)
+        gc = sum(kv.store.stats.gc_writes for kv in self.shards)
+        wamps = [
+            kv.write_amplification
+            for kv in self.shards
+            if kv.store.stats.user_writes
+        ]
+        return {
+            "shards": float(len(self.shards)),
+            "keys": float(sum(len(kv) for kv in self.shards)),
+            "user_writes": float(user),
+            "gc_writes": float(gc),
+            "wamp_aggregate": gc / user if user else 0.0,
+            "wamp_spread": (max(wamps) - min(wamps)) if wamps else 0.0,
+        }
+
+    def check_consistency(self) -> None:
+        """Every shard's index/store agreement (test aid)."""
+        for kv in self.shards:
+            kv.check_consistency()
+
+    def __repr__(self) -> str:
+        return "<StorePool shards=%d policy=%s free=%s>" % (
+            len(self.shards),
+            self.policy_name,
+            self.free_segments(),
+        )

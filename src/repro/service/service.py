@@ -1,0 +1,293 @@
+"""The in-process service object: routed, batched, observable.
+
+:class:`Service` is the store front-end the concurrent harness and the
+``repro serve`` CLI drive: a :class:`~repro.service.pool.StorePool` of
+KV shards behind a :class:`~repro.service.router.ConsistentHashRouter`,
+with client writes coalesced by an
+:class:`~repro.service.ingest.IngestQueue` and cleaning metered by the
+pool's global slack budget.
+
+Keys are namespaced per tenant — the stored key is the ``(tenant,
+key)`` pair — so tenants never collide and rebalancing can re-route
+every record from its stored form alone.  Reads are read-your-writes:
+a ``get`` consults the owning shard's pending queue before the shard
+itself, so an acknowledged-but-unflushed ``put`` is already visible.
+
+Observability rides the existing ``repro.obs`` machinery: every shard
+carries a :class:`~repro.obs.StoreObserver` (per-shard Wamp/fill time
+series, cleaning decisions, seal/clean events), the service keeps its
+own :class:`~repro.obs.MetricsRegistry` (ingest queue depth, batch-size
+histogram, per-shard op counters, rebalance counts), and
+:meth:`Service.export_rows` emits one schema-v1 block for the service
+plus one per shard — a file ``repro obs report`` and ``repro obs
+validate`` consume unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.obs import MetricsRegistry, MetricsWriter, StoreObserver
+from repro.obs.export import SCHEMA_VERSION
+from repro.service.ingest import OP_PUT, IngestQueue
+from repro.service.pool import StorePool
+from repro.service.router import ConsistentHashRouter
+from repro.store import StoreConfig
+
+Key = Union[str, bytes, int, tuple]
+
+
+class Service:
+    """Sharded key-value service over one :class:`StorePool`.
+
+    Args:
+        n_shards: Shard count.
+        config: Per-shard store geometry.
+        policy: Cleaning-policy name (per-shard instances).
+        unit_bytes: KV record granularity.
+        replicas: Router virtual nodes per shard.
+        tenant_spread: Router per-tenant affinity window (1.0 = none).
+        batch_size / flush_interval / max_depth: Ingest queue knobs.
+        gc_budget / gc_max_share / free_target: Cleaning governor knobs.
+        seed: Ring seed (the service itself draws no randomness).
+        sample_interval: Per-shard time-series spacing in update ticks.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        config: StoreConfig,
+        policy: str = "mdc",
+        unit_bytes: int = 64,
+        replicas: int = 64,
+        tenant_spread: float = 1.0,
+        batch_size: int = 256,
+        flush_interval: int = 4,
+        max_depth: int = 4096,
+        gc_budget: Optional[int] = None,
+        gc_max_share: float = 0.5,
+        free_target: Optional[int] = None,
+        seed: int = 0,
+        sample_interval: Optional[int] = None,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.router = ConsistentHashRouter(
+            n_shards, replicas=replicas, seed=seed, tenant_spread=tenant_spread
+        )
+        self.pool = StorePool(
+            n_shards,
+            config,
+            policy=policy,
+            unit_bytes=unit_bytes,
+            gc_budget=gc_budget,
+            gc_max_share=gc_max_share,
+            free_target=free_target,
+            metrics=self.metrics,
+        )
+        self.queue = IngestQueue(
+            self.pool.shards,
+            batch_size=batch_size,
+            flush_interval=flush_interval,
+            max_depth=max_depth,
+            metrics=self.metrics,
+        )
+        self.queue.after_flush = self._after_flush
+        self.seed = seed
+        self._sample_interval = sample_interval
+        # The keyspace a service sees is bounded (tenants x keys), so
+        # memoizing ring lookups turns the per-op blake2b hash into a
+        # dict hit; scale_to() invalidates it when the ring changes.
+        self._routes: Dict[tuple, int] = {}
+        self._c_puts = self.metrics.counter("puts")
+        self._c_deletes = self.metrics.counter("deletes")
+        self._c_gets = self.metrics.counter("gets")
+        self.observers: List[StoreObserver] = [
+            StoreObserver(
+                kv.store,
+                sample_interval=sample_interval,
+                capture_failpoints=False,
+            ).attach()
+            for kv in self.pool.shards
+        ]
+
+    # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _skey(tenant: Optional[Key], key: Key) -> tuple:
+        """The stored (namespaced) form of a client key."""
+        return (tenant, key)
+
+    def shard_of(self, key: Key, tenant: Optional[Key] = None) -> int:
+        """The shard index owning ``key`` under ``tenant``."""
+        skey = (tenant, key)
+        shard = self._routes.get(skey)
+        if shard is None:
+            shard = self.router.shard_for(key, tenant=tenant)
+            self._routes[skey] = shard
+        return shard
+
+    def _after_flush(self, shard: int) -> None:
+        """Post-batch governance: one budgeted maintenance round."""
+        self.pool.maintain()
+
+    # -- client API ------------------------------------------------------
+
+    def put(self, key: Key, value: bytes, tenant: Optional[Key] = None) -> int:
+        """Acknowledge an upsert into the ingest queue; returns the
+        owning shard index."""
+        shard = self.shard_of(key, tenant)
+        self._c_puts.inc()
+        self.queue.put(shard, self._skey(tenant, key), value)
+        return shard
+
+    def delete(self, key: Key, tenant: Optional[Key] = None) -> int:
+        """Acknowledge a delete; returns the owning shard index."""
+        shard = self.shard_of(key, tenant)
+        self._c_deletes.inc()
+        self.queue.delete(shard, self._skey(tenant, key))
+        return shard
+
+    def get(
+        self,
+        key: Key,
+        tenant: Optional[Key] = None,
+        default: Optional[bytes] = None,
+    ) -> Optional[bytes]:
+        """Read-your-writes fetch: pending queue first, then the shard."""
+        shard = self.shard_of(key, tenant)
+        self._c_gets.inc()
+        skey = self._skey(tenant, key)
+        pending = self.queue.pending_value(shard, skey)
+        if pending is not None:
+            return pending[2] if pending[0] == OP_PUT else default
+        return self.pool[shard].get(skey, default)
+
+    def __contains__(self, key: Key) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        live = sum(len(kv) for kv in self.pool.shards)
+        # Pending ops shift the count only once applied; flush for an
+        # exact figure.
+        return live
+
+    # -- service clock ---------------------------------------------------
+
+    def tick(self) -> None:
+        """One service-clock step: age the queue (flush-on-tick), run a
+        maintenance round, and advance the per-shard samplers."""
+        self.queue.tick()
+        self.pool.maintain()
+        for observer in self.observers:
+            observer.maybe_sample()
+
+    def flush(self) -> int:
+        """Drain the ingest queue; returns ops applied."""
+        return self.queue.flush_all()
+
+    # -- elasticity ------------------------------------------------------
+
+    def scale_to(self, n_shards: int) -> int:
+        """Grow the pool to ``n_shards``, migrating only the keys whose
+        route changed; returns the number of keys moved.
+
+        Consistent hashing guarantees moved keys always land on the
+        *new* shards, so pre-existing shards only lose records.
+        """
+        if n_shards < self.pool.n_shards:
+            raise ValueError(
+                "cannot shrink a pool from %d to %d shards"
+                % (self.pool.n_shards, n_shards)
+            )
+        if n_shards == self.pool.n_shards:
+            return 0
+        self.flush()
+        old_n = self.pool.n_shards
+        for _ in range(old_n, n_shards):
+            shard = self.pool.add_shard()
+            self.queue.add_shard(shard)
+            self.observers.append(
+                StoreObserver(
+                    shard.store,
+                    sample_interval=self._sample_interval,
+                    capture_failpoints=False,
+                ).attach()
+            )
+        self.router = self.router.grown(n_shards)
+        self._routes.clear()
+        moved = 0
+        for src in range(old_n):
+            kv = self.pool[src]
+            moves: Dict[int, List[tuple]] = {}
+            for skey in list(kv.keys()):
+                tenant, key = skey
+                dst = self.router.shard_for(key, tenant=tenant)
+                if dst != src:
+                    moves.setdefault(dst, []).append(skey)
+            for dst in sorted(moves):
+                batch = [(skey, kv.get(skey)) for skey in moves[dst]]
+                self.pool[dst].put_many(batch)
+                for skey in moves[dst]:
+                    kv.delete(skey)
+                moved += len(batch)
+        self.metrics.counter("rebalances").inc()
+        self.metrics.counter("keys_migrated").inc(moved)
+        self.pool.maintain()
+        return moved
+
+    # -- observability ---------------------------------------------------
+
+    def queue_depth_p95(self) -> int:
+        """95th percentile of the queue depth across all ticks so far."""
+        samples = sorted(self.queue.depth_samples)
+        if not samples:
+            return 0
+        return samples[min(len(samples) - 1, int(0.95 * len(samples)))]
+
+    def rows(self, meta: Optional[Dict] = None) -> Iterator[Dict]:
+        """Schema-v1 rows: one service-level block (meta + metrics),
+        then one block per shard from its :class:`StoreObserver`."""
+        header = {"type": "meta", "schema": SCHEMA_VERSION}
+        header["run"] = dict(meta) if meta else {}
+        header["run"].setdefault("component", "service")
+        header["run"].setdefault("policy", self.pool.policy_name)
+        header["run"].setdefault("shards", self.pool.n_shards)
+        header["run"].setdefault("seed", self.seed)
+        yield header
+        row = self.metrics.snapshot().to_dict()
+        row["type"] = "metrics"
+        row["clock"] = sum(kv.store.clock for kv in self.pool.shards)
+        row["queue_depth_p95"] = self.queue_depth_p95()
+        yield row
+        for i, observer in enumerate(self.observers):
+            observer.sample_now()
+            shard_meta = dict(meta) if meta else {}
+            shard_meta["component"] = "shard"
+            shard_meta["shard"] = i
+            shard_meta["shards"] = self.pool.n_shards
+            shard_meta["seed"] = self.seed
+            for row in observer.rows(shard_meta):
+                yield row
+
+    def export_rows(
+        self,
+        sink: Union[str, MetricsWriter],
+        meta: Optional[Dict] = None,
+    ) -> int:
+        """Write :meth:`rows` to a JSONL path or shared writer; returns
+        the row count."""
+        writer = sink if isinstance(sink, MetricsWriter) else MetricsWriter(str(sink))
+        return writer.write_rows(self.rows(meta))
+
+    def close(self) -> None:
+        """Flush pending writes and detach the shard observers."""
+        self.flush()
+        for observer in self.observers:
+            observer.detach()
+
+    def __repr__(self) -> str:
+        return "<Service shards=%d queued=%d keys=%d>" % (
+            self.pool.n_shards,
+            self.queue.depth,
+            len(self),
+        )

@@ -1,0 +1,116 @@
+"""put_many must be state-identical to a sequential put loop."""
+
+import numpy as np
+import pytest
+
+from repro.kvstore import KVError, LogStructuredKVStore
+from repro.store import StoreConfig
+from repro.testkit.trace import state_digest
+
+
+def make_kv(policy="mdc", **overrides):
+    cfg = dict(
+        n_segments=64, segment_units=32, fill_factor=0.5,
+        clean_trigger=2, clean_batch=4, sort_buffer_segments=1,
+    )
+    cfg.update(overrides)
+    return LogStructuredKVStore(StoreConfig(**cfg), policy=policy, unit_bytes=16)
+
+
+def random_items(rng, n, keyspace=64, max_bytes=96):
+    return [
+        (
+            "k%d" % rng.integers(0, keyspace),
+            bytes(int(rng.integers(1, max_bytes + 1))),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestDifferential:
+    """The oracle: put_many(batch) == for k, v in batch: put(k, v)."""
+
+    @pytest.mark.parametrize("policy", ["mdc", "greedy"])
+    def test_batched_equals_sequential(self, policy):
+        rng = np.random.default_rng(11)
+        items = random_items(rng, 600)
+        batched = make_kv(policy)
+        sequential = make_kv(policy)
+        for start in range(0, len(items), 37):  # uneven chunking
+            batched.put_many(items[start:start + 37])
+        for key, value in items:
+            sequential.put(key, value)
+        assert state_digest(batched.store) == state_digest(sequential.store)
+        assert dict(batched.items()) == dict(sequential.items())
+        batched.check_consistency()
+
+    def test_differential_with_interleaved_deletes(self):
+        rng = np.random.default_rng(5)
+        batched = make_kv()
+        sequential = make_kv()
+        for _round in range(20):
+            items = random_items(rng, 50, keyspace=32)
+            batched.put_many(items)
+            for key, value in items:
+                sequential.put(key, value)
+            victim = "k%d" % rng.integers(0, 32)
+            assert batched.delete(victim) == sequential.delete(victim)
+        assert state_digest(batched.store) == state_digest(sequential.store)
+
+    def test_duplicate_keys_in_one_batch_last_wins(self):
+        kv = make_kv()
+        ref = make_kv()
+        batch = [("a", b"one"), ("b", b"x"), ("a", b"two"), ("a", b"three")]
+        kv.put_many(batch)
+        for key, value in batch:
+            ref.put(key, value)
+        assert kv.get("a") == b"three"
+        # Every occurrence is a user write, exactly like the loop.
+        assert kv.store.stats.user_writes == ref.store.stats.user_writes
+        assert state_digest(kv.store) == state_digest(ref.store)
+
+
+class TestBatchSemantics:
+    def test_empty_batch(self):
+        kv = make_kv()
+        assert kv.put_many([]) == 0
+        assert len(kv) == 0
+
+    def test_returns_count_and_accepts_iterators(self):
+        kv = make_kv()
+        n = kv.put_many(("it%d" % i, b"v") for i in range(10))
+        assert n == 10
+        assert len(kv) == 10
+
+    def test_invalid_value_applies_prefix_then_raises(self):
+        kv = make_kv()
+        ref = make_kv()
+        bad = [("a", b"1"), ("b", b"2"), ("c", "not-bytes"), ("d", b"4")]
+        with pytest.raises(KVError):
+            kv.put_many(bad)
+        for key, value in bad:
+            try:
+                ref.put(key, value)
+            except KVError:
+                break
+        assert kv.get("a") == b"1" and kv.get("b") == b"2"
+        assert kv.get("c") is None and kv.get("d") is None
+        assert state_digest(kv.store) == state_digest(ref.store)
+        kv.check_consistency()
+
+    def test_oversized_value_applies_prefix_then_raises(self):
+        kv = make_kv()
+        huge = b"x" * (kv.max_value_bytes + 1)
+        with pytest.raises(KVError):
+            kv.put_many([("ok", b"fine"), ("big", huge)])
+        assert kv.get("ok") == b"fine"
+        assert "big" not in kv
+        kv.check_consistency()
+
+    def test_overwrite_reuses_slot(self):
+        kv = make_kv()
+        kv.put("a", b"old")
+        slot = kv._slot_of["a"]
+        kv.put_many([("a", b"new")])
+        assert kv._slot_of["a"] == slot
+        assert kv.get("a") == b"new"

@@ -159,6 +159,27 @@ class TestAggregation:
         assert run["final_clock"] == 200
         assert run["final_wamp_win"] == 0.25
 
+    def test_summarize_surfaces_ring_drops(self):
+        dropped = _metrics()
+        dropped["events_dropped"] = 7
+        dropped["decisions_dropped"] = 2
+        rows = (
+            [_meta(policy="greedy"), _sample(100), dropped]
+            + [_meta(policy="mdc"), _sample(100), _metrics()]
+        )
+        summary = summarize_rows(rows)
+        assert summary["per_run"][0]["events_dropped"] == 7
+        assert summary["per_run"][0]["decisions_dropped"] == 2
+        assert summary["per_run"][1]["events_dropped"] == 0
+        assert summary["per_run"][1]["decisions_dropped"] == 0
+        assert summary["events_dropped"] == 7
+        assert summary["decisions_dropped"] == 2
+
+    def test_summarize_without_drop_keys_defaults_to_zero(self):
+        summary = summarize_rows(_valid_rows())
+        assert summary["events_dropped"] == 0
+        assert summary["per_run"][0]["decisions_dropped"] == 0
+
     def test_samples_to_csv(self, tmp_path):
         path = tmp_path / "s.csv"
         assert samples_to_csv(str(path), _valid_rows()) == 2

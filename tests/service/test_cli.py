@@ -1,0 +1,111 @@
+"""The service CLI surface: serve, loadgen, bench service."""
+
+import json
+
+from repro.cli import main
+
+QUICK = [
+    "--quick", "--ops", "2500", "--keys-per-tenant", "192",
+    "--tick-every", "128",
+]
+
+
+class TestServe:
+    def test_serve_reports_and_exports(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        history = tmp_path / "history.jsonl"
+        code = main(
+            ["serve", *QUICK, "--metrics-out", str(metrics),
+             "--history", str(history)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "writes/sec" in out
+        assert "Wamp" in out
+        assert metrics.exists()
+        entry = json.loads(history.read_text().strip())
+        assert entry["benchmark"] == "service-serve"
+        assert entry["shards"] == 4
+        assert entry["writes_per_sec"] > 0
+
+    def test_serve_metrics_validate(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(
+            ["serve", *QUICK, "--metrics-out", str(metrics), "--no-history"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "validate", str(metrics)]) == 0
+        assert "schema valid" in capsys.readouterr().out
+
+    def test_serve_deterministic_across_processes(self, tmp_path, capsys):
+        m1, m2 = tmp_path / "m1.jsonl", tmp_path / "m2.jsonl"
+        for path in (m1, m2):
+            assert main(
+                ["serve", *QUICK, "--seed", "5", "--metrics-out", str(path),
+                 "--no-history"]
+            ) == 0
+        assert m1.read_bytes() == m2.read_bytes()
+
+
+class TestLoadgenRoundtrip:
+    def test_loadgen_then_serve_from(self, tmp_path, capsys):
+        trace = tmp_path / "ops.jsonl"
+        assert main(["loadgen", str(trace), *QUICK]) == 0
+        out = capsys.readouterr().out
+        assert "2500 ops" in out
+        assert trace.exists()
+        metrics = tmp_path / "metrics.jsonl"
+        code = main(
+            ["serve", "--from", str(trace), "--metrics-out", str(metrics),
+             "--no-history"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replayed 2500 ops" in out
+        assert metrics.exists()
+
+    def test_serve_from_matches_generated(self, tmp_path, capsys):
+        trace = tmp_path / "ops.jsonl"
+        assert main(["loadgen", str(trace), *QUICK, "--seed", "3"]) == 0
+        live, replay = tmp_path / "live.jsonl", tmp_path / "replay.jsonl"
+        assert main(
+            ["serve", *QUICK, "--seed", "3", "--metrics-out", str(live),
+             "--no-history"]
+        ) == 0
+        assert main(
+            ["serve", "--from", str(trace), "--metrics-out", str(replay),
+             "--no-history"]
+        ) == 0
+        assert live.read_bytes() == replay.read_bytes()
+
+    def test_serve_from_missing_file_errors(self, tmp_path, capsys):
+        assert main(
+            ["serve", "--from", str(tmp_path / "nope.jsonl"), "--no-history"]
+        ) == 1
+        assert "serve error" in capsys.readouterr().err
+
+
+class TestBenchService:
+    def test_bench_service_writes_report_and_history(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_service.json"
+        history = tmp_path / "history.jsonl"
+        code = main(
+            ["bench", "service", "--quick", "--ops", "2500",
+             "--shards-list", "1,2", "--out", str(out),
+             "--history", str(history)]
+        )
+        stdout = capsys.readouterr().out
+        assert code == 0, stdout
+        assert "serial 1 shard" in stdout
+        report = json.loads(out.read_text())
+        assert set(report["shards"]) == {"1", "2"}
+        assert report["serial"]["writes_per_sec"] > 0
+        entry = json.loads(history.read_text().strip())
+        assert entry["benchmark"] == "service"
+
+    def test_bad_shards_list_errors(self, tmp_path, capsys):
+        assert main(
+            ["bench", "service", "--shards-list", "a,b",
+             "--out", str(tmp_path / "r.json")]
+        ) == 1
+        assert "shards-list" in capsys.readouterr().err

@@ -1,0 +1,194 @@
+"""Service front-end: client semantics, elasticity, observability."""
+
+import numpy as np
+import pytest
+
+from repro.obs.export import validate_rows
+from repro.service import Service
+from repro.store import StoreConfig
+
+
+def make_service(n_shards=2, **overrides):
+    kwargs = dict(
+        policy="greedy", unit_bytes=8, batch_size=16, flush_interval=2,
+        max_depth=256, seed=0,
+    )
+    kwargs.update(overrides)
+    kwargs["max_depth"] = max(kwargs["max_depth"], kwargs["batch_size"])
+    return Service(
+        n_shards,
+        StoreConfig(
+            n_segments=48, segment_units=16, fill_factor=0.5,
+            clean_trigger=2, clean_batch=2,
+        ),
+        **kwargs,
+    )
+
+
+class TestClientSemantics:
+    def test_read_your_writes_before_flush(self):
+        svc = make_service(batch_size=1000, flush_interval=1000)
+        svc.put("k", b"v", tenant="t0")
+        assert svc.get("k", tenant="t0") == b"v"  # still queued
+        svc.delete("k", tenant="t0")
+        assert svc.get("k", tenant="t0") is None
+        assert svc.get("k", tenant="t0", default=b"d") == b"d"
+
+    def test_tenants_are_namespaced(self):
+        svc = make_service()
+        svc.put("k", b"alpha", tenant="a")
+        svc.put("k", b"beta", tenant="b")
+        svc.put("k", b"none")  # no tenant
+        svc.flush()
+        assert svc.get("k", tenant="a") == b"alpha"
+        assert svc.get("k", tenant="b") == b"beta"
+        assert svc.get("k") == b"none"
+
+    def test_against_dict_model(self):
+        svc = make_service()
+        model = {}
+        rng = np.random.default_rng(3)
+        tenants = ["t0", "t1", "t2"]
+        for step in range(3000):
+            tenant = tenants[int(rng.integers(0, len(tenants)))]
+            key = "k%d" % rng.integers(0, 80)
+            if rng.random() < 0.15:
+                svc.delete(key, tenant=tenant)
+                model.pop((tenant, key), None)
+            else:
+                value = bytes(int(rng.integers(1, 40)))
+                svc.put(key, value, tenant=tenant)
+                model[(tenant, key)] = value
+            if step % 100 == 0:
+                svc.tick()
+        svc.flush()
+        for (tenant, key), value in model.items():
+            assert svc.get(key, tenant=tenant) == value
+        assert len(svc) == len(model)
+        svc.pool.check_consistency()
+
+    def test_routing_is_stable_per_key(self):
+        svc = make_service(4)
+        for i in range(50):
+            key = "k%d" % i
+            assert svc.shard_of(key, "t") == svc.shard_of(key, "t")
+            assert svc.put(key, b"v", tenant="t") == svc.shard_of(key, "t")
+
+
+class TestTickAndFlush:
+    def test_tick_flushes_aged_ops_and_samples(self):
+        svc = make_service(batch_size=1000, flush_interval=2)
+        svc.put("k", b"v")
+        svc.tick()
+        assert svc.queue.depth == 1
+        svc.tick()
+        assert svc.queue.depth == 0
+        assert svc.pool[svc.shard_of("k")].get((None, "k")) == b"v"
+
+    def test_queue_depth_p95(self):
+        svc = make_service(batch_size=1000, flush_interval=1000)
+        assert svc.queue_depth_p95() == 0
+        for i in range(10):
+            svc.put("k%d" % i, b"v")
+            svc.tick()
+        assert svc.queue_depth_p95() >= 1
+
+
+class TestElasticity:
+    def test_scale_to_migrates_only_to_new_shards(self):
+        svc = make_service(2, batch_size=64)
+        model = {}
+        for i in range(300):
+            tenant = "t%d" % (i % 3)
+            value = b"v%d" % i
+            svc.put("k%d" % i, value, tenant=tenant)
+            model[(tenant, "k%d" % i)] = value
+        svc.flush()
+        before = {
+            (tenant, key): svc.shard_of(key, tenant)
+            for (tenant, key) in model
+        }
+        moved = svc.scale_to(4)
+        changed = 0
+        for (tenant, key), value in model.items():
+            after = svc.shard_of(key, tenant)
+            if after != before[(tenant, key)]:
+                assert after >= 2  # only onto the new shards
+                changed += 1
+            assert svc.get(key, tenant=tenant) == value
+        assert moved == changed > 0
+        # Old shards hold nothing that routes elsewhere now.
+        for src in range(2):
+            for skey in svc.pool[src].keys():
+                tenant, key = skey
+                assert svc.shard_of(key, tenant) == src
+        svc.pool.check_consistency()
+        counters = svc.metrics.snapshot().counters
+        assert counters["rebalances"] == 1
+        assert counters["keys_migrated"] == moved
+
+    def test_scale_to_same_size_is_noop(self):
+        svc = make_service(2)
+        assert svc.scale_to(2) == 0
+
+    def test_shrink_raises(self):
+        svc = make_service(4)
+        with pytest.raises(ValueError):
+            svc.scale_to(2)
+
+    def test_writes_after_growth_route_with_new_ring(self):
+        svc = make_service(1)
+        svc.put("a", b"1", tenant="t")
+        svc.flush()
+        svc.scale_to(3)
+        svc.put("b", b"2", tenant="t")
+        svc.flush()
+        assert svc.get("a", tenant="t") == b"1"
+        assert svc.get("b", tenant="t") == b"2"
+
+
+class TestObservability:
+    def test_rows_pass_schema_validation(self):
+        svc = make_service(2, sample_interval=64)
+        for i in range(500):
+            svc.put("k%d" % (i % 60), bytes(20), tenant="t0")
+            if i % 50 == 0:
+                svc.tick()
+        svc.flush()
+        rows = list(svc.rows({"label": "unit-test"}))
+        assert validate_rows(rows) == []
+        metas = [r for r in rows if r["type"] == "meta"]
+        # One service block plus one block per shard.
+        assert len(metas) == 3
+        assert metas[0]["run"]["component"] == "service"
+        assert metas[1]["run"]["component"] == "shard"
+        assert metas[0]["run"]["label"] == "unit-test"
+
+    def test_export_rows_writes_file(self, tmp_path):
+        svc = make_service(2)
+        svc.put("k", b"v")
+        svc.flush()
+        path = tmp_path / "metrics.jsonl"
+        n = svc.export_rows(str(path))
+        assert n > 0 and path.exists()
+
+    def test_service_metrics_track_ops(self):
+        svc = make_service(2)
+        svc.put("a", b"1")
+        svc.put("b", b"2")
+        svc.delete("a")
+        svc.get("b")
+        svc.flush()
+        counters = svc.metrics.snapshot().counters
+        assert counters["puts"] == 2
+        assert counters["deletes"] == 1
+        assert counters["gets"] == 1
+        assert counters["ops_flushed"] == 3
+
+    def test_close_detaches_observers(self):
+        svc = make_service(2)
+        svc.put("k", b"v")
+        svc.close()
+        for kv in svc.pool.shards:
+            assert kv.store.obs is None
+        assert svc.get("k") == b"v"  # flushed by close
