@@ -167,6 +167,16 @@ def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
         "--gc-max-share", type=float, default=None,
         help="largest budget fraction one shard may spend (default 0.5)",
     )
+    parser.add_argument(
+        "--cleaner", default=None, choices=["batch", "incremental"],
+        help="cleaning mode: whole cycles per maintenance visit (batch, "
+        "default) or bounded preemptible steps (incremental)",
+    )
+    parser.add_argument(
+        "--pages-per-step", type=int, default=None,
+        help="relocations per incremental cleaner step (default 32; "
+        "only with --cleaner incremental)",
+    )
     _add_quick(parser)
     _add_seed(parser)
 
@@ -198,6 +208,8 @@ def _harness_config(args: argparse.Namespace):
         "tenant_spread": "tenant_spread",
         "gc_budget": "gc_budget",
         "gc_max_share": "gc_max_share",
+        "cleaner": "cleaner",
+        "pages_per_step": "pages_per_step",
         "sample_interval": "sample_interval",
     }
     overrides = {}
@@ -382,6 +394,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument(
         "--out", default=None,
         help="write the JSON report here (default BENCH_service.json)",
+    )
+    p.add_argument(
+        "--history", default=None, metavar="JSONL",
+        help="append the headline numbers, keyed by git SHA, to this "
+        "JSONL trajectory (default benchmarks/history.jsonl)",
+    )
+    p.add_argument(
+        "--no-history", action="store_true",
+        help="skip the benchmarks/history.jsonl append",
+    )
+    _add_quick(p)
+    _add_seed(p)
+    p = bench_sub.add_parser(
+        "latency",
+        help="tail-latency contrast: batch vs incremental cleaning at "
+        "equal GC budget (BENCH_latency.json)",
+    )
+    p.add_argument(
+        "--ops", type=int, default=None,
+        help="client ops per mode (default 200000; --quick: 24000)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the JSON report here (default BENCH_latency.json)",
+    )
+    p.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a committed BENCH_latency.json; exit 1 "
+        "when the p99 stall ratio regresses past the baseline",
     )
     p.add_argument(
         "--history", default=None, metavar="JSONL",
@@ -846,6 +887,8 @@ def _run_bench_command(args: argparse.Namespace) -> int:
     """Dispatch ``repro bench ...``: run, render, optionally gate."""
     if args.bench_command == "service":
         return _run_bench_service_command(args)
+    if args.bench_command == "latency":
+        return _run_bench_latency_command(args)
     from repro.bench.micro import (
         HISTORY_PATH,
         append_history,
@@ -945,6 +988,45 @@ def _run_bench_service_command(args: argparse.Namespace) -> int:
             )
             return 0
         return 1
+    return 0
+
+
+def _run_bench_latency_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro bench latency``: stall contrast + gates."""
+    from repro.bench.micro import HISTORY_PATH
+    from repro.service.latency import (
+        BENCH_PATH,
+        append_latency_history,
+        check_latency_regression,
+        check_latency_report,
+        load_latency_report,
+        render_latency_report,
+        run_latency_bench,
+        write_latency_report,
+    )
+
+    report = run_latency_bench(quick=args.quick, seed=args.seed, ops=args.ops)
+    print(render_latency_report(report))
+    out = args.out or BENCH_PATH
+    write_latency_report(report, out)
+    print("report written to %s" % out)
+    if not args.no_history:
+        history_path = args.history or HISTORY_PATH
+        entry = append_latency_history(report, path=history_path)
+        print(
+            "headline appended to %s (sha %s)" % (history_path, entry["sha"])
+        )
+    if args.check:
+        baseline = load_latency_report(args.check)
+        problems = check_latency_regression(report, baseline)
+    else:
+        problems = check_latency_report(report)
+    if problems:
+        for problem in problems:
+            print("latency regression: %s" % problem, file=sys.stderr)
+        return 1
+    if args.check:
+        print("no latency regression vs %s" % args.check)
     return 0
 
 

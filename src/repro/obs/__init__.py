@@ -18,6 +18,7 @@ from repro.obs.events import (
     FAILPOINT_FIRED,
     SEGMENT_SEALED,
     VICTIM_SELECTED,
+    WRITE_STALL,
     Event,
     EventBus,
 )
@@ -38,8 +39,9 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     MetricsSnapshot,
+    percentile_from_buckets,
 )
-from repro.obs.observer import StoreObserver
+from repro.obs.observer import PAGES_EDGES, StoreObserver
 from repro.obs.samplers import TimeSeriesSampler, default_interval
 
 __all__ = [
@@ -49,6 +51,8 @@ __all__ = [
     "FAILPOINT_FIRED",
     "SEGMENT_SEALED",
     "VICTIM_SELECTED",
+    "WRITE_STALL",
+    "PAGES_EDGES",
     "SCHEMA_VERSION",
     "Counter",
     "Event",
@@ -65,6 +69,7 @@ __all__ = [
     "load_rows",
     "samples_to_csv",
     "summarize_rows",
+    "percentile_from_buckets",
     "validate_file",
     "validate_rows",
     "write_jsonl",

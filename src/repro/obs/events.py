@@ -25,6 +25,11 @@ CLEAN_CYCLE = "clean_cycle"
 VICTIM_SELECTED = "victim_selected"
 BUFFER_FLUSH = "buffer_flush"
 FAILPOINT_FIRED = "failpoint"
+#: A foreground write had to run inline cleaning to get a segment —
+#: the payload carries how many GC pages it waited behind.  Cleaner
+#: *steps* deliberately get no event kind: a step is per-budget-slice
+#: frequency, which would flood the ring; steps are metrics-only.
+WRITE_STALL = "write_stall"
 
 #: Every kind the store itself can emit (exporters validate against it).
 EVENT_KINDS = (
@@ -33,6 +38,7 @@ EVENT_KINDS = (
     VICTIM_SELECTED,
     BUFFER_FLUSH,
     FAILPOINT_FIRED,
+    WRITE_STALL,
 )
 
 

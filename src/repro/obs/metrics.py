@@ -47,16 +47,67 @@ class Gauge:
         self.value = float(value)
 
 
+def percentile_from_buckets(
+    edges: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+    lo: float = 0.0,
+    hi: Optional[float] = None,
+) -> float:
+    """Estimate the ``q``-quantile (``q`` in [0, 1]) of a fixed-bucket
+    histogram by linear interpolation inside the covering bucket.
+
+    ``counts`` has one entry per edge plus the overflow bucket.  Bucket
+    ``i`` spans ``(edges[i-1], edges[i]]`` (the first spans ``[lo,
+    edges[0]]``); the overflow bucket spans ``(edges[-1], hi]``.
+
+    ``hi`` — the largest value actually observed, when the caller
+    tracked it — clamps every bucket's upper bound.  That is the
+    small-sample-count fix: with a handful of observations, naive
+    interpolation against a bucket's full width reads far above any
+    real observation (one sample of 3 in a ``(2, 64]`` bucket would
+    "interpolate" to ~64 at every quantile), and the overflow bucket
+    has no finite upper edge at all without it.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]; got %r" % (q,))
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    target = q * total
+    cum = 0.0
+    for i, n in enumerate(counts):
+        if n <= 0:
+            continue
+        lower = lo if i == 0 else float(edges[i - 1])
+        if i < len(edges):
+            upper = float(edges[i])
+        else:
+            # Overflow bucket: without a tracked max the last edge is
+            # the only finite bound we have.
+            upper = float(edges[-1]) if hi is None else hi
+        if hi is not None:
+            upper = min(upper, hi)
+        lower = min(lower, upper)
+        if cum + n >= target:
+            frac = (target - cum) / n
+            return lower + frac * (upper - lower)
+        cum += n
+    # Rounding fallthrough (q == 1.0 with float accumulation).
+    return hi if hi is not None else float(edges[-1])
+
+
 class Histogram:
     """Fixed-bucket histogram.
 
     ``edges`` are ascending upper bounds; an observation lands in the
     first bucket whose edge is ``>= value``, or in the overflow bucket
     beyond the last edge.  Running ``total``/``count`` support a mean
-    without retaining observations.
+    without retaining observations, and ``max_observed`` bounds
+    percentile interpolation (see :func:`percentile_from_buckets`).
     """
 
-    __slots__ = ("edges", "bucket_counts", "total", "count")
+    __slots__ = ("edges", "bucket_counts", "total", "count", "max_observed")
 
     def __init__(self, edges: Sequence[float]) -> None:
         edges = tuple(float(e) for e in edges)
@@ -69,6 +120,8 @@ class Histogram:
         self.bucket_counts = [0] * (len(edges) + 1)
         self.total = 0.0
         self.count = 0
+        #: Largest value observed; caps percentile interpolation.
+        self.max_observed = 0.0
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -80,10 +133,22 @@ class Histogram:
         self.bucket_counts[idx] += 1
         self.total += value
         self.count += 1
+        if value > self.max_observed:
+            self.max_observed = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Interpolated ``q``-quantile (``q`` in [0, 1]) of everything
+        observed so far, clamped to the largest real observation."""
+        return percentile_from_buckets(
+            self.edges,
+            self.bucket_counts,
+            q,
+            hi=self.max_observed if self.count else None,
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -130,7 +195,12 @@ class MetricsSnapshot:
         )
 
     def to_dict(self) -> Dict:
-        """JSON-ready form (the ``type: "metrics"`` export row body)."""
+        """JSON-ready form (the ``type: "metrics"`` export row body).
+
+        Each histogram carries interpolated ``p99``/``p999`` estimates
+        alongside its raw buckets; snapshots don't retain the observed
+        maximum, so the estimates are clamped at the last bucket edge.
+        """
         return {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
@@ -140,6 +210,8 @@ class MetricsSnapshot:
                     "counts": list(buckets),
                     "total": total,
                     "count": count,
+                    "p99": percentile_from_buckets(edges, buckets, 0.99),
+                    "p999": percentile_from_buckets(edges, buckets, 0.999),
                 }
                 for name, (edges, buckets, total, count) in self.histograms.items()
             },

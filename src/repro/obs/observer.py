@@ -1,12 +1,13 @@
 """The store-facing observer: hooks, decision tracing, and export rows.
 
 A :class:`StoreObserver` plugs into the store's ``obs`` slot.  The store
-calls four hooks — :meth:`on_seal`, :meth:`on_flush`, :meth:`on_victims`,
-:meth:`on_clean` — all of which fire at per-segment frequency (a seal, a
-buffer drain, a cleaning cycle), never once per write.  With no observer
-attached each hook site costs exactly one ``store.obs is None`` test,
-which is how the <2% disabled-overhead budget in OBSERVABILITY.md is met
-by construction.
+calls six hooks — :meth:`on_seal`, :meth:`on_flush`, :meth:`on_victims`,
+:meth:`on_clean`, :meth:`on_clean_step`, :meth:`on_write_stall` — all of
+which fire at per-segment or per-cleaner-step frequency (a seal, a
+buffer drain, a cleaning cycle or one budgeted slice of one), never once
+per write.  With no observer attached each hook site costs exactly one
+``store.obs is None`` test, which is how the <2% disabled-overhead
+budget in OBSERVABILITY.md is met by construction.
 
 Decision tracing answers "why this segment?" after the fact: at every
 victim selection the observer records the policy's full ranking context
@@ -33,6 +34,18 @@ from repro.testkit.failpoints import FAILPOINTS
 #: Bucket edges of the cleaned-emptiness histogram (fractions of a
 #: segment; the overflow bucket is unreachable but keeps edges regular).
 _EMPTINESS_EDGES = tuple((i + 1) / 10 for i in range(10))
+
+#: Bucket edges for page-count histograms (foreground stall sizes,
+#: cleaner step sizes).  Power-of-two spaced — stall sizes span from a
+#: couple of pages (one incremental step) to several segments' worth of
+#: relocations (a reactive batch storm) — with an explicit 0 bucket so
+#: stall-free flushes keep the percentile denominator honest.  The
+#: service layer shares these edges for its ``flush_stall_pages``
+#: histogram so store- and service-level stalls compare bucket for
+#: bucket.
+PAGES_EDGES = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+               256.0, 512.0, 1024.0, 2048.0, 4096.0)
+_PAGES_EDGES = PAGES_EDGES
 
 
 def _py(value):
@@ -174,6 +187,25 @@ class StoreObserver:
             moved=int(moved),
             reclaimed_units=int(reclaimed_units),
         )
+
+    def on_clean_step(self, relocated: int, skipped: int, remaining: int) -> None:
+        """Called after each incremental cleaner step (metrics only —
+        steps are too frequent for the event ring)."""
+        self.metrics.counter("cleaner_steps").inc()
+        self.metrics.counter("cleaner_pages_skipped").inc(int(skipped))
+        self.metrics.histogram("cleaner_step_pages", _PAGES_EDGES).observe(
+            float(relocated)
+        )
+        self.metrics.gauge("cleaner_pending").set(int(remaining))
+
+    def on_write_stall(self, pages: int) -> None:
+        """Called when a foreground write ran inline (reactive) cleaning;
+        ``pages`` is how many GC relocations it waited behind."""
+        self.metrics.counter("write_stalls").inc()
+        self.metrics.histogram("write_stall_pages", _PAGES_EDGES).observe(
+            float(pages)
+        )
+        self.bus.emit(ev.WRITE_STALL, self.store.clock, pages=int(pages))
 
     def _on_failpoint(self, name: str, ctx: Dict) -> None:
         self.metrics.counter("failpoints_hit").inc()

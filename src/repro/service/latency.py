@@ -1,0 +1,294 @@
+"""The tail-latency benchmark behind ``repro bench latency``.
+
+Runs the same deterministic client load twice — batch cleaning (whole
+victim cycles per maintenance visit) and incremental cleaning (bounded
+preemptible steps) — at the *same* global GC budget, and contrasts what
+foreground writes waited behind:
+
+* ``flush_stall_pages`` — the deterministic stall signal: GC pages
+  relocated anywhere in the pool while one client-facing flush ran
+  (inline reactive cleaning plus loaded-round governance).  Stall-free
+  flushes observe 0, so its percentiles read over the whole flush
+  population.  This histogram's p99 is the gate: the committed report
+  must show incremental p99 ≤ ``GATE_RATIO`` × batch p99.
+* per-op wall-clock latency (p50/p99/p999, microseconds) — reported for
+  intuition, never gated (wall clock is machine-dependent).
+* aggregate Wamp for both modes — the trade-off axis: the incremental
+  cleaner must win its stall reduction without buying it with extra
+  write amplification beyond ``WAMP_SLACK``.
+
+The run shape leans on the stall contrast deliberately: high target
+fill and a chunky ``clean_batch`` make each batch-mode cycle relocate a
+lot of live data at once, which is exactly the foreground stall the
+incremental cleaner exists to bound.
+
+``BENCH_latency.json`` is the committed snapshot (see EXPERIMENTS.md);
+CI's latency smoke job re-runs the quick shape and gates the p99 stall
+ratio against it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.micro import HISTORY_PATH, _git_sha
+from repro.obs import PAGES_EDGES
+from repro.service.harness import HarnessConfig, build_service, ops_stream
+
+#: Default committed report location.
+BENCH_PATH = "BENCH_latency.json"
+
+#: The acceptance gate: incremental p99 flush stall must be at or below
+#: this fraction of the batch-mode p99.
+GATE_RATIO = 0.5
+
+#: How much extra aggregate Wamp the incremental mode may cost at the
+#: same GC budget before the gate fails the trade.
+WAMP_SLACK = 0.25
+
+#: The two contrasted modes, in run order.
+MODES = ("batch", "incremental")
+
+
+def latency_config(quick: bool = False, seed: int = 0) -> HarnessConfig:
+    """The benchmark's base run shape (mode is overlaid per run).
+
+    High fill and a chunky batch ``clean_batch`` maximize the stall a
+    whole-cycle clean injects; small frequent flushes give the stall
+    histogram a dense population of foreground waits to rank.
+    """
+    base = HarnessConfig.quick(seed=seed) if quick else HarnessConfig(seed=seed)
+    return base.scaled(
+        target_fill=0.70,
+        clean_trigger=2,
+        clean_batch=8,
+        batch_size=64,
+        flush_interval=2,
+        tick_every=128,
+        # Both modes get the same proactive floor and budget (the
+        # "equal Wamp budget" axis): enough headroom that idle rounds
+        # can absorb a whole flush's segment consumption.  What differs
+        # is *where* the work runs — batch governance tops up inside
+        # the flush path, incremental defers to the idle tick.
+        free_target=10,
+        gc_budget=128,
+        pages_per_step=16,
+    )
+
+
+def _drive(cfg: HarnessConfig) -> Dict:
+    """One measured run: returns stall histograms + wall-clock
+    percentiles + the pool's closing counters for ``cfg``."""
+    service = build_service(cfg)
+    latencies: List[float] = []
+    applied = 0
+    t0 = time.perf_counter()
+    for op, tenant, key, size in ops_stream(cfg):
+        t1 = time.perf_counter()
+        if op == "put":
+            service.put(key, bytes(size), tenant=tenant)
+        else:
+            service.delete(key, tenant=tenant)
+        latencies.append(time.perf_counter() - t1)
+        applied += 1
+        if applied % cfg.tick_every == 0:
+            service.tick()
+    service.flush()
+    service.tick()
+    elapsed = time.perf_counter() - t0
+
+    metrics = service.metrics
+    stall_hist = metrics.histogram("flush_stall_pages", PAGES_EDGES)
+    # Store-level reactive stalls, pooled across shards.
+    reactive_stalls = 0
+    reactive_pages = 0
+    for observer in service.observers:
+        counters = observer.metrics.snapshot().counters
+        reactive_stalls += counters.get("write_stalls", 0)
+        if "write_stall_pages" in observer.metrics.names():
+            hist = observer.metrics.histogram("write_stall_pages")
+            reactive_pages += int(hist.total)
+    summary = service.pool.stats_summary()
+    counters = metrics.snapshot().counters
+    lat_us = np.asarray(latencies) * 1e6
+    result = {
+        "cleaner": cfg.cleaner,
+        "ops": applied,
+        "elapsed_s": round(elapsed, 4),
+        "writes_per_sec": round(applied / elapsed, 1) if elapsed > 0 else 0.0,
+        "wamp_aggregate": summary["wamp_aggregate"],
+        "flush_count": stall_hist.count,
+        "flush_stall_mean_pages": round(stall_hist.mean, 4),
+        "flush_stall_p99_pages": round(stall_hist.percentile(0.99), 4),
+        "flush_stall_p999_pages": round(stall_hist.percentile(0.999), 4),
+        "flush_stall_max_pages": stall_hist.max_observed,
+        "reactive_write_stalls": reactive_stalls,
+        "reactive_stall_pages": reactive_pages,
+        "gc_governed_pages": counters.get("gc_governed_pages", 0),
+        "gc_deferred_shards": counters.get("gc_deferred_shards", 0),
+        "gc_governed_steps": counters.get("gc_governed_steps", 0),
+        "op_latency_us": {
+            "p50": round(float(np.percentile(lat_us, 50)), 2),
+            "p99": round(float(np.percentile(lat_us, 99)), 2),
+            "p999": round(float(np.percentile(lat_us, 99.9)), 2),
+            "max": round(float(lat_us.max()), 2),
+        },
+    }
+    service.close()
+    return result
+
+
+def run_latency_bench(
+    quick: bool = False, seed: int = 0, ops: Optional[int] = None
+) -> Dict:
+    """Run both cleaning modes on the same seeded load; returns the
+    contrast report."""
+    cfg = latency_config(quick=quick, seed=seed)
+    if ops is not None:
+        cfg = cfg.scaled(ops=ops)
+    modes = {
+        mode: _drive(cfg.scaled(cleaner=mode)) for mode in MODES
+    }
+    batch_p99 = modes["batch"]["flush_stall_p99_pages"]
+    incr_p99 = modes["incremental"]["flush_stall_p99_pages"]
+    return {
+        "benchmark": "latency",
+        "quick": quick,
+        "seed": seed,
+        "gate_ratio": GATE_RATIO,
+        "wamp_slack": WAMP_SLACK,
+        "config": dataclasses.asdict(cfg),
+        "modes": modes,
+        "stall_p99_ratio": (
+            round(incr_p99 / batch_p99, 4) if batch_p99 > 0 else 0.0
+        ),
+    }
+
+
+def render_latency_report(report: Dict) -> str:
+    """Human-readable contrast table."""
+    cfg = report["config"]
+    lines = [
+        "tail-latency benchmark (ops=%d, dist=%s, fill=%.2f, seed=%d)"
+        % (cfg["ops"], cfg["dist"], cfg["target_fill"], report["seed"]),
+        "  %-12s %10s %10s %10s %9s %9s %10s %10s"
+        % ("cleaner", "stall p99", "p999", "max", "stalls", "Wamp",
+           "lat p99us", "lat p999us"),
+    ]
+    for mode in MODES:
+        r = report["modes"][mode]
+        lines.append(
+            "  %-12s %10.1f %10.1f %10.0f %9d %9.4f %10.1f %10.1f"
+            % (
+                mode,
+                r["flush_stall_p99_pages"],
+                r["flush_stall_p999_pages"],
+                r["flush_stall_max_pages"],
+                r["reactive_write_stalls"],
+                r["wamp_aggregate"],
+                r["op_latency_us"]["p99"],
+                r["op_latency_us"]["p999"],
+            )
+        )
+    lines.append(
+        "  p99 stall ratio (incremental/batch) = %.3f  (gate <= %.2f)"
+        % (report["stall_p99_ratio"], report["gate_ratio"])
+    )
+    return "\n".join(lines)
+
+
+def check_latency_report(report: Dict) -> List[str]:
+    """Acceptance checks on one report: the p99 stall gate and the
+    equal-budget Wamp trade."""
+    problems = []
+    batch = report["modes"]["batch"]
+    incr = report["modes"]["incremental"]
+    b_p99 = batch["flush_stall_p99_pages"]
+    i_p99 = incr["flush_stall_p99_pages"]
+    gate = report.get("gate_ratio", GATE_RATIO)
+    if b_p99 <= 0:
+        problems.append(
+            "batch run shows no p99 flush stall (%.3f pages) — the "
+            "benchmark shape is not exercising cleaning" % b_p99
+        )
+    elif i_p99 > gate * b_p99:
+        problems.append(
+            "incremental p99 flush stall %.1f pages exceeds %.2fx the "
+            "batch p99 of %.1f" % (i_p99, gate, b_p99)
+        )
+    slack = report.get("wamp_slack", WAMP_SLACK)
+    b_wamp = batch["wamp_aggregate"]
+    i_wamp = incr["wamp_aggregate"]
+    if b_wamp > 0 and i_wamp > b_wamp * (1.0 + slack):
+        problems.append(
+            "incremental Wamp %.4f exceeds batch %.4f by more than %.0f%% "
+            "— the stall win is being bought with extra GC writes"
+            % (i_wamp, b_wamp, 100 * slack)
+        )
+    return problems
+
+
+def check_latency_regression(
+    report: Dict, baseline: Dict, margin: float = 0.25
+) -> List[str]:
+    """CI smoke gate: the current run's p99 stall ratio must not regress
+    past the committed baseline's ratio by more than ``margin``
+    (absolute), and the hard ``gate_ratio`` ceiling still applies."""
+    problems = check_latency_report(report)
+    base_ratio = baseline.get("stall_p99_ratio")
+    ratio = report.get("stall_p99_ratio")
+    if base_ratio is not None and ratio is not None:
+        if ratio > base_ratio + margin:
+            problems.append(
+                "p99 stall ratio %.3f regressed past the committed "
+                "baseline %.3f by more than %.2f" % (ratio, base_ratio, margin)
+            )
+    return problems
+
+
+def write_latency_report(report: Dict, path: str = BENCH_PATH) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_latency_report(path: str = BENCH_PATH) -> Dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def latency_history_entry(report: Dict, sha: Optional[str] = None) -> Dict:
+    """One ``benchmarks/history.jsonl`` line: the stall contrast."""
+    entry: Dict = {
+        "sha": sha if sha is not None else _git_sha(),
+        "benchmark": "latency",
+        "seed": report["seed"],
+        "quick": report["quick"],
+        "ops": report["config"]["ops"],
+        "stall_p99_ratio": report["stall_p99_ratio"],
+        "modes": {},
+    }
+    for mode in MODES:
+        r = report["modes"][mode]
+        entry["modes"][mode] = {
+            "flush_stall_p99_pages": r["flush_stall_p99_pages"],
+            "flush_stall_p999_pages": r["flush_stall_p999_pages"],
+            "wamp_aggregate": round(r["wamp_aggregate"], 6),
+            "reactive_write_stalls": r["reactive_write_stalls"],
+        }
+    return entry
+
+
+def append_latency_history(
+    report: Dict, path: str = HISTORY_PATH, sha: Optional[str] = None
+) -> Dict:
+    """Append :func:`latency_history_entry` to the benchmark
+    trajectory; returns the appended entry."""
+    from repro.service.bench import _append_entry
+
+    return _append_entry(latency_history_entry(report, sha=sha), path)

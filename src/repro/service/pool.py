@@ -26,6 +26,25 @@ deterministic and need-driven.
 Reactive cleaning stays enabled underneath as the correctness
 backstop: the budget shapes *when* cleaning happens, never whether a
 write can complete.
+
+Incremental mode
+----------------
+
+With ``cleaner="incremental"`` the governor dispatches bounded
+:class:`~repro.store.IncrementalCleaner` *steps* instead of whole
+cycles: a needy shard gets at most ``pages_per_step`` relocations per
+round (still under the global budget and per-shard share cap), so the
+stall any single maintenance round injects into the ingest path is
+bounded by pages, not by victim liveness.  Rounds run in two modes:
+
+* **loaded** (``maintain()``, fired after every flush): only shards
+  *behind* — free pool below the reactive trigger, meaning the very
+  next allocating write would clean inline — get a step; merely-needy
+  shards are deferred, and counted in ``gc_deferred_shards``.
+* **idle** (``maintain(idle=True)``, fired from the service tick):
+  every needy shard gets steps, repeatedly, until the round budget is
+  spent or nobody is below ``free_target`` — the idle-triggered
+  cleaning that keeps the proactive headroom topped up between bursts.
 """
 
 from __future__ import annotations
@@ -35,7 +54,10 @@ from typing import Dict, List, Optional, Union
 from repro.kvstore import LogStructuredKVStore
 from repro.obs import MetricsRegistry
 from repro.policies.base import CleaningPolicy
-from repro.store import StoreConfig
+from repro.store import IncrementalCleaner, StoreConfig
+
+#: Accepted ``cleaner`` modes.
+CLEANER_MODES = ("batch", "incremental")
 
 
 class StorePool:
@@ -55,6 +77,10 @@ class StorePool:
             ``clean_trigger + 1`` — one segment of headroom before the
             reactive trigger).
         metrics: Service metrics registry for governor counters.
+        cleaner: ``"batch"`` (whole cycles per maintenance visit, the
+            historical behavior) or ``"incremental"`` (bounded
+            preemptible steps; see module docstring).
+        pages_per_step: Relocation budget per incremental step.
     """
 
     def __init__(
@@ -67,6 +93,8 @@ class StorePool:
         gc_max_share: float = 0.5,
         free_target: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        cleaner: str = "batch",
+        pages_per_step: int = 32,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1, got %d" % n_shards)
@@ -77,6 +105,10 @@ class StorePool:
             )
         if not 0.0 < gc_max_share <= 1.0:
             raise ValueError("gc_max_share must be in (0, 1]")
+        if cleaner not in CLEANER_MODES:
+            raise ValueError(
+                "cleaner must be one of %r, got %r" % (CLEANER_MODES, cleaner)
+            )
         self.config = config
         self.policy_name = policy
         self.unit_bytes = unit_bytes
@@ -94,6 +126,20 @@ class StorePool:
             free_target if free_target is not None else config.clean_trigger + 1
         )
         self.metrics = metrics
+        self.cleaner_mode = cleaner
+        self.pages_per_step = int(pages_per_step)
+        self.cleaners: Optional[List[IncrementalCleaner]] = None
+        if cleaner == "incremental":
+            self.cleaners = [
+                self._make_cleaner(kv) for kv in self.shards
+            ]
+
+    def _make_cleaner(self, kv: LogStructuredKVStore) -> IncrementalCleaner:
+        return IncrementalCleaner(
+            kv.store,
+            pages_per_step=self.pages_per_step,
+            free_target=self.free_target,
+        )
 
     # -- shape -----------------------------------------------------------
 
@@ -114,16 +160,24 @@ class StorePool:
             self.config, policy=self.policy_name, unit_bytes=self.unit_bytes
         )
         self.shards.append(shard)
+        if self.cleaners is not None:
+            self.cleaners.append(self._make_cleaner(shard))
         return shard
 
     # -- cleaning governance --------------------------------------------
 
-    def maintain(self) -> int:
+    def maintain(self, idle: bool = False) -> int:
         """One budgeted maintenance round; returns pages relocated.
 
-        Tops up shards below ``free_target`` most-starved-first until
-        the round budget (or every shard's per-round share) is spent.
+        In batch mode, tops up shards below ``free_target``
+        most-starved-first with whole cleaning cycles until the round
+        budget (or every shard's per-round share) is spent; ``idle`` is
+        accepted for interface symmetry but changes nothing.  In
+        incremental mode, dispatches bounded cleaner steps — see the
+        module docstring for the loaded/idle split.
         """
+        if self.cleaners is not None:
+            return self._maintain_incremental(idle)
         budget = self.gc_budget
         share_cap = max(1, int(self.gc_max_share * budget))
         needy = [
@@ -166,6 +220,58 @@ class StorePool:
                 self.metrics.counter("gc_budget_capped_rounds").inc()
         return spent_total
 
+    def _maintain_incremental(self, idle: bool) -> int:
+        """Step-granular governance round (``cleaner="incremental"``)."""
+        cleaners = self.cleaners
+        assert cleaners is not None
+        budget = self.gc_budget
+        share_cap = max(1, int(self.gc_max_share * budget))
+        spent_total = 0
+        deferred = 0
+        capped = False
+        # Repeated passes only when idle; a loaded round injects at most
+        # one step per urgent shard into the foreground path.
+        while spent_total < budget:
+            needy = [
+                (self.free_target - kv.store.free_segment_count, i)
+                for i, kv in enumerate(self.shards)
+                if cleaners[i].needs_cleaning()
+            ]
+            if not needy:
+                break
+            needy.sort(key=lambda pair: (-pair[0], pair[1]))
+            progressed = False
+            for _deficit, i in needy:
+                if spent_total >= budget:
+                    capped = True
+                    break
+                cleaner = cleaners[i]
+                if not idle and not cleaner.behind():
+                    # Loaded round: this shard still has headroom above
+                    # the reactive trigger — defer its proactive work
+                    # to the next idle round.
+                    deferred += 1
+                    continue
+                step_budget = min(
+                    self.pages_per_step, share_cap, budget - spent_total
+                )
+                moved = cleaner.step(step_budget)
+                if moved:
+                    spent_total += moved
+                    progressed = True
+                    if self.metrics is not None:
+                        self.metrics.counter("gc_governed_steps").inc()
+            if not idle or not progressed:
+                break
+        if self.metrics is not None:
+            if spent_total:
+                self.metrics.counter("gc_governed_pages").inc(spent_total)
+            if deferred:
+                self.metrics.counter("gc_deferred_shards").inc(deferred)
+            if capped:
+                self.metrics.counter("gc_budget_capped_rounds").inc()
+        return spent_total
+
     # -- aggregate introspection ----------------------------------------
 
     def free_segments(self) -> List[int]:
@@ -186,7 +292,7 @@ class StorePool:
             for kv in self.shards
             if kv.store.stats.user_writes
         ]
-        return {
+        summary = {
             "shards": float(len(self.shards)),
             "keys": float(sum(len(kv) for kv in self.shards)),
             "user_writes": float(user),
@@ -194,6 +300,11 @@ class StorePool:
             "wamp_aggregate": gc / user if user else 0.0,
             "wamp_spread": (max(wamps) - min(wamps)) if wamps else 0.0,
         }
+        if self.cleaners is not None:
+            summary["cleaner_pending"] = float(
+                sum(c.pending for c in self.cleaners)
+            )
+        return summary
 
     def check_consistency(self) -> None:
         """Every shard's index/store agreement (test aid)."""

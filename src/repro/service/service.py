@@ -49,6 +49,9 @@ class Service:
         tenant_spread: Router per-tenant affinity window (1.0 = none).
         batch_size / flush_interval / max_depth: Ingest queue knobs.
         gc_budget / gc_max_share / free_target: Cleaning governor knobs.
+        cleaner / pages_per_step: Cleaning mode — ``"batch"`` (whole
+            cycles) or ``"incremental"`` (bounded preemptible steps of
+            ``pages_per_step`` pages; see :class:`StorePool`).
         seed: Ring seed (the service itself draws no randomness).
         sample_interval: Per-shard time-series spacing in update ticks.
     """
@@ -67,6 +70,8 @@ class Service:
         gc_budget: Optional[int] = None,
         gc_max_share: float = 0.5,
         free_target: Optional[int] = None,
+        cleaner: str = "batch",
+        pages_per_step: int = 32,
         seed: int = 0,
         sample_interval: Optional[int] = None,
     ) -> None:
@@ -83,6 +88,8 @@ class Service:
             gc_max_share=gc_max_share,
             free_target=free_target,
             metrics=self.metrics,
+            cleaner=cleaner,
+            pages_per_step=pages_per_step,
         )
         self.queue = IngestQueue(
             self.pool.shards,
@@ -175,9 +182,15 @@ class Service:
 
     def tick(self) -> None:
         """One service-clock step: age the queue (flush-on-tick), run a
-        maintenance round, and advance the per-shard samplers."""
+        maintenance round, and advance the per-shard samplers.
+
+        The tick is the service's idle edge: with the incremental
+        cleaner the maintenance round here runs in *idle* mode (every
+        needy shard gets proactive steps up to the budget), whereas the
+        rounds fired from inside a flush are loaded and defer all
+        non-urgent work to this one."""
         self.queue.tick()
-        self.pool.maintain()
+        self.pool.maintain(idle=True)
         for observer in self.observers:
             observer.maybe_sample()
 

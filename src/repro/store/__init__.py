@@ -10,10 +10,22 @@ Public surface:
 """
 
 from repro.store.buffer import SortBuffer
+from repro.store.cleaner import IncrementalCleaner
 from repro.store.config import StoreConfig, paper_config
 from repro.store.errors import ConfigError, OutOfSpaceError, PageSizeError, StoreError
-from repro.store.log_store import GC_STREAM, LogStructuredStore, segments_needed
-from repro.store.pagetable import IN_BUFFER, IN_FLIGHT, NEVER_WRITTEN, PageTable
+from repro.store.log_store import (
+    CleanCursor,
+    GC_STREAM,
+    LogStructuredStore,
+    segments_needed,
+)
+from repro.store.pagetable import (
+    IN_BUFFER,
+    IN_FLIGHT,
+    IN_RELOCATION,
+    NEVER_WRITTEN,
+    PageTable,
+)
 from repro.store.persistence import PersistenceError, load_store, save_store
 from repro.store.reporting import (
     checkerboard,
@@ -25,11 +37,14 @@ from repro.store.segments import FREE, OPEN, SEALED, SegmentTable
 from repro.store.stats import StatsSnapshot, StoreStats, WindowStats
 
 __all__ = [
+    "CleanCursor",
     "ConfigError",
     "FREE",
     "GC_STREAM",
     "IN_BUFFER",
     "IN_FLIGHT",
+    "IN_RELOCATION",
+    "IncrementalCleaner",
     "LogStructuredStore",
     "NEVER_WRITTEN",
     "OPEN",

@@ -45,6 +45,20 @@ re-written through the policy's GC placement hook.  Staging in memory
 means relocation never deadlocks on free space — a batch with any empty
 space makes net progress.  Each relocated page counts toward
 ``gc_writes`` (the numerator of write amplification).
+
+The cycle is also exposed *incrementally*: :meth:`clean_begin` pins the
+victim decision, stages the live pages, and frees the victims, and
+:meth:`clean_step` relocates a bounded number of pages at a time through
+an explicit resume cursor (:class:`CleanCursor`), so foreground writes
+can interleave between steps.  ``clean()`` is now ``clean_begin`` plus a
+single unbounded ``clean_step`` — the two paths share every line of the
+cycle, and a full drain is byte-identical to the historical batch cycle
+(the differential suite locks this down with state digests).  Staged
+pages carry the ``IN_RELOCATION`` page-table sentinel; a foreground
+write or trim landing on one clears the sentinel, and the cleaner skips
+the now-obsolete staged copy when its step resumes, crediting the
+skipped space to ``cleaned_emptiness_sum`` so the paper's exact
+Equation 2 identity keeps holding under arbitrary preemption schedules.
 """
 
 from __future__ import annotations
@@ -57,8 +71,14 @@ import numpy as np
 
 from repro.store.buffer import SortBuffer
 from repro.store.config import StoreConfig
-from repro.store.errors import OutOfSpaceError, PageSizeError
-from repro.store.pagetable import IN_BUFFER, IN_FLIGHT, NEVER_WRITTEN, PageTable
+from repro.store.errors import OutOfSpaceError, PageSizeError, StoreError
+from repro.store.pagetable import (
+    IN_BUFFER,
+    IN_FLIGHT,
+    IN_RELOCATION,
+    NEVER_WRITTEN,
+    PageTable,
+)
 from repro.store.segments import FREE, OPEN, SEALED, SegmentTable
 from repro.store.stats import StoreStats
 from repro.testkit.failpoints import failpoint
@@ -105,6 +125,67 @@ def _stream_runs(streams: np.ndarray):
     return zip(starts.tolist(), stops.tolist())
 
 
+class CleanCursor:
+    """Resumable state of one (possibly incremental) cleaning cycle.
+
+    Everything decision-shaped is pinned at
+    :meth:`LogStructuredStore.clean_begin` — the victim set, the staged
+    page list, and the policy's GC placement order — so a preemption
+    point can never change *what* the cycle does, only *when*.  ``pos``
+    is the explicit resume cursor into the staged placement order: a
+    cycle interrupted mid-victim resumes at the exact page where it
+    stopped, and resuming is idempotent (already-processed positions are
+    never revisited).
+    """
+
+    __slots__ = (
+        "victims",
+        "pending",
+        "streams",
+        "sizes",
+        "pos",
+        "reclaimed_units",
+        "emptiness",
+        "relocated",
+        "skipped",
+    )
+
+    def __init__(
+        self,
+        victims: List[int],
+        pending: np.ndarray,
+        streams: Optional[np.ndarray],
+        sizes: np.ndarray,
+        reclaimed_units: int,
+        emptiness: np.ndarray,
+    ) -> None:
+        #: Victim segment ids in selection order (already freed).
+        self.victims = victims
+        #: Staged page ids in the policy's placement order.
+        self.pending = pending
+        #: Per-position GC stream ids (None = everything to GC_STREAM).
+        self.streams = streams
+        #: Staged sizes, captured at begin (a staged page's table size
+        #: may be overwritten by a foreground write before its turn).
+        self.sizes = sizes
+        #: Next placement position to process.
+        self.pos = 0
+        #: Victims' empty units, the cycle's net space gain.
+        self.reclaimed_units = reclaimed_units
+        #: Per-victim emptiness fractions (for the on_clean hook).
+        self.emptiness = emptiness
+        #: Pages actually re-emitted so far (== gc_writes contributed).
+        self.relocated = 0
+        #: Staged copies dropped because a foreground write or trim
+        #: obsoleted them between steps.
+        self.skipped = 0
+
+    @property
+    def remaining(self) -> int:
+        """Staged positions not yet processed."""
+        return int(self.pending.size - self.pos)
+
+
 class LogStructuredStore:
     """A simulated log-structured store with a pluggable cleaning policy.
 
@@ -145,6 +226,8 @@ class LogStructuredStore:
         #: so the disabled cost is one attribute test per such site.
         self.obs = None
         self._cleaning = False
+        #: Active incremental cleaning cycle, or None (see clean_begin).
+        self._clean_cursor: Optional[CleanCursor] = None
         #: Fallback "coldish" up2 for first-writes placed outside a sorted
         #: batch (Section 5.2.2, "First Write").
         self._cold_up2 = 0.0
@@ -193,6 +276,14 @@ class LogStructuredStore:
             carried = pages.carried_up2[page_id]
             if carried == carried:  # not NaN
                 pages.carried_up2[page_id] = carried + 0.5 * (self.clock - carried)
+        elif old_seg == IN_RELOCATION:
+            # The page was staged by a mid-flight incremental cleaning
+            # cycle; this write obsoletes the staged copy.  Clear the
+            # sentinel *before* anything below can run cleaning (a
+            # buffer flush or an allocation drains the cursor), so the
+            # cleaner skips the stale copy instead of re-emitting it
+            # after this newer version has landed.
+            pages.seg[page_id] = IN_FLIGHT
 
         buffer = self.buffer
         if buffer is not None:
@@ -351,6 +442,9 @@ class LogStructuredStore:
             self._invalidate(page_id, old_seg)
         elif old_seg == IN_BUFFER:
             self.buffer.remove(page_id)
+        # An IN_RELOCATION page needs neither: its victim slot is gone
+        # and the staged copy lives in cleaner memory — clearing the
+        # sentinel below is what makes the cleaner drop it.
         pages.seg[page_id] = NEVER_WRITTEN
         return True
 
@@ -435,11 +529,49 @@ class LogStructuredStore:
         return self._sealed_cache
 
     def fill_factor_now(self) -> float:
-        """Current fraction of device units holding live data."""
+        """Current fraction of device units holding live data (staged
+        relocations count: their versions are current, just in cleaner
+        memory rather than a segment)."""
         live = int(self.segments.live_units.sum())
         if self.buffer is not None:
             live += self.buffer.used_units
+        if self._clean_cursor is not None:
+            live += self.relocating_units()
         return live / self.config.device_units
+
+    @property
+    def clean_pending(self) -> int:
+        """Staged pages the active incremental cycle has not processed
+        yet (0 when no cycle is mid-flight)."""
+        cur = self._clean_cursor
+        return 0 if cur is None else cur.remaining
+
+    @property
+    def clean_cursor(self) -> Optional[CleanCursor]:
+        """The active incremental cycle's cursor, or None."""
+        return self._clean_cursor
+
+    def relocating_units(self) -> int:
+        """Units staged by the active incremental cycle whose current
+        versions still await relocation (they live in cleaner memory,
+        outside every segment and the sorting buffer)."""
+        cur = self._clean_cursor
+        if cur is None or cur.pos >= cur.pending.size:
+            return 0
+        rem = cur.pending[cur.pos :]
+        still = self.pages.seg[rem] == IN_RELOCATION
+        return int(cur.sizes[cur.pos :][still].sum())
+
+    def relocating_dead_units(self) -> int:
+        """Units of staged copies already obsoleted by foreground writes
+        or trims but not yet skip-credited (their step hasn't reached
+        them); these will fold into ``cleaned_emptiness_sum``."""
+        cur = self._clean_cursor
+        if cur is None or cur.pos >= cur.pending.size:
+            return 0
+        rem = cur.pending[cur.pos :]
+        dead = self.pages.seg[rem] != IN_RELOCATION
+        return int(cur.sizes[cur.pos :][dead].sum())
 
     def live_page_count(self) -> int:
         """Pages holding a current version anywhere (device or buffer)."""
@@ -932,6 +1064,14 @@ class LogStructuredStore:
         fast instead of looping forever.
         """
         trigger = max(self.config.clean_trigger, self.policy.min_free_target())
+        obs = self.obs
+        gc_before = self.stats.gc_writes if obs is not None else 0
+        if self._clean_cursor is not None:
+            # Correctness backstop: a foreground allocation must never
+            # overtake a mid-flight incremental cycle — the segments the
+            # cycle freed at clean_begin are the headroom its own GC
+            # emission relies on.  Drain it fully before cleaning more.
+            self.clean_step(None)
         stalled = 0
         while len(self.free_list) < trigger:
             reclaimed_units = self.clean()
@@ -944,6 +1084,13 @@ class LogStructuredStore:
                     )
             else:
                 stalled = 0
+        if obs is not None:
+            stall = self.stats.gc_writes - gc_before
+            if stall:
+                # Everything relocated inside this call happened inline
+                # in a foreground write — the stall the incremental
+                # cleaner exists to bound.
+                obs.on_write_stall(stall)
 
     def _allocate(self) -> int:
         """Pop a free segment and mark it open."""
@@ -960,14 +1107,44 @@ class LogStructuredStore:
     # ------------------------------------------------------------------
 
     def clean(self, n_victims: Optional[int] = None) -> int:
-        """Run one cleaning cycle; returns the units of space reclaimed
-        (the victims' total available space).
+        """Run one full cleaning cycle; returns the units of space
+        reclaimed (the victims' total available space).
 
         Victims are chosen by the policy; their live pages are staged,
         the victims freed, and the pages relocated through the policy's
         GC placement (which sorts / routes them by update frequency for
-        the separating policies).
+        the separating policies).  Implemented as :meth:`clean_begin`
+        plus one unbounded :meth:`clean_step`, so the batch and
+        incremental paths share every line of the cycle.  A leftover
+        incremental cycle is drained first — the batch entry point
+        never overlaps two cycles.
         """
+        if self._clean_cursor is not None:
+            self.clean_step(None)
+        cursor = self.clean_begin(n_victims)
+        self.clean_step(None)
+        return cursor.reclaimed_units
+
+    def clean_begin(self, n_victims: Optional[int] = None) -> CleanCursor:
+        """Start a cleaning cycle and pin every decision it will make.
+
+        Selects and validates the victims, records the cycle's
+        statistics, stages the victims' live pages (marking them
+        ``IN_RELOCATION``), computes the policy's GC placement order,
+        and frees the victims — but relocates nothing.  The returned
+        :class:`CleanCursor` (also held by the store) is driven by
+        :meth:`clean_step`; ``clean_begin`` followed by one unbounded
+        step is byte-identical to the historical batch ``clean()``.
+
+        Raises :class:`StoreError` if a cycle is already mid-flight
+        (drain it with ``clean_step(None)`` first) and
+        :class:`OutOfSpaceError` if there is nothing to clean.
+        """
+        if self._clean_cursor is not None:
+            raise StoreError(
+                "an incremental cleaning cycle is already active "
+                "(%d pages pending)" % self._clean_cursor.remaining
+            )
         segs = self.segments
         pages = self.pages
         self._cleaning = True
@@ -1022,27 +1199,16 @@ class LogStructuredStore:
                 victims=victims,
                 moved=moved_arr.tolist(),
             )
+            # The placement order is pinned here, against the policy
+            # state of this instant — preemption points between the
+            # coming steps cannot change it.
             batch = self.policy.place_gc_batch(moved_arr, src_arr)
-            placements = (
-                None if batch is not None
-                else list(
-                    self.policy.place_gc(moved_arr.tolist(), src_arr.tolist())
-                )
-            )
-            for victim in victims:
-                segs.reset(victim)
-                self.free_list.append(victim)
-            self._sealed_dirty = True
             if batch is not None:
                 p_arr, s_arr = batch
-                if s_arr is None:
-                    self._emit_run(p_arr, GC_STREAM, is_gc=True)
-                else:
-                    for start, stop in _stream_runs(s_arr):
-                        self._emit_run(
-                            p_arr[start:stop], int(s_arr[start]), is_gc=True
-                        )
-            elif placements:
+            else:
+                placements = list(
+                    self.policy.place_gc(moved_arr.tolist(), src_arr.tolist())
+                )
                 count = len(placements)
                 p_arr = np.fromiter(
                     (p for p, _ in placements), dtype=np.int64, count=count
@@ -1050,21 +1216,113 @@ class LogStructuredStore:
                 s_arr = np.fromiter(
                     (s for _, s in placements), dtype=np.int64, count=count
                 )
-                for start, stop in _stream_runs(s_arr):
-                    self._emit_run(
-                        p_arr[start:stop], int(s_arr[start]), is_gc=True
-                    )
-            stats.clean_cycles += 1
-            if obs is not None:
-                obs.on_clean(
-                    victims,
-                    moved_arr.size,
-                    reclaimed_units,
-                    avail / float(segs.capacity),
-                )
-            return reclaimed_units
+            for victim in victims:
+                segs.reset(victim)
+                self.free_list.append(victim)
+            self._sealed_dirty = True
+            sizes = pages.size[p_arr].copy()
+            if p_arr.size:
+                pages.seg[p_arr] = IN_RELOCATION
+            cursor = CleanCursor(
+                victims=list(victims),
+                pending=p_arr,
+                streams=s_arr,
+                sizes=sizes,
+                reclaimed_units=reclaimed_units,
+                emptiness=avail / float(segs.capacity),
+            )
+            self._clean_cursor = cursor
+            return cursor
         finally:
             self._cleaning = False
+
+    def clean_step(self, max_pages: Optional[int] = None) -> int:
+        """Relocate up to ``max_pages`` staged pages of the active cycle
+        (all of them when None); returns the pages actually re-emitted.
+
+        Completing the last position closes the cycle — ``clean_cycles``
+        and the ``on_clean`` hook fire exactly as the batch path's would.
+        Staged pages whose current version moved on (a foreground write
+        or trim between steps) are skipped, and their space is credited
+        to ``cleaned_emptiness_sum``: the copy became garbage before its
+        move, so counting it as reclaimed-empty keeps the exact
+        Equation 2 identity ``gc_writes == B * (segments_cleaned -
+        cleaned_emptiness_sum)`` intact.  Returns 0 when no cycle is
+        active.
+        """
+        cur = self._clean_cursor
+        if cur is None:
+            return 0
+        if cur.pos >= cur.pending.size:
+            # Nothing was staged (all-empty victims): close immediately.
+            self._finish_clean(cur)
+            return 0
+        budget = cur.remaining if max_pages is None else int(max_pages)
+        if budget <= 0:
+            return 0
+        pages = self.pages
+        segs = self.segments
+        n = cur.pending.size
+        relocated = 0
+        skipped_before = cur.skipped
+        self._cleaning = True
+        try:
+            failpoint(
+                "store.clean.step",
+                pos=cur.pos,
+                remaining=cur.remaining,
+                budget=budget,
+            )
+            while cur.pos < n and relocated < budget:
+                start = cur.pos
+                if cur.streams is None:
+                    stream = GC_STREAM
+                    stop = n
+                else:
+                    stream = int(cur.streams[start])
+                    later = np.flatnonzero(cur.streams[start:] != stream)
+                    stop = start + int(later[0]) if later.size else n
+                stop = min(stop, start + (budget - relocated))
+                chunk = cur.pending[start:stop]
+                still = pages.seg[chunk] == IN_RELOCATION
+                if still.all():
+                    live_chunk = chunk
+                else:
+                    live_chunk = chunk[still]
+                    dead_sizes = cur.sizes[start:stop][~still]
+                    self.stats.cleaned_emptiness_sum = _fold_add(
+                        self.stats.cleaned_emptiness_sum,
+                        dead_sizes / float(segs.capacity),
+                    )
+                    cur.skipped += int(dead_sizes.size)
+                if live_chunk.size:
+                    self._emit_run(live_chunk, stream, is_gc=True)
+                    relocated += int(live_chunk.size)
+                cur.pos = stop
+            cur.relocated += relocated
+        finally:
+            self._cleaning = False
+        obs = self.obs
+        if obs is not None:
+            obs.on_clean_step(
+                relocated, cur.skipped - skipped_before, cur.remaining
+            )
+        if cur.pos >= n:
+            self._finish_clean(cur)
+        return relocated
+
+    def _finish_clean(self, cur: CleanCursor) -> None:
+        """Close a drained cycle: counters, hook, cursor teardown."""
+        self.stats.clean_cycles += 1
+        self._clean_cursor = None
+        obs = self.obs
+        if obs is not None:
+            obs.on_clean(
+                cur.victims,
+                cur.relocated,
+                cur.reclaimed_units,
+                cur.emptiness,
+            )
 
     # ------------------------------------------------------------------
     # Invariant checking (used by tests; cheap enough for debugging runs)
@@ -1105,6 +1363,10 @@ class LogStructuredStore:
             assert segs.live_units[s] <= segs.used_units[s], segs.describe(s)
         total_live = int(segs.live_units.sum())
         assert total_live <= self.config.device_units
+        cur = self._clean_cursor
+        staged = (
+            set() if cur is None else set(cur.pending[cur.pos :].tolist())
+        )
         for pid in range(len(pages.seg)):
             seg = pages.seg[pid]
             if seg >= 0:
@@ -1113,6 +1375,11 @@ class LogStructuredStore:
                 )
             elif seg == IN_BUFFER:
                 assert self.buffer is not None and pid in self.buffer
+            elif seg == IN_RELOCATION:
+                assert pid in staged, (
+                    "page %d staged IN_RELOCATION but not pending in the "
+                    "active cycle" % pid
+                )
 
     def __repr__(self) -> str:
         return (

@@ -39,6 +39,13 @@ IN_BUFFER = -2
 #: from making the page look live in a victim segment.
 IN_FLIGHT = -3
 
+#: Location sentinel: the page's current version is staged by an
+#: *incremental* cleaning cycle — its victim segment has been freed but
+#: the relocation has not happened yet.  Foreground writes and trims that
+#: land on a staged page clear the sentinel, which is how the cleaner
+#: knows to skip the now-obsolete staged copy when its step resumes.
+IN_RELOCATION = -4
+
 #: carried_up2 sentinel: no update history yet; resolved to a "coldish"
 #: value when the page is first placed (Section 5.2.2, "First Write").
 NO_HISTORY = float("nan")

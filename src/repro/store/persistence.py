@@ -69,6 +69,10 @@ def save_store(store: LogStructuredStore, path: Union[str, pathlib.Path]) -> Non
     checkpoint at ``path``.
     """
     store.flush()  # simplest sound treatment of in-flight buffer pages
+    # Same treatment for a mid-flight incremental cleaning cycle: drain
+    # it so no page is checkpointed as IN_RELOCATION — staged copies
+    # live only in cleaner memory and would be orphaned by a reload.
+    store.clean_step(None)
     segs = store.segments
     pages = store.pages
     slot_lengths = np.array([len(s) for s in segs.slots], dtype=np.int64)

@@ -146,13 +146,21 @@ class TestHistory:
 
 def test_committed_history_is_well_formed():
     """benchmarks/history.jsonl (the committed trajectory) stays
-    parseable, with every entry keyed by a commit."""
+    parseable, with every entry keyed by a commit.  The trajectory is
+    multi-benchmark (store-micro, service, latency share it), so shape
+    checks key off each entry's ``benchmark`` tag."""
     path = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
     entries = load_history(str(path / "history.jsonl"))
     assert entries, "the seeded benchmark history must not be empty"
     for entry in entries:
         assert entry["sha"]
-        assert entry["workloads"]
+        kind = entry.get("benchmark", "store-micro")
+        if kind == "store-micro":
+            assert entry["workloads"]
+        elif kind == "service":
+            assert entry["shards"]
+        elif kind == "latency":
+            assert set(entry["modes"]) == {"batch", "incremental"}
 
 
 def test_committed_baseline_is_well_formed():

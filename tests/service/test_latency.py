@@ -1,0 +1,245 @@
+"""Tail-latency contrast and step-granular cleaning governance.
+
+The headline assertion of the PR rides here: on the same seeded client
+load, at the same global GC budget, the incremental cleaner's p99
+foreground flush stall must come in *strictly below* batch mode's —
+measured through the service's own ``flush_stall_pages`` histogram, the
+same signal ``repro bench latency`` gates on.
+"""
+
+import pytest
+
+from repro.obs import PAGES_EDGES, MetricsRegistry
+from repro.service.latency import (
+    check_latency_regression,
+    check_latency_report,
+    latency_history_entry,
+    render_latency_report,
+    run_latency_bench,
+)
+from repro.service.pool import CLEANER_MODES, StorePool
+from repro.service.service import Service
+from repro.store import StoreConfig
+
+CFG = StoreConfig(
+    n_segments=32,
+    segment_units=8,
+    fill_factor=0.65,
+    clean_trigger=2,
+    clean_batch=2,
+)
+
+
+def fill_shard(kv, n_keys, rounds=3, seed=0):
+    """Seed ``n_keys`` records, then overwrite random subsets so sealed
+    segments end up with *mixed* liveness — victims that actually have
+    pages to relocate (sequential refills leave only fully-dead
+    segments, which clean for free)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    kv.put_many([(("k", i), b"\0" * 8) for i in range(n_keys)])
+    for r in range(rounds):
+        picks = rng.integers(0, n_keys, size=n_keys)
+        kv.put_many(
+            [(("k", int(i)), bytes([r % 255 + 1]) * 8) for i in picks]
+        )
+
+
+class TestIncrementalGovernance:
+    def test_mode_validated(self):
+        assert "incremental" in CLEANER_MODES
+        with pytest.raises(ValueError):
+            StorePool(1, CFG, policy="greedy", cleaner="nope")
+
+    def test_batch_mode_has_no_cleaners(self):
+        pool = StorePool(1, CFG, policy="greedy", cleaner="batch")
+        assert pool.cleaners is None
+
+    def test_incremental_pool_builds_per_shard_cleaners(self):
+        pool = StorePool(3, CFG, policy="greedy", cleaner="incremental")
+        assert pool.cleaners is not None and len(pool.cleaners) == 3
+        shard = pool.add_shard()
+        assert len(pool.cleaners) == 4
+        assert pool.cleaners[-1].store is shard.store
+
+    def test_idle_round_restores_free_target(self):
+        metrics = MetricsRegistry()
+        pool = StorePool(
+            2, CFG, policy="greedy", cleaner="incremental",
+            pages_per_step=4, free_target=4, gc_budget=256,
+            metrics=metrics,
+        )
+        for kv in pool.shards:
+            fill_shard(kv, 120)
+        assert any(
+            kv.store.free_segment_count < 4 for kv in pool.shards
+        )
+        guard = 0
+        while any(c.needs_cleaning() for c in pool.cleaners) and guard < 200:
+            pool.maintain(idle=True)
+            guard += 1
+        assert all(
+            kv.store.free_segment_count >= 4 for kv in pool.shards
+        )
+        counters = metrics.snapshot().counters
+        assert counters.get("gc_governed_steps", 0) > 0
+        assert counters.get("gc_governed_pages", 0) > 0
+        pool.check_consistency()
+
+    def test_loaded_round_defers_non_urgent_shards(self):
+        metrics = MetricsRegistry()
+        pool = StorePool(
+            1, CFG, policy="greedy", cleaner="incremental",
+            pages_per_step=4, free_target=8, gc_budget=256,
+            metrics=metrics,
+        )
+        kv = pool.shards[0]
+        fill_shard(kv, 120)
+        # Put the shard between trigger and free_target: needy but not
+        # urgent.
+        cleaner = pool.cleaners[0]
+        guard = 0
+        while cleaner.behind() and guard < 200:
+            cleaner.step()
+            guard += 1
+        assert cleaner.needs_cleaning()
+        moved = pool.maintain()  # loaded round: must defer
+        assert moved == 0
+        counters = metrics.snapshot().counters
+        assert counters.get("gc_deferred_shards", 0) >= 1
+        # The idle round then does the deferred work.
+        assert pool.maintain(idle=True) > 0
+
+    def test_step_bounded_by_pages_per_step_when_loaded(self):
+        pool = StorePool(
+            1, CFG, policy="greedy", cleaner="incremental",
+            pages_per_step=2, free_target=6, gc_budget=256,
+        )
+        fill_shard(pool.shards[0], 120)
+        store = pool.shards[0].store
+        if not pool.cleaners[0].behind():
+            # Drive the shard below the reactive trigger so the loaded
+            # round has urgent work.
+            while (
+                store.free_segment_count >= store.config.clean_trigger
+                and len(pool.shards[0]) > 0
+            ):
+                fill_shard(pool.shards[0], 40, rounds=1)
+                if pool.cleaners[0].behind():
+                    break
+        if not pool.cleaners[0].behind():
+            pytest.skip("could not drive the shard below trigger")
+        moved = pool.maintain()
+        assert 0 < moved <= 2
+
+    def test_stats_summary_reports_pending(self):
+        pool = StorePool(1, CFG, policy="greedy", cleaner="incremental")
+        assert "cleaner_pending" in pool.stats_summary()
+        batch_pool = StorePool(1, CFG, policy="greedy", cleaner="batch")
+        assert "cleaner_pending" not in batch_pool.stats_summary()
+
+
+class TestServicePlumbing:
+    def test_service_accepts_cleaner_mode(self):
+        svc = Service(2, CFG, policy="greedy", cleaner="incremental",
+                      pages_per_step=8)
+        assert svc.pool.cleaners is not None
+        for i in range(300):
+            svc.put(("t", i % 60), b"x" * 8)
+            if i % 32 == 31:
+                svc.tick()
+        svc.flush()
+        svc.tick()
+        svc.pool.check_consistency()
+        svc.close()
+
+    def test_flush_stall_histogram_populated(self):
+        svc = Service(1, CFG, policy="greedy", batch_size=16)
+        for i in range(400):
+            svc.put(("t", i % 60), b"x" * 8)
+        svc.flush()
+        hist = svc.metrics.histogram("flush_stall_pages", PAGES_EDGES)
+        assert hist.count > 0  # stall-free flushes observe 0 too
+        svc.close()
+
+
+@pytest.fixture(scope="module")
+def latency_report():
+    """One seeded contrast run shared by the assertions below (the
+    expensive part; ~16k ops per mode)."""
+    return run_latency_bench(quick=True, seed=0, ops=16000)
+
+
+class TestLatencyContrast:
+    def test_incremental_p99_strictly_lower(self, latency_report):
+        batch = latency_report["modes"]["batch"]
+        incr = latency_report["modes"]["incremental"]
+        assert batch["flush_stall_p99_pages"] > 0
+        assert (
+            incr["flush_stall_p99_pages"] < batch["flush_stall_p99_pages"]
+        )
+
+    def test_equal_budget_wamp(self, latency_report):
+        """The stall win must not be bought with extra GC writes."""
+        batch = latency_report["modes"]["batch"]
+        incr = latency_report["modes"]["incremental"]
+        assert incr["wamp_aggregate"] <= batch["wamp_aggregate"] * 1.25
+
+    def test_report_passes_its_own_gate(self, latency_report):
+        assert check_latency_report(latency_report) == []
+
+    def test_render_mentions_both_modes(self, latency_report):
+        text = render_latency_report(latency_report)
+        assert "batch" in text and "incremental" in text
+        assert "p99 stall ratio" in text
+
+    def test_history_entry_shape(self, latency_report):
+        entry = latency_history_entry(latency_report, sha="abc123")
+        assert entry["sha"] == "abc123"
+        assert entry["benchmark"] == "latency"
+        assert set(entry["modes"]) == {"batch", "incremental"}
+
+    def test_regression_check_catches_ratio_drift(self, latency_report):
+        baseline = dict(latency_report, stall_p99_ratio=0.0)
+        drifted = dict(latency_report, stall_p99_ratio=0.4)
+        assert check_latency_regression(drifted, baseline, margin=0.25)
+        assert (
+            check_latency_regression(latency_report, baseline, margin=0.25)
+            == []
+        )
+
+
+class TestGateLogic:
+    def _report(self, batch_p99, incr_p99, batch_wamp=1.0, incr_wamp=1.0):
+        return {
+            "gate_ratio": 0.5,
+            "wamp_slack": 0.25,
+            "stall_p99_ratio": (
+                incr_p99 / batch_p99 if batch_p99 else 0.0
+            ),
+            "modes": {
+                "batch": {
+                    "flush_stall_p99_pages": batch_p99,
+                    "wamp_aggregate": batch_wamp,
+                },
+                "incremental": {
+                    "flush_stall_p99_pages": incr_p99,
+                    "wamp_aggregate": incr_wamp,
+                },
+            },
+        }
+
+    def test_flat_batch_run_is_a_problem(self):
+        assert check_latency_report(self._report(0.0, 0.0))
+
+    def test_ratio_above_gate_is_a_problem(self):
+        assert check_latency_report(self._report(10.0, 6.0))
+
+    def test_wamp_overrun_is_a_problem(self):
+        assert check_latency_report(
+            self._report(10.0, 1.0, batch_wamp=1.0, incr_wamp=1.5)
+        )
+
+    def test_good_report_is_clean(self):
+        assert check_latency_report(self._report(10.0, 1.0)) == []

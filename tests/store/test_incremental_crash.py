@@ -1,0 +1,185 @@
+"""Crash safety around incremental-cleaning preemption points.
+
+The ``store.clean.step`` failpoint sits at the top of every step —
+before any mutation — so an injected fault there models a crash landing
+exactly between cleaner steps.  The cycle must be resumable afterwards
+as if nothing happened, and a checkpoint taken mid-cycle must drain the
+cursor first so no ``IN_RELOCATION`` sentinel ever reaches disk.
+"""
+
+import pytest
+
+from repro.policies import make_policy
+from repro.store import (
+    IN_RELOCATION,
+    IncrementalCleaner,
+    LogStructuredStore,
+    StoreConfig,
+    load_store,
+    save_store,
+)
+from repro.testkit.failpoints import FAILPOINTS, InjectedFault
+from repro.testkit.trace import state_digest
+from repro.workloads import UniformWorkload
+
+
+@pytest.fixture
+def cfg():
+    return StoreConfig(
+        n_segments=32, segment_units=8, fill_factor=0.65,
+        clean_trigger=2, clean_batch=2,
+    )
+
+
+def loaded_store(cfg, n_writes=2200, seed=3):
+    store = LogStructuredStore(cfg, make_policy("greedy"))
+    wl = UniformWorkload(cfg.user_pages, seed=seed)
+    for batch in wl.batches(n_writes):
+        for pid in batch:
+            store.write(int(pid))
+    return store
+
+
+def begin_cycle(store):
+    while (
+        store.free_segment_count < store.config.clean_trigger + 3
+        and store.sealed_segments().size > 0
+    ):
+        store.clean()
+    store.clean_begin()
+    cur = store.clean_cursor
+    assert cur is not None
+    assert cur.remaining > 4, "seed must stage enough pages to preempt"
+    return cur
+
+
+class TestFaultBetweenSteps:
+    def test_fault_leaves_cursor_resumable(self, cfg):
+        store = loaded_store(cfg)
+        cur = begin_cycle(store)
+        store.clean_step(2)
+        pos = cur.pos
+        relocated = cur.relocated
+        with FAILPOINTS.armed("store.clean.step"):
+            with pytest.raises(InjectedFault):
+                store.clean_step(2)
+        # The failpoint fires before any mutation: nothing moved.
+        assert store.clean_cursor is cur
+        assert cur.pos == pos
+        assert cur.relocated == relocated
+        store.check_invariants()
+        # Resume to completion once the fault clears.
+        store.clean_step(None)
+        assert store.clean_cursor is None
+        store.check_invariants()
+
+    def test_faulted_run_equals_unfaulted_run(self, cfg):
+        """A fault between steps, then resume, must land on the exact
+        state an unfaulted stepped run produces."""
+        crashed = loaded_store(cfg)
+        smooth = loaded_store(cfg)
+        begin_cycle(crashed)
+        begin_cycle(smooth)
+        crashed.clean_step(3)
+        smooth.clean_step(3)
+        with FAILPOINTS.armed("store.clean.step"):
+            with pytest.raises(InjectedFault):
+                crashed.clean_step(3)
+        while crashed.clean_cursor is not None:
+            crashed.clean_step(3)
+        while smooth.clean_cursor is not None:
+            smooth.clean_step(3)
+        assert state_digest(crashed) == state_digest(smooth)
+
+    def test_fault_mid_engine_step_is_contained(self, cfg):
+        """The engine surfaces the fault; the store stays consistent
+        and the next engine step picks the cycle back up."""
+        store = loaded_store(cfg)
+        cleaner = IncrementalCleaner(store, pages_per_step=3)
+        begin_cycle(store)
+        with FAILPOINTS.armed("store.clean.step"):
+            with pytest.raises(InjectedFault):
+                cleaner.step()
+        store.check_invariants()
+        while store.clean_cursor is not None:
+            cleaner.step()
+        store.check_invariants()
+
+    def test_fault_skip_hits_a_later_step(self, cfg):
+        store = loaded_store(cfg)
+        begin_cycle(store)
+        with FAILPOINTS.armed("store.clean.step", skip=2) as arm:
+            store.clean_step(1)
+            store.clean_step(1)
+            with pytest.raises(InjectedFault):
+                store.clean_step(1)
+        assert arm.fired == 1
+        store.clean_step(None)
+        store.check_invariants()
+
+
+class TestCheckpointMidCycle:
+    def test_save_drains_cursor(self, cfg, tmp_path):
+        store = loaded_store(cfg)
+        begin_cycle(store)
+        store.clean_step(2)
+        assert store.clean_pending > 0
+        path = tmp_path / "mid.npz"
+        save_store(store, path)
+        # The save drained the cycle in the live store...
+        assert store.clean_cursor is None
+        assert not (store.pages.seg == IN_RELOCATION).any()
+        # ...and the checkpoint restores that drained state exactly.
+        restored = load_store(path, make_policy("greedy"))
+        assert not (restored.pages.seg == IN_RELOCATION).any()
+        assert state_digest(restored) == state_digest(store)
+        restored.check_invariants()
+
+    def test_recovery_preserves_live_set(self, cfg, tmp_path):
+        """Interleaved run, checkpoint at an arbitrary mid-cycle point,
+        reload: the recovered store serves exactly the model's pages."""
+        store = LogStructuredStore(cfg, make_policy("greedy"))
+        cleaner = IncrementalCleaner(store, pages_per_step=2)
+        model = {}
+        n = cfg.user_pages
+        for i in range(2600):
+            pid = (i * 11 + 1) % n
+            if i % 10 == 9:
+                store.trim(pid)
+                model.pop(pid, None)
+            else:
+                store.write(pid)
+                model[pid] = True
+            if i % 6 == 0:
+                cleaner.step()
+        path = tmp_path / "ckpt.npz"
+        save_store(store, path)  # may drain a mid-flight cycle
+        restored = load_store(path, make_policy("greedy"))
+        restored.check_invariants()
+        pages = restored.pages
+        live = {pid for pid in range(len(pages.seg)) if pages.seg[pid] != -1}
+        assert live == set(model)
+        # The recovered store keeps working — including more cleaning.
+        recleaner = IncrementalCleaner(restored, pages_per_step=2)
+        for i in range(600):
+            restored.write((i * 5 + 2) % n)
+            if i % 6 == 0:
+                recleaner.step()
+        restored.check_invariants()
+
+    def test_crash_during_mid_cycle_save_keeps_old_checkpoint(
+        self, cfg, tmp_path
+    ):
+        """Atomicity still holds when the save itself dies after the
+        cursor drain: the previous checkpoint stays loadable."""
+        store = loaded_store(cfg)
+        path = tmp_path / "ckpt.npz"
+        save_store(store, path)
+        good = state_digest(load_store(path, make_policy("greedy")))
+        begin_cycle(store)
+        store.clean_step(1)
+        with FAILPOINTS.armed("persistence.save.pre_rename"):
+            with pytest.raises(InjectedFault):
+                save_store(store, path)
+        restored = load_store(path, make_policy("greedy"))
+        assert state_digest(restored) == good
