@@ -265,27 +265,15 @@ def load_report(path: str) -> Dict:
 # Benchmark history (benchmarks/history.jsonl)
 # ----------------------------------------------------------------------
 
-#: Where ``repro bench micro`` appends its headline numbers by default.
-HISTORY_PATH = "benchmarks/history.jsonl"
-
-
-def _git_sha() -> str:
-    """Short commit id keying a history entry: the working tree's HEAD,
-    or ``GITHUB_SHA`` under CI, or ``"unknown"``."""
-    import os
-    import subprocess
-
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=10,
-        )
-        if out.returncode == 0 and out.stdout.strip():
-            return out.stdout.strip()
-    except (OSError, subprocess.SubprocessError):
-        pass
-    sha = os.environ.get("GITHUB_SHA", "")
-    return sha[:12] if sha else "unknown"
+# The shared trajectory helpers live in repro.bench.history; the legacy
+# names are re-exported because the other benchmark modules (and older
+# scripts) import them from here.
+from repro.bench.history import (  # noqa: E402
+    HISTORY_PATH,
+    append_entry,
+    git_sha as _git_sha,
+    load_history,
+)
 
 
 def history_entry(report: Dict, sha: Optional[str] = None) -> Dict:
@@ -314,28 +302,4 @@ def append_history(
 ) -> Dict:
     """Append the report's :func:`history_entry` to the JSONL benchmark
     trajectory; returns the appended entry."""
-    import os
-
-    entry = history_entry(report, sha=sha)
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(entry, sort_keys=True))
-        fh.write("\n")
-    return entry
-
-
-def load_history(path: str = HISTORY_PATH) -> List[Dict]:
-    """Parse the benchmark trajectory (empty list when absent)."""
-    import os
-
-    if not os.path.exists(path):
-        return []
-    entries = []
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                entries.append(json.loads(line))
-    return entries
+    return append_entry(history_entry(report, sha=sha), path)

@@ -435,6 +435,71 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_quick(p)
     _add_seed(p)
+    p = bench_sub.add_parser(
+        "run",
+        help="run a declarative experiment-matrix config: expand the "
+        "matrix, execute every cell (resumably), evaluate the gates, "
+        "and render a markdown regression report",
+    )
+    p.add_argument(
+        "config", metavar="CONFIG",
+        help="YAML or JSON matrix config (see benchmarks/configs/ and "
+        "EXPERIMENTS.md for the grammar)",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="output directory for the manifest, metrics, report.md and "
+        "gates.json (default bench_runs/<config name>)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted run from the manifest in --out; "
+        "completed cells are skipped",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="concurrent worker processes (default: CPU count; clamped "
+        "to the CPU count)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock limit in seconds",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for a failing cell (default 1)",
+    )
+    p.add_argument(
+        "--sample-interval", type=int, default=None,
+        help="clock ticks between time-series samples for obs "
+        "experiments (default: a quarter of the store's user pages)",
+    )
+    p.add_argument(
+        "--history", default=None, metavar="JSONL",
+        help="append executed bench cells' headline numbers, keyed by "
+        "git SHA, to this trajectory (default benchmarks/history.jsonl)",
+    )
+    p.add_argument(
+        "--no-history", action="store_true",
+        help="skip the benchmarks/history.jsonl append",
+    )
+    p = bench_sub.add_parser(
+        "report",
+        help="render the SHA-keyed perf trend dashboard from the "
+        "benchmark history trajectory (no benchmarks are run)",
+    )
+    p.add_argument(
+        "--history", default=None, metavar="JSONL",
+        help="trajectory to read (default benchmarks/history.jsonl)",
+    )
+    p.add_argument(
+        "--last", type=int, default=10,
+        help="entries shown per benchmark family (default 10)",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="MD",
+        help="also write the markdown to this file",
+    )
 
     p = sub.add_parser(
         "serve",
@@ -889,6 +954,10 @@ def _run_bench_command(args: argparse.Namespace) -> int:
         return _run_bench_service_command(args)
     if args.bench_command == "latency":
         return _run_bench_latency_command(args)
+    if args.bench_command == "run":
+        return _run_bench_matrix_command(args)
+    if args.bench_command == "report":
+        return _run_bench_report_command(args)
     from repro.bench.micro import (
         HISTORY_PATH,
         append_history,
@@ -1027,6 +1096,113 @@ def _run_bench_latency_command(args: argparse.Namespace) -> int:
         return 1
     if args.check:
         print("no latency regression vs %s" % args.check)
+    return 0
+
+
+def _run_bench_matrix_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro bench run CONFIG``: the declarative matrix."""
+    from repro.bench.history import HISTORY_PATH
+    from repro.matrix import MatrixConfigError, load_config, run_matrix
+    from repro.matrix.gates import blocking_failures
+    from repro.sweep.report import ProgressPrinter
+    from repro.sweep.spec import SweepError
+
+    try:
+        config = load_config(args.config)
+    except MatrixConfigError as exc:
+        print("matrix config error: %s" % exc, file=sys.stderr)
+        return 1
+    try:
+        run = run_matrix(
+            config,
+            out_dir=args.out,
+            resume=args.resume,
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            progress=ProgressPrinter(),
+            history=not args.no_history,
+            history_path=args.history or HISTORY_PATH,
+            sample_interval=args.sample_interval,
+        )
+    except (MatrixConfigError, SweepError) as exc:
+        print("matrix run error: %s" % exc, file=sys.stderr)
+        return 1
+    print(run.markdown)
+    print("report written to %s" % run.report_path)
+    print("gate verdicts written to %s" % run.gates_path)
+    for entry in run.history_entries:
+        print(
+            "headline appended to history (%s, sha %s)"
+            % (entry.get("benchmark"), entry.get("sha"))
+        )
+    failed = False
+    if run.stats.failed:
+        for f in run.stats.failed:
+            print(
+                "matrix cell failed: %s after %d attempt(s): %s"
+                % (f.label, f.attempts, f.error),
+                file=sys.stderr,
+            )
+        failed = True
+    for problem in run.obs_problems:
+        print("obs schema problem: %s" % problem, file=sys.stderr)
+        failed = True
+    for verdict in blocking_failures(run.verdicts):
+        print(
+            "gate FAILED: %s/%s (%s): %s"
+            % (verdict.experiment, verdict.name, verdict.type, verdict.detail),
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    advisories = [
+        v for v in run.verdicts if not v.passed and v.advisory
+    ]
+    for verdict in advisories:
+        print(
+            "gate failed (advisory): %s/%s: %s"
+            % (verdict.experiment, verdict.name, verdict.detail),
+            file=sys.stderr,
+        )
+    print(
+        "matrix %s: %d cell(s), %d resumed, %d gate(s) passed"
+        % (
+            config.name,
+            run.stats.total,
+            run.stats.skipped,
+            sum(1 for v in run.verdicts if v.passed),
+        )
+    )
+    return 0
+
+
+def _run_bench_report_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro bench report``: trend dashboard, report-only."""
+    import os
+
+    from repro.bench.history import HISTORY_PATH
+    from repro.matrix.trend import load_trend
+
+    history_path = args.history or HISTORY_PATH
+    if not os.path.exists(history_path):
+        print(
+            "bench report: no trajectory at %s (run a benchmark first)"
+            % history_path,
+            file=sys.stderr,
+        )
+        return 1
+    lines, warnings = load_trend(history_path, last=args.last)
+    markdown = "\n".join(["# Benchmark trend"] + lines) + "\n"
+    if warnings:
+        markdown += "\n**Trajectory drift (report-only):**\n\n"
+        markdown += "\n".join("- %s" % w for w in warnings) + "\n"
+    print(markdown)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(markdown)
+        print("trend written to %s" % args.out)
     return 0
 
 

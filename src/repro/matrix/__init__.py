@@ -1,0 +1,78 @@
+"""Declarative experiment matrices (``repro bench run config.yml``).
+
+The matrix subsystem turns a YAML/JSON experiment config into
+content-addressed cells, executes them through the sweep executor (with
+resume), evaluates declarative gates — empirical baselines and the
+mean-field analytical check — and renders a markdown regression report
+with an SHA-keyed perf trend.  See EXPERIMENTS.md for the authoring
+guide.
+"""
+
+from repro.matrix.cells import (
+    CellResult,
+    CellSpec,
+    MatrixJobRunner,
+    cells_for_experiment,
+    matrix_digest,
+)
+from repro.matrix.config import (
+    CheckDef,
+    ExperimentDef,
+    MatrixConfig,
+    MatrixConfigError,
+    ResultDef,
+    default_out_dir,
+    expand_experiment,
+    load_config,
+    parse_config,
+)
+from repro.matrix.gates import (
+    GateResult,
+    blocking_failures,
+    evaluate_checks,
+)
+from repro.matrix.meanfield import (
+    MeanFieldError,
+    MeanFieldPrediction,
+    hotcold_meanfield,
+    predict_for_workload,
+    uniform_meanfield,
+)
+from repro.matrix.report import render_report
+from repro.matrix.runner import MatrixRunReport, run_matrix
+from repro.matrix.trend import (
+    detect_trend_regressions,
+    load_trend,
+    render_trend,
+)
+
+__all__ = [
+    "CellResult",
+    "CellSpec",
+    "CheckDef",
+    "ExperimentDef",
+    "GateResult",
+    "MatrixConfig",
+    "MatrixConfigError",
+    "MatrixJobRunner",
+    "MatrixRunReport",
+    "MeanFieldError",
+    "MeanFieldPrediction",
+    "ResultDef",
+    "blocking_failures",
+    "cells_for_experiment",
+    "default_out_dir",
+    "detect_trend_regressions",
+    "evaluate_checks",
+    "expand_experiment",
+    "hotcold_meanfield",
+    "load_config",
+    "load_trend",
+    "matrix_digest",
+    "parse_config",
+    "predict_for_workload",
+    "render_report",
+    "render_trend",
+    "run_matrix",
+    "uniform_meanfield",
+]

@@ -1,0 +1,432 @@
+"""Declarative gate evaluation for matrix runs (the ``checks:`` block).
+
+Every check is evaluated *after* the matrix has run, over plain
+:class:`~repro.matrix.cells.CellResult` values — a pure function of
+(config, results, baseline files).  Tests fabricate cell results and
+exercise every verdict without running a single simulation, and the CLI
+gets one place that decides pass/fail for the whole run.
+
+Check types
+-----------
+
+``metric``
+    Bound a result metric (sim shorthand like ``wamp`` or a dotted path
+    into the raw result) with ``min:`` and/or ``max:`` on every matching
+    cell.
+
+``baseline``
+    Compare a metric against the same dotted path inside a committed
+    JSON baseline file, within a fractional ``tolerance``.
+    ``direction: min`` means higher-is-better (throughput must not drop
+    below baseline × (1 − tol)); ``direction: max`` means
+    lower-is-better (Wamp must not exceed baseline × (1 + tol)).
+
+``meanfield``
+    The analytical gate (arXiv:1303.4816; see
+    :mod:`repro.matrix.meanfield`).  Matching sim cells are grouped by
+    their non-seed axes, seed-averaged, and compared to the closed-form
+    Wamp.  Uniform predictions are exact steady states — the seed mean
+    must agree within ``tolerance`` both ways.  Hot/cold predictions
+    are the optimal-split *bound* — the seed mean must not beat the
+    bound by more than ``tolerance`` (a simulator beating a proven
+    floor is miscounting), while any gap above it is legal.
+
+``micro-baseline`` / ``service-floor`` / ``latency-baseline``
+    Delegate to the benchmark suites' own committed-baseline checkers
+    (:func:`repro.bench.micro.check_against_baseline`,
+    :func:`repro.service.bench.check_service_report`,
+    :func:`repro.service.latency.check_latency_regression`), so a
+    matrix-driven CI job reproduces exactly the verdicts the dedicated
+    smoke jobs used to compute.
+
+A check with ``advisory: true`` reports its verdict but never fails the
+run — the pattern the service gate already uses under ``--quick``,
+where wall-clock throughput on shared CI runners is informative, not
+binding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.matrix.cells import CellResult, cell_metric, dig, matches_where
+from repro.matrix.config import CheckDef, MatrixConfig, MatrixConfigError
+from repro.matrix.meanfield import MeanFieldError, predict_for_workload
+
+#: Default fractional tolerances per check type, used when the config
+#: does not set one.  The mean-field tolerance is documented in
+#: EXPERIMENTS.md next to the agreement measurement that justifies it.
+DEFAULT_TOLERANCES = {
+    "baseline": 0.30,
+    "meanfield": 0.12,
+    "micro-baseline": 0.30,
+    "latency-baseline": 0.25,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class GateResult:
+    """The verdict of one check over one experiment's cells."""
+
+    experiment: str
+    name: str
+    type: str
+    passed: bool
+    advisory: bool
+    #: Human-readable verdict detail (one line per problem when failed).
+    detail: str
+    #: Headline observed/expected numbers where the check has them.
+    observed: Optional[float] = None
+    expected: Optional[float] = None
+
+    @property
+    def blocking(self) -> bool:
+        """True when this result should fail the run."""
+        return not self.passed and not self.advisory
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def _load_baseline(path: str) -> Dict:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except OSError as exc:
+        raise MatrixConfigError(
+            "cannot read baseline file %s: %s" % (path, exc)
+        )
+    except ValueError as exc:
+        raise MatrixConfigError(
+            "baseline file %s is not valid JSON: %s" % (path, exc)
+        )
+
+
+def _matching(
+    cells: Sequence[CellResult], check: CheckDef
+) -> List[CellResult]:
+    return [c for c in cells if matches_where(c.axes, check.where)]
+
+
+def _result(
+    experiment: str,
+    check: CheckDef,
+    passed: bool,
+    detail: str,
+    observed: Optional[float] = None,
+    expected: Optional[float] = None,
+) -> GateResult:
+    return GateResult(
+        experiment=experiment,
+        name=check.name,
+        type=check.type,
+        passed=passed,
+        advisory=check.advisory,
+        detail=detail,
+        observed=observed,
+        expected=expected,
+    )
+
+
+def _no_match(experiment: str, check: CheckDef) -> GateResult:
+    """A check whose ``where:`` selects nothing is a config bug, and it
+    fails loudly instead of silently passing."""
+    return _result(
+        experiment,
+        check,
+        passed=False,
+        detail="where: %r matched no cells" % (dict(check.where),),
+    )
+
+
+def _check_metric(
+    experiment: str, check: CheckDef, cells: Sequence[CellResult]
+) -> GateResult:
+    problems = []
+    values = []
+    for cell in cells:
+        try:
+            value = cell_metric(cell, check.metric)
+        except KeyError:
+            problems.append(
+                "%s: result has no metric %r" % (cell.spec.label, check.metric)
+            )
+            continue
+        values.append(value)
+        if check.min is not None and value < check.min:
+            problems.append(
+                "%s: %s=%.4f below min %.4f"
+                % (cell.spec.label, check.metric, value, check.min)
+            )
+        if check.max is not None and value > check.max:
+            problems.append(
+                "%s: %s=%.4f above max %.4f"
+                % (cell.spec.label, check.metric, value, check.max)
+            )
+    observed = sum(values) / len(values) if values else None
+    if problems:
+        return _result(
+            experiment, check, False, "; ".join(problems), observed=observed
+        )
+    return _result(
+        experiment,
+        check,
+        True,
+        "%d cell(s) within bounds" % len(cells),
+        observed=observed,
+    )
+
+
+def _check_baseline(
+    experiment: str, check: CheckDef, cells: Sequence[CellResult]
+) -> GateResult:
+    baseline = _load_baseline(check.file)
+    try:
+        expected = float(dig(baseline, check.metric))
+    except (KeyError, TypeError, ValueError):
+        return _result(
+            experiment,
+            check,
+            False,
+            "baseline %s has no numeric metric %r" % (check.file, check.metric),
+        )
+    tolerance = (
+        check.tolerance
+        if check.tolerance is not None
+        else DEFAULT_TOLERANCES["baseline"]
+    )
+    problems = []
+    values = []
+    for cell in cells:
+        try:
+            value = cell_metric(cell, check.metric)
+        except KeyError:
+            problems.append(
+                "%s: result has no metric %r" % (cell.spec.label, check.metric)
+            )
+            continue
+        values.append(value)
+        if check.direction == "min":
+            floor = expected * (1.0 - tolerance)
+            if value < floor:
+                problems.append(
+                    "%s: %s=%.4f dropped below baseline %.4f - %.0f%%"
+                    % (cell.spec.label, check.metric, value, expected,
+                       100 * tolerance)
+                )
+        else:
+            ceiling = expected * (1.0 + tolerance)
+            if value > ceiling:
+                problems.append(
+                    "%s: %s=%.4f rose above baseline %.4f + %.0f%%"
+                    % (cell.spec.label, check.metric, value, expected,
+                       100 * tolerance)
+                )
+    observed = sum(values) / len(values) if values else None
+    if problems:
+        return _result(
+            experiment, check, False, "; ".join(problems),
+            observed=observed, expected=expected,
+        )
+    return _result(
+        experiment,
+        check,
+        True,
+        "%d cell(s) within %.0f%% of %s:%s"
+        % (len(cells), 100 * tolerance, check.file, check.metric),
+        observed=observed,
+        expected=expected,
+    )
+
+
+def _group_key(cell: CellResult) -> Tuple:
+    return tuple(
+        sorted((k, v) for k, v in cell.axes.items() if k != "seed")
+    )
+
+
+def _check_meanfield(
+    experiment: str, check: CheckDef, cells: Sequence[CellResult]
+) -> GateResult:
+    from repro.matrix.cells import sim_metrics
+    from repro.sweep.spec import JobSpec
+
+    tolerance = (
+        check.tolerance
+        if check.tolerance is not None
+        else DEFAULT_TOLERANCES["meanfield"]
+    )
+    groups: Dict[Tuple, List[CellResult]] = {}
+    for cell in cells:
+        groups.setdefault(_group_key(cell), []).append(cell)
+    problems = []
+    lines = []
+    observed = expected = None
+    for key in sorted(groups):
+        members = groups[key]
+        spec = JobSpec.from_dict(members[0].spec.payload)
+        try:
+            prediction = predict_for_workload(
+                spec.workload,
+                spec.config.fill_factor,
+                n_pages=spec.config.user_pages,
+            )
+        except MeanFieldError as exc:
+            problems.append("%s: %s" % (members[0].spec.label, exc))
+            continue
+        sim_wamp = sum(
+            sim_metrics(m.result)["wamp"] for m in members
+        ) / len(members)
+        observed, expected = sim_wamp, prediction.wamp
+        rel = (sim_wamp - prediction.wamp) / prediction.wamp
+        label = members[0].spec.label.rsplit("/s", 1)[0]
+        if prediction.is_bound:
+            # The closed form is a proven floor: simulated Wamp beating
+            # it (beyond tolerance) means the simulator is miscounting.
+            if rel < -tolerance:
+                problems.append(
+                    "%s: simulated Wamp %.4f beats the analytical bound "
+                    "%.4f by %.1f%% (> %.0f%% tolerance)"
+                    % (label, sim_wamp, prediction.wamp, -100 * rel,
+                       100 * tolerance)
+                )
+            else:
+                lines.append(
+                    "%s: Wamp %.4f vs bound %.4f (%+.1f%%)"
+                    % (label, sim_wamp, prediction.wamp, 100 * rel)
+                )
+        else:
+            if abs(rel) > tolerance:
+                problems.append(
+                    "%s: simulated Wamp %.4f vs analytical %.4f differs "
+                    "%.1f%% (> %.0f%% tolerance)"
+                    % (label, sim_wamp, prediction.wamp, 100 * abs(rel),
+                       100 * tolerance)
+                )
+            else:
+                lines.append(
+                    "%s: Wamp %.4f vs analytical %.4f (%+.1f%%)"
+                    % (label, sim_wamp, prediction.wamp, 100 * rel)
+                )
+    if problems:
+        return _result(
+            experiment, check, False, "; ".join(problems),
+            observed=observed, expected=expected,
+        )
+    return _result(
+        experiment, check, True, "; ".join(lines),
+        observed=observed, expected=expected,
+    )
+
+
+def _check_micro_baseline(
+    experiment: str, check: CheckDef, cells: Sequence[CellResult]
+) -> GateResult:
+    from repro.bench.micro import check_against_baseline
+
+    baseline = _load_baseline(check.file)
+    tolerance = (
+        check.tolerance
+        if check.tolerance is not None
+        else DEFAULT_TOLERANCES["micro-baseline"]
+    )
+    problems = []
+    for cell in cells:
+        for problem in check_against_baseline(
+            cell.result, baseline, tolerance=tolerance
+        ):
+            problems.append("%s: %s" % (cell.spec.label, problem))
+    if problems:
+        return _result(experiment, check, False, "; ".join(problems))
+    return _result(
+        experiment,
+        check,
+        True,
+        "%d run(s) within %.0f%% of %s"
+        % (len(cells), 100 * tolerance, check.file),
+    )
+
+
+def _check_service_floor(
+    experiment: str, check: CheckDef, cells: Sequence[CellResult]
+) -> GateResult:
+    from repro.service.bench import check_service_report
+
+    problems = []
+    for cell in cells:
+        for problem in check_service_report(cell.result):
+            problems.append("%s: %s" % (cell.spec.label, problem))
+    if problems:
+        return _result(experiment, check, False, "; ".join(problems))
+    return _result(
+        experiment,
+        check,
+        True,
+        "%d run(s) at or above the serial baseline" % len(cells),
+    )
+
+
+def _check_latency_baseline(
+    experiment: str, check: CheckDef, cells: Sequence[CellResult]
+) -> GateResult:
+    from repro.service.latency import check_latency_regression
+
+    baseline = _load_baseline(check.file)
+    margin = (
+        check.tolerance
+        if check.tolerance is not None
+        else DEFAULT_TOLERANCES["latency-baseline"]
+    )
+    problems = []
+    for cell in cells:
+        for problem in check_latency_regression(
+            cell.result, baseline, margin=margin
+        ):
+            problems.append("%s: %s" % (cell.spec.label, problem))
+    if problems:
+        return _result(experiment, check, False, "; ".join(problems))
+    return _result(
+        experiment,
+        check,
+        True,
+        "%d run(s) hold the stall gate vs %s" % (len(cells), check.file),
+    )
+
+
+_EVALUATORS = {
+    "metric": _check_metric,
+    "baseline": _check_baseline,
+    "meanfield": _check_meanfield,
+    "micro-baseline": _check_micro_baseline,
+    "service-floor": _check_service_floor,
+    "latency-baseline": _check_latency_baseline,
+}
+
+
+def evaluate_checks(
+    config: MatrixConfig,
+    results: Mapping[str, Sequence[CellResult]],
+) -> List[GateResult]:
+    """Evaluate every experiment's ``checks:`` over its cell results.
+
+    ``results`` maps experiment name → cell results (the runner builds
+    it; tests fabricate it).  Returns one :class:`GateResult` per
+    check, in config order.
+    """
+    verdicts: List[GateResult] = []
+    for exp in config.experiments:
+        cells = list(results.get(exp.name, ()))
+        for check in exp.checks:
+            matching = _matching(cells, check)
+            if not matching:
+                verdicts.append(_no_match(exp.name, check))
+                continue
+            verdicts.append(_EVALUATORS[check.type](exp.name, check, matching))
+    return verdicts
+
+
+def blocking_failures(verdicts: Sequence[GateResult]) -> List[GateResult]:
+    """The subset of verdicts that must fail the run."""
+    return [v for v in verdicts if v.blocking]

@@ -1,0 +1,148 @@
+"""Mean-field closed-form write amplification (the analytical gate).
+
+*Stochastic Modeling of Large-Scale Solid-State Storage Systems*
+(arXiv:1303.4816) shows that as the number of segments grows, the
+segment-occupancy distribution of a log-structured device concentrates
+around a deterministic mean-field limit, so steady-state write
+amplification has a closed form that needs no simulation.  That is what
+makes an *analytical* gate possible: a matrix cell too large to simulate
+in CI can still be sanity-checked, and a cell small enough to simulate
+must agree with the closed form within a documented tolerance or the
+simulator (not the workload) has regressed.
+
+Two workload families have usable closed forms here:
+
+* **uniform** — under uniform random updates with age-based (circular)
+  cleaning, the mean-field steady state is the transcendental fixpoint
+  the source paper derives as Equations 3-4 (``E = 1 - exp(-E/F)``,
+  with a finite-population correction), already implemented in
+  :mod:`repro.analysis.fixpoint`; Wamp follows from Equation 2.  The
+  same fixpoint is the large-system limit of the mean-field ODEs of
+  arXiv:1303.4816 for its uniform-workload model.
+* **hot/cold** — a two-class mean-field: each temperature class runs
+  its own uniform fixpoint at its own effective fill factor, with the
+  device slack split between the classes.  With the *optimal* split
+  (:func:`repro.analysis.hotcold.optimal_slack_split`) this is the
+  paper's Table 2 "opt" bound — a **floor** for any real policy, which
+  is how the hot/cold gate uses it (simulated Wamp must not beat the
+  bound, and should land within a band above it for a separating
+  policy).
+
+The gate layer (:mod:`repro.matrix.gates`) compares these numbers to
+simulated cells selected by a ``where:`` filter in the experiment
+config's ``checks:`` block.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.analysis.cost_model import write_amplification
+from repro.analysis.fixpoint import emptiness_fixpoint
+from repro.analysis.hotcold import optimal_slack_split, total_wamp
+
+
+class MeanFieldError(Exception):
+    """Raised when a cell's workload/fill has no closed form here."""
+
+
+@dataclasses.dataclass(frozen=True)
+class MeanFieldPrediction:
+    """One closed-form operating point."""
+
+    model: str  #: ``"uniform"`` or ``"hotcold"``
+    fill_factor: float
+    emptiness: float  #: steady-state cleaned emptiness E (aggregate)
+    wamp: float  #: Equation 2: (1 - E) / E
+    #: Whether the number is an exact steady state for the simulated
+    #: policy (uniform/age) or a lower bound (hotcold/optimal split).
+    is_bound: bool = False
+
+
+def uniform_meanfield(
+    fill_factor: float, n_pages: Optional[int] = None
+) -> MeanFieldPrediction:
+    """The uniform-workload mean-field operating point.
+
+    Args:
+        fill_factor: Device fill ``F`` in (0, 1).
+        n_pages: Finite user-page population for the Equation 3
+            correction; ``None`` uses the infinite-population fixpoint
+            (Equation 4).  The two agree beyond ~30 pages, but small
+            simulated devices gate more tightly with the correction.
+    """
+    if not 0.0 < fill_factor < 1.0:
+        raise MeanFieldError(
+            "uniform mean-field needs fill_factor in (0, 1), got %r"
+            % (fill_factor,)
+        )
+    emptiness = emptiness_fixpoint(fill_factor, n_pages=n_pages)
+    return MeanFieldPrediction(
+        model="uniform",
+        fill_factor=fill_factor,
+        emptiness=emptiness,
+        wamp=write_amplification(emptiness),
+    )
+
+
+def hotcold_meanfield(
+    fill_factor: float,
+    update_fraction: float,
+    data_fraction: float,
+) -> MeanFieldPrediction:
+    """The two-class hot/cold mean-field **bound** (optimal slack split).
+
+    Args:
+        fill_factor: Device fill ``F`` in (0, 1).
+        update_fraction: Fraction of updates hitting the hot class
+            (``m`` of an m:1-m skew, as a fraction).
+        data_fraction: Fraction of user data that is hot (``1-m`` for
+            the paper's m:(1-m) skews).
+    """
+    if not 0.0 < fill_factor < 1.0:
+        raise MeanFieldError(
+            "hotcold mean-field needs fill_factor in (0, 1), got %r"
+            % (fill_factor,)
+        )
+    for name, value in (
+        ("update_fraction", update_fraction),
+        ("data_fraction", data_fraction),
+    ):
+        if not 0.0 < value < 1.0:
+            raise MeanFieldError(
+                "hotcold mean-field needs %s in (0, 1), got %r" % (name, value)
+            )
+    updates = (update_fraction, 1.0 - update_fraction)
+    dists = (data_fraction, 1.0 - data_fraction)
+    g_hot = optimal_slack_split(fill_factor, updates, dists)
+    wamp = total_wamp(fill_factor, updates, dists, (g_hot, 1.0 - g_hot))
+    return MeanFieldPrediction(
+        model="hotcold",
+        fill_factor=fill_factor,
+        emptiness=1.0 / (1.0 + wamp),
+        wamp=wamp,
+        is_bound=True,
+    )
+
+
+def predict_for_workload(
+    workload: dict,
+    fill_factor: float,
+    n_pages: Optional[int] = None,
+) -> MeanFieldPrediction:
+    """Closed form for a sweep workload spec (the dict inside a sim
+    cell's job spec), or :class:`MeanFieldError` when none applies."""
+    kind = workload.get("kind")
+    if kind == "uniform":
+        return uniform_meanfield(fill_factor, n_pages=n_pages)
+    if kind == "hotcold":
+        return hotcold_meanfield(
+            fill_factor,
+            update_fraction=workload["update_fraction"],
+            data_fraction=workload["data_fraction"],
+        )
+    raise MeanFieldError(
+        "no mean-field closed form for workload kind %r (have: uniform, "
+        "hotcold)" % (kind,)
+    )

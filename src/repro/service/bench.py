@@ -22,7 +22,7 @@ import dataclasses
 import json
 from typing import Dict, List, Optional, Sequence
 
-from repro.bench.micro import HISTORY_PATH, _git_sha
+from repro.bench.history import HISTORY_PATH, append_entry, git_sha as _git_sha
 from repro.service.harness import (
     HarnessConfig,
     run_harness,
@@ -138,16 +138,8 @@ def service_history_entry(report: Dict, sha: Optional[str] = None) -> Dict:
     return entry
 
 
-def _append_entry(entry: Dict, path: str) -> Dict:
-    import os
-
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(entry, sort_keys=True))
-        fh.write("\n")
-    return entry
+#: Legacy alias; the shared appender lives in :mod:`repro.bench.history`.
+_append_entry = append_entry
 
 
 def append_service_history(

@@ -36,7 +36,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.bench.micro import HISTORY_PATH, _git_sha
+from repro.bench.history import HISTORY_PATH, append_entry, git_sha as _git_sha
 from repro.obs import PAGES_EDGES
 from repro.service.harness import HarnessConfig, build_service, ops_stream
 
@@ -289,6 +289,4 @@ def append_latency_history(
 ) -> Dict:
     """Append :func:`latency_history_entry` to the benchmark
     trajectory; returns the appended entry."""
-    from repro.service.bench import _append_entry
-
-    return _append_entry(latency_history_entry(report, sha=sha), path)
+    return append_entry(latency_history_entry(report, sha=sha), path)

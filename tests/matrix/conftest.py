@@ -1,0 +1,75 @@
+"""Shared fabrication helpers for the matrix suite.
+
+Gate evaluation is a pure function of (config, cell results), so these
+fixtures build :class:`~repro.matrix.cells.CellResult` values with
+hand-chosen metrics — no simulation or benchmark ever runs here.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.matrix.cells import CellResult, cells_for_experiment
+from repro.matrix.config import parse_config
+from repro.sweep.spec import JobSpec
+
+
+def fabricate_sim_result(payload: dict, wamp: float) -> dict:
+    """A serialized SimulationResult whose window shows ``wamp``."""
+    spec = JobSpec.from_dict(payload)
+    user = 100_000
+    emptiness = 1.0 / (1.0 + wamp) if wamp > 0 else 1.0
+    return {
+        "policy": spec.policy,
+        "workload": spec.workload["kind"],
+        "config": dataclasses.asdict(spec.config),
+        "total_user_writes": user,
+        "window": {
+            "user_writes": user,
+            "user_device_writes": user,
+            "gc_writes": int(round(user * wamp)),
+            "trims": 0,
+            "segments_cleaned": 50,
+            "cleaned_emptiness_sum": emptiness * 50,
+            "clean_cycles": 10,
+        },
+        "extras": {},
+    }
+
+
+def fabricate_results(exp, wamps):
+    """CellResults for one experiment def, one fabricated Wamp per
+    cell (``wamps`` maps cell index -> value, default 1.0)."""
+    cells = cells_for_experiment(exp)
+    out = []
+    for i, cell in enumerate(cells):
+        wamp = wamps.get(i, 1.0) if isinstance(wamps, dict) else wamps[i]
+        if cell.kind == "sim":
+            result = fabricate_sim_result(cell.payload, wamp)
+        else:
+            raise AssertionError("fabricate_results only handles sim cells")
+        out.append(CellResult(spec=cell, result=result))
+    return out
+
+
+@pytest.fixture
+def sim_config():
+    """A two-policy, two-fill sim config with no checks (tests add
+    their own)."""
+    return parse_config(
+        {
+            "name": "fab",
+            "experiments": [
+                {
+                    "name": "grid",
+                    "kind": "sim",
+                    "matrix": {
+                        "policy": ["age", "greedy"],
+                        "fill": [0.5, 0.8],
+                    },
+                    "params": {"write_multiplier": 4.0},
+                    "samples": 2,
+                }
+            ],
+        }
+    )

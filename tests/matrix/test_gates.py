@@ -1,0 +1,371 @@
+"""Gate evaluation as a pure function: no simulation or benchmark runs.
+
+Every test fabricates cell results (see conftest) and asserts on the
+verdicts — pass, fail, tolerance edges, advisory semantics, and the
+analytical mean-field gate in both its exact (uniform) and bound
+(hot/cold) modes.
+"""
+
+import json
+
+import pytest
+
+from repro.matrix.cells import CellResult, cells_for_experiment
+from repro.matrix.config import parse_config
+from repro.matrix.gates import blocking_failures, evaluate_checks
+from repro.matrix.meanfield import (
+    hotcold_meanfield,
+    predict_for_workload,
+    uniform_meanfield,
+)
+from repro.sweep.spec import JobSpec
+
+from .conftest import fabricate_results, fabricate_sim_result
+
+
+def config_with_checks(checks, matrix=None, params=None, kind="sim"):
+    doc = {
+        "name": "t",
+        "experiments": [
+            {
+                "name": "e",
+                "kind": kind,
+                "checks": checks,
+            }
+        ],
+    }
+    if kind == "sim":
+        doc["experiments"][0]["matrix"] = matrix or {"policy": ["age"]}
+        doc["experiments"][0]["params"] = params or {
+            "write_multiplier": 4.0
+        }
+    return parse_config(doc)
+
+
+class TestMetricCheck:
+    def test_within_bounds_passes(self):
+        cfg = config_with_checks(
+            [{"type": "metric", "metric": "wamp", "min": 0.5, "max": 2.0}]
+        )
+        results = fabricate_results(cfg.experiments[0], {0: 1.0})
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert verdict.passed
+        assert verdict.observed == pytest.approx(1.0)
+
+    def test_above_max_fails_and_blocks(self):
+        cfg = config_with_checks(
+            [{"type": "metric", "metric": "wamp", "max": 2.0}]
+        )
+        results = fabricate_results(cfg.experiments[0], {0: 3.0})
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert not verdict.passed
+        assert "above max" in verdict.detail
+        assert blocking_failures([verdict]) == [verdict]
+
+    def test_below_min_fails(self):
+        cfg = config_with_checks(
+            [{"type": "metric", "metric": "wamp", "min": 0.5}]
+        )
+        results = fabricate_results(cfg.experiments[0], {0: 0.1})
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert not verdict.passed and "below min" in verdict.detail
+
+    def test_where_filter_selects_cells(self):
+        cfg = config_with_checks(
+            [
+                {
+                    "type": "metric", "metric": "wamp", "max": 2.0,
+                    "where": {"policy": "age"},
+                }
+            ],
+            matrix={"policy": ["age", "greedy"]},
+        )
+        # age in bounds, greedy wildly out — but filtered away.
+        results = fabricate_results(cfg.experiments[0], {0: 1.0, 1: 99.0})
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert verdict.passed
+
+    def test_empty_where_match_fails_loudly(self):
+        cfg = config_with_checks(
+            [
+                {
+                    "type": "metric", "metric": "wamp", "max": 2.0,
+                    "where": {"policy": "mdc"},
+                }
+            ]
+        )
+        results = fabricate_results(cfg.experiments[0], {0: 1.0})
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert not verdict.passed
+        assert "matched no cells" in verdict.detail
+
+    def test_advisory_failure_does_not_block(self):
+        cfg = config_with_checks(
+            [
+                {
+                    "type": "metric", "metric": "wamp", "max": 0.1,
+                    "advisory": True,
+                }
+            ]
+        )
+        results = fabricate_results(cfg.experiments[0], {0: 1.0})
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert not verdict.passed and verdict.advisory
+        assert blocking_failures([verdict]) == []
+
+
+class TestBaselineCheck:
+    def make(self, tmp_path, base_value, direction, cell_value, tol=0.10):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps({"headline": {"wamp": base_value}}))
+        cfg = config_with_checks(
+            [
+                {
+                    "type": "baseline", "metric": "headline.wamp",
+                    "file": str(base), "tolerance": tol,
+                    "direction": direction,
+                }
+            ]
+        )
+        cell = cells_for_experiment(cfg.experiments[0])[0]
+        result = fabricate_sim_result(cell.payload, wamp=1.0)
+        result["headline"] = {"wamp": cell_value}
+        return cfg, [CellResult(spec=cell, result=result)]
+
+    def test_direction_max_within_tolerance_passes(self, tmp_path):
+        cfg, results = self.make(tmp_path, 1.0, "max", 1.05)
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert verdict.passed
+        assert verdict.expected == pytest.approx(1.0)
+
+    def test_direction_max_beyond_tolerance_fails(self, tmp_path):
+        cfg, results = self.make(tmp_path, 1.0, "max", 1.25)
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert not verdict.passed and "rose above" in verdict.detail
+
+    def test_direction_min_drop_fails(self, tmp_path):
+        cfg, results = self.make(tmp_path, 100.0, "min", 80.0)
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert not verdict.passed and "dropped below" in verdict.detail
+
+    def test_missing_baseline_file_is_actionable(self, tmp_path):
+        cfg = config_with_checks(
+            [
+                {
+                    "type": "baseline", "metric": "x",
+                    "file": str(tmp_path / "absent.json"),
+                }
+            ]
+        )
+        results = fabricate_results(cfg.experiments[0], {0: 1.0})
+        with pytest.raises(Exception, match="cannot read baseline"):
+            evaluate_checks(cfg, {"e": results})
+
+
+class TestMeanFieldGate:
+    def uniform_cfg(self, tolerance=0.10):
+        return config_with_checks(
+            [{"type": "meanfield", "tolerance": tolerance}],
+            params={
+                "write_multiplier": 4.0,
+                "fill": 0.8,
+                "reserve_compensation": True,
+            },
+        )
+
+    def predicted(self, cfg):
+        cell = cells_for_experiment(cfg.experiments[0])[0]
+        spec = JobSpec.from_dict(cell.payload)
+        return predict_for_workload(
+            spec.workload, spec.config.fill_factor,
+            n_pages=spec.config.user_pages,
+        )
+
+    def test_agreement_passes(self):
+        cfg = self.uniform_cfg()
+        pred = self.predicted(cfg)
+        results = fabricate_results(
+            cfg.experiments[0], {0: pred.wamp * 1.02}
+        )
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert verdict.passed
+        assert verdict.expected == pytest.approx(pred.wamp)
+
+    def test_uniform_disagreement_fails_both_ways(self):
+        cfg = self.uniform_cfg()
+        pred = self.predicted(cfg)
+        for factor in (1.5, 0.5):
+            results = fabricate_results(
+                cfg.experiments[0], {0: pred.wamp * factor}
+            )
+            (verdict,) = evaluate_checks(cfg, {"e": results})
+            assert not verdict.passed
+            assert "tolerance" in verdict.detail
+
+    def test_seed_mean_is_compared(self):
+        # Two seeds straddling the prediction: the mean agrees even
+        # though each individual seed is outside tolerance.
+        cfg = parse_config(
+            {
+                "name": "t",
+                "experiments": [
+                    {
+                        "name": "e",
+                        "kind": "sim",
+                        "matrix": {"policy": ["age"]},
+                        "params": {
+                            "write_multiplier": 4.0,
+                            "fill": 0.8,
+                            "reserve_compensation": True,
+                        },
+                        "samples": 2,
+                        "checks": [
+                            {"type": "meanfield", "tolerance": 0.05}
+                        ],
+                    }
+                ],
+            }
+        )
+        pred = self.predicted(cfg)
+        results = fabricate_results(
+            cfg.experiments[0], {0: pred.wamp * 1.2, 1: pred.wamp * 0.8}
+        )
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert verdict.passed
+
+    def hotcold_cfg(self, tolerance=0.10):
+        return config_with_checks(
+            [{"type": "meanfield", "tolerance": tolerance}],
+            params={
+                "write_multiplier": 4.0,
+                "fill": 0.8,
+                "dist": "hotcold-90",
+            },
+        )
+
+    def test_hotcold_above_bound_passes(self):
+        cfg = self.hotcold_cfg()
+        pred = self.predicted(cfg)
+        assert pred.is_bound
+        results = fabricate_results(
+            cfg.experiments[0], {0: pred.wamp * 1.6}
+        )
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert verdict.passed
+
+    def test_hotcold_beating_bound_fails(self):
+        cfg = self.hotcold_cfg()
+        pred = self.predicted(cfg)
+        results = fabricate_results(
+            cfg.experiments[0], {0: pred.wamp * 0.5}
+        )
+        (verdict,) = evaluate_checks(cfg, {"e": results})
+        assert not verdict.passed
+        assert "beats the analytical bound" in verdict.detail
+
+
+class TestBenchSuiteChecks:
+    def micro_report(self, rate):
+        return {
+            "benchmark": "store-micro",
+            "workloads": {
+                "uniform": {"batch": {"writes_per_sec": rate}},
+            },
+        }
+
+    def test_micro_baseline_delegates(self, tmp_path):
+        base = tmp_path / "BENCH_store.json"
+        base.write_text(json.dumps(self.micro_report(100_000.0)))
+        cfg = config_with_checks(
+            [{"type": "micro-baseline", "file": str(base),
+              "tolerance": 0.30}],
+            kind="micro",
+        )
+        cell = cells_for_experiment(cfg.experiments[0])[0]
+        ok = CellResult(spec=cell, result=self.micro_report(90_000.0))
+        bad = CellResult(spec=cell, result=self.micro_report(10_000.0))
+        (verdict,) = evaluate_checks(cfg, {"e": [ok]})
+        assert verdict.passed
+        (verdict,) = evaluate_checks(cfg, {"e": [bad]})
+        assert not verdict.passed
+
+    def latency_report(self, ratio):
+        return {
+            "modes": {
+                "batch": {
+                    "flush_stall_p99_pages": 100.0,
+                    "wamp_aggregate": 0.2,
+                },
+                "incremental": {
+                    "flush_stall_p99_pages": 100.0 * ratio,
+                    "wamp_aggregate": 0.2,
+                },
+            },
+            "stall_p99_ratio": ratio,
+            "gate_ratio": 0.5,
+            "wamp_slack": 0.25,
+        }
+
+    def test_latency_baseline_delegates(self, tmp_path):
+        base = tmp_path / "BENCH_latency.json"
+        base.write_text(json.dumps(self.latency_report(0.1)))
+        cfg = config_with_checks(
+            [{"type": "latency-baseline", "file": str(base),
+              "tolerance": 0.25}],
+            kind="latency",
+        )
+        cell = cells_for_experiment(cfg.experiments[0])[0]
+        ok = CellResult(spec=cell, result=self.latency_report(0.2))
+        bad = CellResult(spec=cell, result=self.latency_report(0.45))
+        (verdict,) = evaluate_checks(cfg, {"e": [ok]})
+        assert verdict.passed
+        (verdict,) = evaluate_checks(cfg, {"e": [bad]})
+        assert not verdict.passed
+
+    def test_service_floor_delegates(self):
+        cfg = config_with_checks(
+            [{"type": "service-floor"}], kind="service"
+        )
+        cell = cells_for_experiment(cfg.experiments[0])[0]
+        report = {
+            "serial": {"writes_per_sec": 100.0},
+            "shards": {"2": {"writes_per_sec": 150.0}},
+        }
+        (verdict,) = evaluate_checks(
+            cfg, {"e": [CellResult(spec=cell, result=report)]}
+        )
+        assert verdict.passed
+        report["shards"]["2"]["writes_per_sec"] = 50.0
+        (verdict,) = evaluate_checks(
+            cfg, {"e": [CellResult(spec=cell, result=report)]}
+        )
+        assert not verdict.passed
+
+
+class TestMeanFieldClosedForms:
+    def test_uniform_matches_fixpoint_identity(self):
+        pred = uniform_meanfield(0.8)
+        # Wamp = (1 - E) / E at the fixpoint.
+        assert pred.wamp == pytest.approx(
+            (1 - pred.emptiness) / pred.emptiness
+        )
+        assert not pred.is_bound
+
+    def test_hotcold_is_flagged_as_bound(self):
+        pred = hotcold_meanfield(0.8, update_fraction=0.9, data_fraction=0.1)
+        assert pred.is_bound
+        # Separating hot from cold can only help: the two-class bound
+        # sits at or below the single-class uniform Wamp.
+        assert pred.wamp <= uniform_meanfield(0.8).wamp + 1e-9
+
+    def test_out_of_range_fill_rejected(self):
+        from repro.matrix.meanfield import MeanFieldError
+
+        with pytest.raises(MeanFieldError):
+            uniform_meanfield(1.2)
+
+    def test_unknown_workload_kind_rejected(self):
+        from repro.matrix.meanfield import MeanFieldError
+
+        with pytest.raises(MeanFieldError, match="no mean-field"):
+            predict_for_workload({"kind": "zipfian", "theta": 0.9}, 0.8)

@@ -1,0 +1,256 @@
+"""End-to-end matrix runs on a tiny grid: execution, resume, obs merge."""
+
+import json
+
+import pytest
+
+from repro.matrix.cells import CellResult
+from repro.matrix.config import parse_config
+from repro.matrix.runner import _history_entry_for, run_matrix
+from repro.sweep.spec import SweepError
+
+#: A geometry small enough that one cell simulates in well under a
+#: second: 64x8 segments at half fill, two writes per user page.
+TINY = {
+    "n_segments": 64,
+    "segment_units": 8,
+    "fill": 0.5,
+    "clean_trigger": 2,
+    "clean_batch": 2,
+    "write_multiplier": 2.0,
+}
+
+
+def tiny_config(obs=False, samples=1, policies=("age",), checks=()):
+    return parse_config(
+        {
+            "name": "tiny",
+            "experiments": [
+                {
+                    "name": "grid",
+                    "kind": "sim",
+                    "matrix": {"policy": list(policies)},
+                    "params": dict(TINY),
+                    "samples": samples,
+                    "obs": obs,
+                    "checks": list(checks),
+                }
+            ],
+            "results": [{"type": "table", "experiment": "grid"}],
+        }
+    )
+
+
+class TestRunMatrix:
+    def test_runs_cells_and_writes_artifacts(self, tmp_path):
+        cfg = tiny_config(policies=("age", "greedy"))
+        run = run_matrix(
+            cfg, out_dir=str(tmp_path / "out"), workers=1, history=False
+        )
+        assert run.ok
+        assert run.stats.executed == 2 and run.stats.skipped == 0
+        assert len(run.results["grid"]) == 2
+        assert not any(c.resumed for c in run.results["grid"])
+        report = (tmp_path / "out" / "report.md").read_text()
+        assert "# Matrix run: tiny" in report
+        gates = json.loads((tmp_path / "out" / "gates.json").read_text())
+        assert gates["cells"] == 2 and gates["executed"] == 2
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        cfg = tiny_config()
+        out = str(tmp_path / "out")
+        first = run_matrix(cfg, out_dir=out, workers=1, history=False)
+        second = run_matrix(
+            cfg, out_dir=out, resume=True, workers=1, history=False
+        )
+        assert second.stats.executed == 0
+        assert second.stats.skipped == first.stats.total
+        assert all(c.resumed for c in second.results["grid"])
+        # Resumed results replay the journaled payloads bit-for-bit.
+        assert [c.result for c in second.results["grid"]] == [
+            c.result for c in first.results["grid"]
+        ]
+
+    def test_existing_manifest_without_resume_rejected(self, tmp_path):
+        cfg = tiny_config()
+        out = str(tmp_path / "out")
+        run_matrix(cfg, out_dir=out, workers=1, history=False)
+        with pytest.raises(SweepError, match="--resume"):
+            run_matrix(cfg, out_dir=out, workers=1, history=False)
+
+    def test_changed_grid_cannot_reuse_manifest(self, tmp_path):
+        out = str(tmp_path / "out")
+        run_matrix(tiny_config(), out_dir=out, workers=1, history=False)
+        other = tiny_config(policies=("greedy",))
+        with pytest.raises(SweepError):
+            run_matrix(other, out_dir=out, resume=True, workers=1,
+                       history=False)
+
+    def test_obs_cells_merge_and_validate(self, tmp_path):
+        cfg = tiny_config(obs=True)
+        run = run_matrix(
+            cfg, out_dir=str(tmp_path / "out"), workers=1, history=False
+        )
+        assert run.ok and not run.obs_problems
+        merged = tmp_path / "out" / "metrics-grid.jsonl"
+        assert merged.exists()
+        rows = merged.read_text().strip().splitlines()
+        assert rows  # meta header + samples at minimum
+
+    def test_gates_feed_run_verdict(self, tmp_path):
+        cfg = tiny_config(
+            checks=[{"type": "metric", "metric": "wamp", "max": 0.0001}]
+        )
+        run = run_matrix(
+            cfg, out_dir=str(tmp_path / "out"), workers=1, history=False
+        )
+        assert not run.ok
+        (verdict,) = run.verdicts
+        assert not verdict.passed
+
+    def test_history_off_appends_nothing(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        cfg = tiny_config()
+        run = run_matrix(
+            cfg,
+            out_dir=str(tmp_path / "out"),
+            workers=1,
+            history=False,
+            history_path=str(history),
+        )
+        assert run.history_entries == []
+        assert not history.exists()
+
+    def test_sim_cells_never_write_history(self, tmp_path):
+        # Only bench cells carry a history family; a sim-only matrix
+        # leaves the trajectory untouched even with history on.
+        history = tmp_path / "history.jsonl"
+        run = run_matrix(
+            tiny_config(),
+            out_dir=str(tmp_path / "out"),
+            workers=1,
+            history=True,
+            history_path=str(history),
+        )
+        assert run.history_entries == []
+        assert not history.exists()
+
+
+class TestCli:
+    def test_bench_run_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        config = tmp_path / "tiny.yml"
+        config.write_text(
+            "name: cli-tiny\n"
+            "experiments:\n"
+            "  - name: grid\n"
+            "    matrix:\n"
+            "      policy: [age]\n"
+            "    params:\n"
+            "      n_segments: 64\n"
+            "      segment_units: 8\n"
+            "      fill: 0.5\n"
+            "      clean_trigger: 2\n"
+            "      clean_batch: 2\n"
+            "      write_multiplier: 2.0\n"
+            "    checks:\n"
+            "      - type: metric\n"
+            "        metric: wamp\n"
+            "        min: 0.0\n"
+        )
+        out = tmp_path / "run"
+        rc = main(
+            [
+                "bench", "run", str(config),
+                "--out", str(out), "--no-history", "--workers", "1",
+            ]
+        )
+        assert rc == 0
+        assert (out / "report.md").exists()
+        assert "gate(s) passed" in capsys.readouterr().out
+
+    def test_bench_run_failing_gate_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        config = tmp_path / "tiny.yml"
+        config.write_text(
+            "name: cli-fail\n"
+            "experiments:\n"
+            "  - name: grid\n"
+            "    matrix:\n"
+            "      policy: [age]\n"
+            "    params:\n"
+            "      n_segments: 64\n"
+            "      segment_units: 8\n"
+            "      fill: 0.5\n"
+            "      clean_trigger: 2\n"
+            "      clean_batch: 2\n"
+            "      write_multiplier: 2.0\n"
+            "    checks:\n"
+            "      - type: metric\n"
+            "        metric: wamp\n"
+            "        max: 0.000001\n"
+        )
+        rc = main(
+            [
+                "bench", "run", str(config),
+                "--out", str(tmp_path / "run"), "--no-history",
+                "--workers", "1",
+            ]
+        )
+        assert rc == 1
+        assert "gate FAILED" in capsys.readouterr().err
+
+    def test_bench_run_bad_config_is_actionable(self, tmp_path, capsys):
+        from repro.cli import main
+
+        config = tmp_path / "bad.yml"
+        config.write_text("name: x\nexperiments: []\n")
+        rc = main(["bench", "run", str(config), "--no-history"])
+        assert rc == 1
+        assert "matrix config error" in capsys.readouterr().err
+
+
+class TestHistoryEntryMapping:
+    def micro_cell(self):
+        cfg = parse_config(
+            {
+                "name": "t",
+                "experiments": [{"name": "m", "kind": "micro"}],
+            }
+        )
+        from repro.matrix.cells import cells_for_experiment
+
+        return cells_for_experiment(cfg.experiments[0])[0]
+
+    def test_micro_cell_maps_to_store_micro_family(self):
+        cell = self.micro_cell()
+        report = {
+            "benchmark": "store-micro",
+            "policy": "greedy",
+            "writes": 100,
+            "trials": 1,
+            "workloads": {
+                "uniform": {
+                    "batch": {
+                        "writes_per_sec": 1.0,
+                        "cycle_p95_ms": 0.1,
+                    },
+                    "scalar": {"writes_per_sec": 0.5},
+                    "speedup": 2.0,
+                }
+            },
+        }
+        entry = _history_entry_for(CellResult(spec=cell, result=report))
+        assert entry["benchmark"] == "store-micro"
+        assert "sha" in entry
+
+    def test_sim_cell_has_no_history_family(self, tmp_path):
+        cfg = tiny_config()
+        from repro.matrix.cells import cells_for_experiment
+
+        cell = cells_for_experiment(cfg.experiments[0])[0]
+        assert _history_entry_for(
+            CellResult(spec=cell, result={})
+        ) is None
