@@ -1,27 +1,29 @@
 #!/usr/bin/env python
-"""Sweep orchestrator benchmark: serial vs parallel wall-clock on fig5.
+"""Sweep orchestrator benchmark: serial vs pooled wall-clock on fig5.
 
-Runs the quick Figure 5 grid (one distribution, 6 fill factors x 7
-policies + the analytic bound) twice through the sweep engine — once
-with 1 worker, once with 4 — verifies the aggregated outputs are
-byte-identical, and writes ``BENCH_sweep.json`` at the repo root so
-later PRs can track the orchestration overhead and scaling trajectory.
-
-Speedup is hardware-bound: on a single-core container the 4-worker run
-cannot beat serial (the JSON records ``cpu_count`` next to the timings
-so the numbers are interpretable); on a 4-core machine the same grid
-shows the expected ~3x.
+Thin CLI over :mod:`repro.sweep.bench` — runs the quick Figure 5 grid
+through the sweep engine serial (inline) and pooled, verifies the
+aggregated outputs are byte-identical, records the pool's phase
+overheads (worker spawn, dispatch, drain), and writes
+``BENCH_sweep.json`` at the repo root so later PRs can track the
+orchestration scaling trajectory.  The same measurement runs in CI as
+the ``kind: sweep`` cell of ``benchmarks/configs/ci-smoke.yml``, gated
+by the hardware-conditional ``sweep-scaling`` check.
 
 Run:
     PYTHONPATH=src python benchmarks/bench_sweep.py [--grid demo]
 """
 
 import argparse
-import json
 import pathlib
 import sys
 
-from repro.sweep import run_named_sweep
+from repro.sweep.bench import (
+    check_sweep_report,
+    render_sweep_bench,
+    run_sweep_bench,
+    write_sweep_report,
+)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 OUTPUT = REPO_ROOT / "BENCH_sweep.json"
@@ -34,58 +36,30 @@ def main(argv=None) -> int:
         help="named sweep grid to time (default fig5; demo for a smoke run)",
     )
     parser.add_argument("--dist", default="zipf-80-20")
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="pool size to request for the parallel run (default 4)",
+    )
+    parser.add_argument(
+        "--start-method", default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="pool start method (default: platform default)",
+    )
     args = parser.parse_args(argv)
-    dist = args.dist if args.grid == "fig5" else None
 
-    timings = {}
-    outputs = {}
-    for workers in (1, 4):
-        report = run_named_sweep(
-            args.grid, workers=workers, quick=True, dist=dist
-        )
-        timings[workers] = report.summary
-        outputs[workers] = report.output.rendered
-        print(
-            "workers=%d: %d jobs in %.1fs (serial estimate %.1fs)"
-            % (
-                workers,
-                report.summary["jobs"],
-                report.summary["wall_clock_s"],
-                report.summary["serial_estimate_s"],
-            )
-        )
-
-    identical = outputs[1] == outputs[4]
-    print("outputs byte-identical across worker counts:", identical)
-    if not identical:
-        return 1
-
-    record = {
-        "benchmark": "sweep-serial-vs-parallel",
-        "grid": timings[1]["experiment"],
-        "quick": True,
-        "jobs": timings[1]["jobs"],
-        "cpu_count": timings[1]["cpu_count"],
-        "outputs_identical": identical,
-        "serial": {
-            "workers": 1,
-            "wall_clock_s": timings[1]["wall_clock_s"],
-            "job_wall_s": timings[1]["job_wall_s"],
-        },
-        "parallel": {
-            "workers": 4,
-            "wall_clock_s": timings[4]["wall_clock_s"],
-            "job_wall_s": timings[4]["job_wall_s"],
-        },
-        "speedup_parallel_vs_serial": round(
-            timings[1]["wall_clock_s"] / timings[4]["wall_clock_s"], 3
-        )
-        if timings[4]["wall_clock_s"]
-        else None,
-    }
-    OUTPUT.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    report = run_sweep_bench(
+        grid=args.grid,
+        dist=args.dist,
+        workers=args.workers,
+        start_method=args.start_method,
+    )
+    print(render_sweep_bench(report))
+    problems = check_sweep_report(report)
+    for problem in problems:
+        print("sweep-scaling gate: %s" % problem, file=sys.stderr)
+    write_sweep_report(report, str(OUTPUT))
     print("wrote", OUTPUT)
-    return 0
+    return 1 if problems else 0
 
 
 if __name__ == "__main__":

@@ -436,6 +436,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_quick(p)
     _add_seed(p)
     p = bench_sub.add_parser(
+        "profile",
+        help="cProfile the hot paths (write_batch / clean_step / "
+        "rank_columns) and emit a ranked-cumtime artifact",
+    )
+    p.add_argument(
+        "--writes", type=int, default=None,
+        help="updates in the write phase (default 120000; --quick: 30000)",
+    )
+    p.add_argument(
+        "--policy", default="greedy", choices=available_policies(),
+        help="cleaning policy to drive (default greedy)",
+    )
+    p.add_argument(
+        "--workload", default="zipfian",
+        choices=("uniform", "hotcold", "zipfian"),
+        help="update stream family (default zipfian)",
+    )
+    p.add_argument(
+        "--top", type=int, default=15,
+        help="functions kept per phase, ranked by cumulative time "
+        "(default 15)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the JSON artifact here (default "
+        "benchmarks/results/PROFILE_store.json)",
+    )
+    _add_quick(p)
+    _add_seed(p)
+    p = bench_sub.add_parser(
         "run",
         help="run a declarative experiment-matrix config: expand the "
         "matrix, execute every cell (resumably), evaluate the gates, "
@@ -954,6 +984,8 @@ def _run_bench_command(args: argparse.Namespace) -> int:
         return _run_bench_service_command(args)
     if args.bench_command == "latency":
         return _run_bench_latency_command(args)
+    if args.bench_command == "profile":
+        return _run_bench_profile_command(args)
     if args.bench_command == "run":
         return _run_bench_matrix_command(args)
     if args.bench_command == "report":
@@ -1002,6 +1034,32 @@ def _run_bench_command(args: argparse.Namespace) -> int:
             "no perf regression vs %s (tolerance %.0f%%)"
             % (args.check, args.tolerance * 100.0)
         )
+    return 0
+
+
+def _run_bench_profile_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro bench profile``: ranked-cumtime hot-path report."""
+    from repro.bench.profile import (
+        PROFILE_PATH,
+        render_profile,
+        run_profile,
+        write_profile,
+    )
+
+    writes = args.writes
+    if writes is None:
+        writes = 30_000 if args.quick else 120_000
+    report = run_profile(
+        n_writes=writes,
+        seed=args.seed,
+        policy=args.policy,
+        workload=args.workload,
+        top=args.top,
+    )
+    print(render_profile(report))
+    out = args.out or PROFILE_PATH
+    write_profile(report, out)
+    print("profile artifact written to %s" % out)
     return 0
 
 

@@ -10,15 +10,16 @@ and inherit its process isolation, retries, timeouts, and the fsynced
 resume manifest — ``repro bench run --resume`` skips completed cells
 exactly the way ``repro sweep --resume`` skips completed jobs.
 
-Four cell kinds map onto the existing engines:
+Five cell kinds map onto the existing engines:
 
 * ``sim`` — one :func:`repro.bench.runner.run_simulation` call, carried
   as an embedded :class:`~repro.sweep.spec.JobSpec` payload (so a sim
   cell's identity is the same content address a sweep would use).
-* ``micro`` / ``service`` / ``latency`` — one run of the corresponding
-  benchmark harness (:func:`repro.bench.micro.run_micro`,
+* ``micro`` / ``service`` / ``latency`` / ``sweep`` — one run of the
+  corresponding benchmark harness (:func:`repro.bench.micro.run_micro`,
   :func:`repro.service.bench.run_service_bench`,
-  :func:`repro.service.latency.run_latency_bench`).
+  :func:`repro.service.latency.run_latency_bench`,
+  :func:`repro.sweep.bench.run_sweep_bench`).
 
 Observability is pure output and never enters a digest: toggling
 ``obs:`` on an experiment reuses the same manifest entries, but cells
@@ -239,6 +240,16 @@ class MatrixJobRunner:
                 quick=bool(payload["quick"]),
                 seed=int(payload["seed"]),
                 ops=payload.get("ops"),
+            )
+        elif kind == "sweep":
+            from repro.sweep.bench import run_sweep_bench
+
+            result = run_sweep_bench(
+                grid=str(payload["grid"]),
+                dist=payload.get("dist"),
+                quick=bool(payload["quick"]),
+                workers=int(payload["workers"]),
+                seed=int(payload["seed"]),
             )
         else:
             raise MatrixConfigError("unknown cell kind %r" % (kind,))

@@ -9,7 +9,7 @@ content-addressed cells, plus declarative ``checks:`` (gates) and
     description: one line for the report header
     experiments:                    # required; at least one
       - name: fig5                  # required; unique per config
-        kind: sim                   # sim (default) | micro | service | latency
+        kind: sim                   # sim (default) | micro | service | latency | sweep
         matrix:                     # axes; each value list becomes a grid
           policy: [age, mdc]        #   dimension.  Scalars are allowed and
           dist: [uniform]           #   mean a fixed (non-swept) axis.
@@ -63,7 +63,7 @@ class MatrixConfigError(Exception):
 
 
 #: Experiment kinds and the runner each maps to.
-KINDS = ("sim", "micro", "service", "latency")
+KINDS = ("sim", "micro", "service", "latency", "sweep")
 
 #: Check types understood by :mod:`repro.matrix.gates`.
 CHECK_TYPES = (
@@ -73,6 +73,7 @@ CHECK_TYPES = (
     "micro-baseline",
     "service-floor",
     "latency-baseline",
+    "sweep-scaling",
 )
 
 #: Result-section types understood by :mod:`repro.matrix.report`.
@@ -112,11 +113,18 @@ LATENCY_PARAMS: Dict[str, Any] = {
     "ops": None,
     "quick": False,
 }
+SWEEP_PARAMS: Dict[str, Any] = {
+    "grid": "fig5",
+    "dist": "zipf-80-20",
+    "quick": True,
+    "workers": 4,
+}
 
 _BENCH_PARAMS = {
     "micro": MICRO_PARAMS,
     "service": SERVICE_PARAMS,
     "latency": LATENCY_PARAMS,
+    "sweep": SWEEP_PARAMS,
 }
 
 
@@ -414,12 +422,13 @@ def _parse_experiment(node: Any, path: str) -> ExperimentDef:
 
 #: Which check types make sense on which experiment kinds.
 _CHECK_KINDS = {
-    "metric": ("sim", "micro", "service", "latency"),
-    "baseline": ("sim", "micro", "service", "latency"),
+    "metric": ("sim", "micro", "service", "latency", "sweep"),
+    "baseline": ("sim", "micro", "service", "latency", "sweep"),
     "meanfield": ("sim",),
     "micro-baseline": ("micro",),
     "service-floor": ("service",),
     "latency-baseline": ("latency",),
+    "sweep-scaling": ("sweep",),
 }
 
 

@@ -39,6 +39,13 @@ Check types
     matrix-driven CI job reproduces exactly the verdicts the dedicated
     smoke jobs used to compute.
 
+``sweep-scaling``
+    Delegates to :func:`repro.sweep.bench.check_sweep_report`: the
+    pooled sweep's output must be byte-identical to the serial run,
+    and the pool-vs-serial speedup must clear a hardware-conditional
+    floor (2.0x with >= 4 effective workers on >= 4 CPUs, 0.95x when
+    the executor clamp shrank the pool to one worker, 1.0x between).
+
 A check with ``advisory: true`` reports its verdict but never fails the
 run — the pattern the service gate already uses under ``--quick``,
 where wall-clock throughput on shared CI runners is informative, not
@@ -395,6 +402,34 @@ def _check_latency_baseline(
     )
 
 
+def _check_sweep_scaling(
+    experiment: str, check: CheckDef, cells: Sequence[CellResult]
+) -> GateResult:
+    from repro.sweep.bench import check_sweep_report
+
+    problems = []
+    observed = None
+    for cell in cells:
+        report = cell.result
+        speedup = report.get("speedup_pool_vs_serial")
+        if speedup is not None:
+            observed = float(speedup)
+        for problem in check_sweep_report(report):
+            problems.append("%s: %s" % (cell.spec.label, problem))
+    if problems:
+        return _result(
+            experiment, check, False, "; ".join(problems), observed=observed
+        )
+    return _result(
+        experiment,
+        check,
+        True,
+        "%d run(s) identical across pool modes and above the speedup floor"
+        % len(cells),
+        observed=observed,
+    )
+
+
 _EVALUATORS = {
     "metric": _check_metric,
     "baseline": _check_baseline,
@@ -402,6 +437,7 @@ _EVALUATORS = {
     "micro-baseline": _check_micro_baseline,
     "service-floor": _check_service_floor,
     "latency-baseline": _check_latency_baseline,
+    "sweep-scaling": _check_sweep_scaling,
 }
 
 

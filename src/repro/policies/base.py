@@ -32,6 +32,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.store.kernels import ascending_prefix
 from repro.store.log_store import GC_STREAM, LogStructuredStore
 from repro.store.segments import SegmentTable
 
@@ -300,20 +301,7 @@ class CleaningPolicy(abc.ABC):
 
 def _ascending_prefix(priorities: np.ndarray, need: int) -> np.ndarray:
     """The first ``>= need`` entries of ``argsort(priorities, stable)``
-    without sorting everything.
-
-    ``argpartition`` finds the ``need`` smallest values; every index
-    whose priority is <= the largest of those is gathered and
-    stable-sorted.  Anything outside that set has a strictly larger
-    priority, so the result is exactly a prefix of the full stable
-    argsort — same victims, same tie-breaking, at O(n + k log k).
-    """
-    count = priorities.size
-    if need * _PARTITION_FACTOR >= count:
-        return np.argsort(priorities, kind="stable")
-    part = np.argpartition(priorities, need - 1)[:need]
-    cut = priorities[part].max()
-    if np.isnan(cut):
-        return np.argsort(priorities, kind="stable")
-    eligible = np.flatnonzero(priorities <= cut)
-    return eligible[np.argsort(priorities[eligible], kind="stable")]
+    without sorting everything — the victim-scoring selection, dispatched
+    through :mod:`repro.store.kernels` (optional numba implementation
+    behind a bit-identical numpy fallback)."""
+    return ascending_prefix(priorities, need, _PARTITION_FACTOR)

@@ -65,13 +65,15 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.store.buffer import SortBuffer
 from repro.store.config import StoreConfig
 from repro.store.errors import OutOfSpaceError, PageSizeError, StoreError
+from repro.store.kernels import fold_add as _fold_add
+from repro.store.kernels import prev_occurrence as _prev_occurrence
 from repro.store.pagetable import (
     IN_BUFFER,
     IN_FLIGHT,
@@ -92,28 +94,6 @@ _LOAD_CHUNK = 1 << 14
 
 #: How far ahead a run may scan for a duplicate page id before chunking.
 _DUP_WINDOW = 1 << 12
-
-
-def _prev_occurrence(pids: np.ndarray) -> np.ndarray:
-    """For each batch position, the previous position holding the same
-    page id (-1 if none).  One stable argsort for the whole batch."""
-    n = pids.size
-    prev = np.full(n, -1, dtype=np.int64)
-    if n > 1:
-        order = np.argsort(pids, kind="stable")
-        sorted_pids = pids[order]
-        idx = np.flatnonzero(sorted_pids[1:] == sorted_pids[:-1]) + 1
-        prev[order[idx]] = order[idx - 1]
-    return prev
-
-
-def _fold_add(current: float, values: np.ndarray) -> float:
-    """``current + v0 + v1 + ...`` as a strict left-to-right float fold —
-    bit-identical to a scalar ``+=`` loop (cumsum accumulates in order)."""
-    tmp = np.empty(values.size + 1, dtype=np.float64)
-    tmp[0] = current
-    tmp[1:] = values
-    return float(np.cumsum(tmp)[-1])
 
 
 def _stream_runs(streams: np.ndarray):
@@ -665,10 +645,9 @@ class LogStructuredStore:
             if seg is None:
                 seg = self._allocate()
                 self.open_segments[stream] = seg
+                segs.stream[seg] = stream
                 self.policy.on_segment_open(seg, stream)
-        slot = len(segs.slots[seg])
-        segs.slots[seg].append(page_id)
-        segs.slot_sizes[seg].append(size)
+        slot = segs.append_slot(seg, page_id, size)
         pages.seg[page_id] = seg
         pages.slot[page_id] = slot
         segs.live_count[seg] += 1
@@ -865,10 +844,10 @@ class LogStructuredStore:
         pages.carried_up2[run] = carried
 
         pages.size[run] = sz
-        slots = segs.slots[seg]
-        slot0 = len(slots)
-        slots.extend(run.tolist())
-        segs.slot_sizes[seg].extend(sz.tolist())
+        slot0 = int(segs.slot_count[seg])
+        segs.slot_page[seg, slot0 : slot0 + k] = run
+        segs.slot_size[seg, slot0 : slot0 + k] = sz
+        segs.slot_count[seg] = slot0 + k
         pages.seg[run] = seg
         pages.slot[run] = slot0 + np.arange(k)
         total = int(sz.sum())
@@ -997,6 +976,7 @@ class LogStructuredStore:
             if is_gc and seg is None:
                 seg = self._allocate()
                 self.open_segments[stream] = seg
+                segs.stream[seg] = stream
                 self.policy.on_segment_open(seg, stream)
                 continue
             self._emit(int(pids[i]), stream, is_gc)
@@ -1009,10 +989,10 @@ class LogStructuredStore:
         segs = self.segments
         pages = self.pages
         k = pids.size
-        slots = segs.slots[seg]
-        slot0 = len(slots)
-        slots.extend(pids.tolist())
-        segs.slot_sizes[seg].extend(sizes.tolist())
+        slot0 = int(segs.slot_count[seg])
+        segs.slot_page[seg, slot0 : slot0 + k] = pids
+        segs.slot_size[seg, slot0 : slot0 + k] = sizes
+        segs.slot_count[seg] = slot0 + k
         pages.seg[pids] = seg
         pages.slot[pids] = slot0 + np.arange(k)
         total = int(sizes.sum())
@@ -1038,7 +1018,7 @@ class LogStructuredStore:
         segs = self.segments
         segs.state[seg] = SEALED
         segs.seal_time[seg] = self.clock
-        n_written = len(segs.slots[seg])
+        n_written = int(segs.slot_count[seg])
         up2 = segs.up2_sum[seg] / n_written
         # The clock only moves forward; an averaged estimate can still
         # exceed "now" only through float noise — clamp defensively.
@@ -1178,13 +1158,7 @@ class LogStructuredStore:
             # Liveness of every victim's slots, resolved in one scatter
             # (victims in selection order, slots in slot order — the
             # relocation order the scalar path produces).
-            lens = [len(segs.slots[v]) for v in victims]
-            slot_pids = np.asarray(
-                [p for v in victims for p in segs.slots[v]], dtype=np.int64
-            )
-            seg_rep = np.repeat(v_arr, lens)
-            offs = np.concatenate(([0], np.cumsum(lens)[:-1]))
-            local_slot = np.arange(slot_pids.size) - np.repeat(offs, lens)
+            slot_pids, seg_rep, local_slot = segs.gather_slots(v_arr)
             live_mask = (pages.seg[slot_pids] == seg_rep) & (
                 pages.slot[slot_pids] == local_slot
             )
@@ -1343,6 +1317,11 @@ class LogStructuredStore:
         free = set(self.free_list)
         assert len(free) == len(self.free_list), "duplicate segments in free list"
         open_now = set(self.open_segments.values())
+        for stream, seg in self.open_segments.items():
+            assert segs.stream[seg] == stream, (
+                "open segment %d tagged with stream %d, mapped to %d"
+                % (seg, segs.stream[seg], stream)
+            )
         for s in range(n):
             st = segs.state[s]
             if s in free:
@@ -1370,9 +1349,11 @@ class LogStructuredStore:
         for pid in range(len(pages.seg)):
             seg = pages.seg[pid]
             if seg >= 0:
-                assert segs.slots[seg][pages.slot[pid]] == pid, (
-                    "page %d points at slot that holds another page" % pid
-                )
+                slot = pages.slot[pid]
+                assert (
+                    slot < segs.slot_count[seg]
+                    and segs.slot_page[seg, slot] == pid
+                ), "page %d points at slot that holds another page" % pid
             elif seg == IN_BUFFER:
                 assert self.buffer is not None and pid in self.buffer
             elif seg == IN_RELOCATION:

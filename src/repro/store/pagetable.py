@@ -157,11 +157,10 @@ class PageTable:
 
     def live_pages_arr(self, segments, seg: int) -> np.ndarray:
         """Array form of :meth:`live_pages_of` (same pages, slot order)."""
-        slots = segments.slots[seg]
-        if not slots:
+        pids = segments.slot_pages_of(seg)
+        if pids.size == 0:
             return np.empty(0, dtype=np.int64)
-        pids = np.asarray(slots, dtype=np.int64)
         live = (self._seg[pids] == seg) & (
-            self._slot[pids] == np.arange(len(pids))
+            self._slot[pids] == np.arange(pids.size)
         )
         return pids[live]

@@ -75,13 +75,14 @@ def save_store(store: LogStructuredStore, path: Union[str, pathlib.Path]) -> Non
     store.clean_step(None)
     segs = store.segments
     pages = store.pages
-    slot_lengths = np.array([len(s) for s in segs.slots], dtype=np.int64)
-    flat_slots = np.array(
-        [pid for slots in segs.slots for pid in slots], dtype=np.int64
-    )
-    flat_sizes = np.array(
-        [size for sizes in segs.slot_sizes for size in sizes], dtype=np.int64
-    )
+    # The dense (n_segments, capacity) slot matrices serialize as the
+    # historical ragged-flat form, keeping the npz keys (and the payload
+    # digest inputs) independent of the in-memory layout.
+    slot_lengths = segs.slot_count.copy()
+    width = segs.slot_page.shape[1]
+    occupied = np.arange(width) < slot_lengths[:, None]
+    flat_slots = segs.slot_page[occupied]
+    flat_sizes = segs.slot_size[occupied]
     stats = store.stats
     meta = {
         "version": FORMAT_VERSION,
@@ -225,12 +226,15 @@ def load_store(path: Union[str, pathlib.Path], policy) -> LogStructuredStore:
     segs.up2_sum[:] = arrays["seg_up2_sum"].tolist()
     segs.freq_sum[:] = arrays["seg_freq_sum"].tolist()
     segs.erase_count[:] = arrays["seg_erase_count"].tolist()
-    flat_slots = arrays["flat_slots"].tolist()
-    flat_sizes = arrays["flat_sizes"].tolist()
+    flat_slots = arrays["flat_slots"]
+    flat_sizes = arrays["flat_sizes"]
     offset = 0
     for seg_id, length in enumerate(arrays["slot_lengths"].tolist()):
-        segs.slots[seg_id] = flat_slots[offset:offset + length]
-        segs.slot_sizes[seg_id] = flat_sizes[offset:offset + length]
+        segs.set_slots(
+            seg_id,
+            flat_slots[offset:offset + length],
+            flat_sizes[offset:offset + length],
+        )
         offset += length
 
     store.free_list.clear()
@@ -238,6 +242,9 @@ def load_store(path: Union[str, pathlib.Path], policy) -> LogStructuredStore:
     store.open_segments.clear()
     for stream, seg in meta["open_segments"].items():
         store.open_segments[int(stream)] = int(seg)
+        # The stream column is advisory bookkeeping (not checkpointed);
+        # re-tag the open segments so the open-map invariant holds.
+        segs.stream[int(seg)] = int(stream)
         policy.on_segment_open(int(seg), int(stream))
     policy.load_state_dict(meta["policy_state"])
     try:

@@ -44,7 +44,7 @@ def checkerboard(store: LogStructuredStore, segment: int) -> str:
     segs = store.segments
     pages = store.pages
     cells = []
-    for slot, pid in enumerate(segs.slots[segment]):
+    for slot, pid in enumerate(segs.slot_list(segment)):
         cells.append("#" if pages.is_live_slot(segment, slot, pid) else ".")
     return "".join(cells)
 

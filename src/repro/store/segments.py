@@ -14,11 +14,27 @@ the last update time ``up1`` (so ``up2`` can be advanced as updates
 arrive), and the running sum of exact page update frequencies for the
 oracle-assisted ``-opt`` policy variants.
 
-The metadata is stored column-wise in numpy arrays: the batch write
-engine updates whole runs of writes with fancy indexing and
-``np.add.at``, and victim selection ranks candidates directly from the
-columns (:meth:`repro.policies.base.CleaningPolicy.rank_columns`)
-without per-segment Python gathering.
+Layout: structure of arrays
+---------------------------
+
+Every column is a contiguous numpy array indexed by segment id — there
+is no per-segment Python object anywhere.  The slot log (which page
+sits in which append position) is two dense ``(n_segments, capacity)``
+int64 matrices plus a ``slot_count`` column: segment ``s``'s append log
+is ``slot_page[s, :slot_count[s]]``.  Dense is affordable because a
+page occupies at least one unit, so a segment can never hold more than
+``capacity`` slots, and it is what makes the hot paths array-shaped:
+
+* the batch write engine appends whole runs with one slice assignment
+  (``slot_page[s, cnt:cnt+k] = run``) instead of list ``extend``;
+* ``clean_begin`` gathers every victim's slots in one 2-D fancy-index +
+  mask, with no Python loop over victims or slots;
+* erase (:meth:`reset`) is O(1) — it rewinds ``slot_count`` instead of
+  rebuilding per-segment lists.
+
+``stream`` records which placement stream (policy log) last opened the
+segment — the store maintains it on open/reset so policies and decision
+tracing can read stream ancestry straight from a column.
 
 ``epoch`` is a bookkeeping counter, not simulator state: it advances
 whenever a segment's cleaning-priority inputs change (invalidation,
@@ -30,7 +46,7 @@ digests and checkpoints.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -39,11 +55,16 @@ FREE = 0
 OPEN = 1
 SEALED = 2
 
+#: ``stream`` column sentinel: the segment has never been opened (or was
+#: erased since).  Distinct from every real stream id, including the
+#: store's GC stream (-1).
+NO_STREAM = np.iinfo(np.int64).min
+
 _STATE_NAMES = {FREE: "free", OPEN: "open", SEALED: "sealed"}
 
 
 class SegmentTable:
-    """Column-wise metadata for all physical segments."""
+    """Column-wise (structure-of-arrays) metadata for all segments."""
 
     __slots__ = (
         "capacity",
@@ -56,8 +77,10 @@ class SegmentTable:
         "up2",
         "up2_sum",
         "freq_sum",
-        "slots",
-        "slot_sizes",
+        "slot_page",
+        "slot_size",
+        "slot_count",
+        "stream",
         "erase_count",
         "epoch",
     )
@@ -84,13 +107,17 @@ class SegmentTable:
         #: Sum of exact per-page update frequencies of live pages; only
         #: maintained when the store has a frequency oracle attached.
         self.freq_sum = np.zeros(n_segments, dtype=np.float64)
-        #: Append-ordered page ids per segment.  A slot ``i`` of segment
-        #: ``s`` is live iff the page table still maps ``slots[s][i]`` to
-        #: ``(s, i)``.
-        self.slots: List[List[int]] = [[] for _ in range(n_segments)]
-        #: Unit sizes parallel to ``slots`` (needed to reconstruct space
-        #: accounting for variable-size pages).
-        self.slot_sizes: List[List[int]] = [[] for _ in range(n_segments)]
+        #: Append-ordered page ids: slot ``i`` of segment ``s`` is
+        #: ``slot_page[s, i]`` for ``i < slot_count[s]``, and it is live
+        #: iff the page table still maps that page to ``(s, i)``.
+        self.slot_page = np.zeros((n_segments, capacity), dtype=np.int64)
+        #: Unit sizes parallel to ``slot_page`` (needed to reconstruct
+        #: space accounting for variable-size pages).
+        self.slot_size = np.ones((n_segments, capacity), dtype=np.int64)
+        #: Occupied prefix length of ``slot_page[s]`` / ``slot_size[s]``.
+        self.slot_count = np.zeros(n_segments, dtype=np.int64)
+        #: Stream id that (last) opened the segment; NO_STREAM when free.
+        self.stream = np.full(n_segments, NO_STREAM, dtype=np.int64)
         #: Times this segment has been reclaimed — in SSD terms, its
         #: erase count (flash wear).  Never reset.
         self.erase_count = np.zeros(n_segments, dtype=np.int64)
@@ -112,9 +139,76 @@ class SegmentTable:
         self.up2[seg] = 0.0
         self.up2_sum[seg] = 0.0
         self.freq_sum[seg] = 0.0
-        self.slots[seg] = []
-        self.slot_sizes[seg] = []
+        self.slot_count[seg] = 0
+        self.stream[seg] = NO_STREAM
         self.epoch[seg] += 1
+
+    # -- slot log access ------------------------------------------------
+
+    def slot_pages_of(self, seg: int) -> np.ndarray:
+        """Append-ordered page ids of ``seg`` (a read-only-by-convention
+        view of the backing matrix)."""
+        return self.slot_page[seg, : self.slot_count[seg]]
+
+    def slot_sizes_of(self, seg: int) -> np.ndarray:
+        """Unit sizes parallel to :meth:`slot_pages_of`."""
+        return self.slot_size[seg, : self.slot_count[seg]]
+
+    def slot_list(self, seg: int) -> List[int]:
+        """Plain-list form of :meth:`slot_pages_of` (tests, digests)."""
+        return self.slot_pages_of(seg).tolist()
+
+    def slot_size_list(self, seg: int) -> List[int]:
+        """Plain-list form of :meth:`slot_sizes_of`."""
+        return self.slot_sizes_of(seg).tolist()
+
+    def set_slots(
+        self,
+        seg: int,
+        pids: Sequence[int],
+        sizes: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Replace a segment's slot log wholesale (tests and restore
+        paths; the write engine appends in place instead)."""
+        pids = np.asarray(pids, dtype=np.int64)
+        n = pids.size
+        if n > self.capacity:
+            raise ValueError(
+                "segment %d cannot hold %d slots (capacity %d)"
+                % (seg, n, self.capacity)
+            )
+        self.slot_page[seg, :n] = pids
+        if sizes is None:
+            self.slot_size[seg, :n] = 1
+        else:
+            self.slot_size[seg, :n] = np.asarray(sizes, dtype=np.int64)
+        self.slot_count[seg] = n
+
+    def append_slot(self, seg: int, page_id: int, size: int) -> int:
+        """Append one page to a segment's slot log; returns its slot."""
+        cnt = int(self.slot_count[seg])
+        self.slot_page[seg, cnt] = page_id
+        self.slot_size[seg, cnt] = size
+        self.slot_count[seg] = cnt + 1
+        return cnt
+
+    def gather_slots(self, segs: np.ndarray):
+        """Concatenated slot logs of ``segs`` in the given order.
+
+        Returns ``(pids, owners, local_slots)`` — page ids in (segment,
+        slot) order, the owning segment of each entry, and its slot
+        index.  One 2-D gather + mask; no Python loop over segments.
+        """
+        counts = self.slot_count[segs]
+        width = int(counts.max()) if counts.size else 0
+        cols = np.arange(width, dtype=np.int64)
+        mask = cols < counts[:, None]
+        pids = self.slot_page[segs, :width][mask]
+        owners = np.repeat(segs, counts)
+        local = np.broadcast_to(cols, mask.shape)[mask]
+        return pids, owners, local
+
+    # -- derived values -------------------------------------------------
 
     def available_units(self, seg: int) -> int:
         """``A`` — reclaimable space of a segment, in units."""

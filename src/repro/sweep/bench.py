@@ -1,0 +1,172 @@
+"""Sweep-pool scaling benchmark (``benchmarks/bench_sweep.py``, matrix
+kind ``sweep``).
+
+Times one named grid through the sweep engine twice — serial
+(``workers=1``, inline) and pooled (``workers=4`` by default) — checks
+the aggregated experiment outputs are byte-identical, and reports the
+pool's phase overheads (worker spawn, spec dispatch, result drain) next
+to the wall clocks.  The report is written to ``BENCH_sweep.json`` at
+the repo root so the orchestration-scaling trajectory is tracked across
+changes, and the same dict is what a ``kind: sweep`` matrix cell
+returns, gated by the ``sweep-scaling`` check.
+
+The speedup bound is hardware-conditional, because the recorded numbers
+must gate meaningfully on both a 4-core CI runner and a 1-core dev
+container:
+
+* with >= 4 effective workers on >= 4 CPUs, the pool must beat serial
+  by at least 2.0x;
+* when the executor clamp shrinks the pool to a single worker (1-core
+  box), the pool must stay within 5% of serial (>= 0.95x) — the bound
+  that catches per-job process overhead creeping back in;
+* in between (2-3 effective workers) the pool must at least not lose
+  to serial (>= 1.0x).
+
+``outputs_identical`` is unconditional: parallelism must never change
+results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.sweep.report import run_named_sweep
+
+#: Default report location (committed at the repo root).
+BENCH_PATH = "BENCH_sweep.json"
+
+#: Pool-vs-serial floors, keyed by the hardware tier (see module doc).
+MIN_SPEEDUP_AT_4 = 2.0
+MIN_SPEEDUP_SMALL = 1.0
+MIN_SPEEDUP_POOL_OF_1 = 0.95
+
+
+def run_sweep_bench(
+    grid: str = "fig5",
+    dist: Optional[str] = "zipf-80-20",
+    quick: bool = True,
+    workers: int = 4,
+    seed: int = 0,
+    start_method: Optional[str] = None,
+) -> Dict:
+    """Time ``grid`` serial vs pooled; returns the report dict."""
+    dist = dist if grid == "fig5" else None
+    outputs = {}
+    summaries = {}
+    for n in (1, workers):
+        report = run_named_sweep(
+            grid,
+            workers=n,
+            quick=quick,
+            seed=seed,
+            dist=dist,
+            progress=None,
+            start_method=start_method,
+        )
+        outputs[n] = report.output.rendered
+        summaries[n] = report.summary
+    serial, pool = summaries[1], summaries[workers]
+    identical = outputs[1] == outputs[workers]
+    speedup = (
+        round(serial["wall_clock_s"] / pool["wall_clock_s"], 3)
+        if pool["wall_clock_s"]
+        else None
+    )
+    return {
+        "benchmark": "sweep-pool-scaling",
+        "grid": serial["experiment"],
+        "quick": quick,
+        "seed": seed,
+        "jobs": serial["jobs"],
+        "cpu_count": os.cpu_count(),
+        "outputs_identical": identical,
+        "serial": {
+            "workers": 1,
+            "wall_clock_s": serial["wall_clock_s"],
+            "job_wall_s": serial["job_wall_s"],
+        },
+        "pool": {
+            "workers_requested": pool["workers_requested"],
+            "workers_effective": pool["workers_effective"],
+            "pool_mode": pool["pool_mode"],
+            "wall_clock_s": pool["wall_clock_s"],
+            "job_wall_s": pool["job_wall_s"],
+            "overhead_s": dict(pool["pool_overhead_s"]),
+            "worker_recycles": pool["worker_recycles"],
+        },
+        "speedup_pool_vs_serial": speedup,
+    }
+
+
+def speedup_floor(workers_effective: int, cpu_count: int) -> float:
+    """The gate's minimum pool-vs-serial speedup for this hardware."""
+    if workers_effective >= 4 and cpu_count >= 4:
+        return MIN_SPEEDUP_AT_4
+    if workers_effective <= 1:
+        return MIN_SPEEDUP_POOL_OF_1
+    return MIN_SPEEDUP_SMALL
+
+
+def check_sweep_report(report: Dict) -> List[str]:
+    """The scaling gate; returns violations (empty = pass)."""
+    problems: List[str] = []
+    if not report.get("outputs_identical"):
+        problems.append(
+            "pooled sweep output differs from the serial run — "
+            "parallelism changed results"
+        )
+    speedup = report.get("speedup_pool_vs_serial")
+    pool = report.get("pool", {})
+    effective = int(pool.get("workers_effective", 0))
+    cpus = int(report.get("cpu_count") or 1)
+    floor = speedup_floor(effective, cpus)
+    if speedup is None or speedup < floor:
+        problems.append(
+            "pool speedup %s below the %.2fx floor for %d effective "
+            "worker(s) on %d CPU(s)"
+            % (
+                "%.3fx" % speedup if speedup is not None else "n/a",
+                floor,
+                effective,
+                cpus,
+            )
+        )
+    return problems
+
+
+def render_sweep_bench(report: Dict) -> str:
+    """One-paragraph human summary."""
+    pool = report["pool"]
+    overhead = pool["overhead_s"]
+    return (
+        "sweep-pool scaling on %s (%d jobs, %s CPUs):\n"
+        "  serial  (inline):      %8.2fs wall\n"
+        "  pool    (%d/%d %s):  %8.2fs wall  -> %.2fx\n"
+        "  pool overhead: spawn %.3fs, dispatch %.3fs, drain %.3fs, "
+        "%d recycle(s)\n"
+        "  outputs identical: %s"
+        % (
+            report["grid"],
+            report["jobs"],
+            report["cpu_count"],
+            report["serial"]["wall_clock_s"],
+            pool["workers_effective"],
+            pool["workers_requested"],
+            pool["pool_mode"],
+            pool["wall_clock_s"],
+            report["speedup_pool_vs_serial"] or 0.0,
+            overhead["spawn"],
+            overhead["dispatch"],
+            overhead["drain"],
+            pool["worker_recycles"],
+            report["outputs_identical"],
+        )
+    )
+
+
+def write_sweep_report(report: Dict, path: str = BENCH_PATH) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,22 +1,38 @@
-"""Parallel job execution for experiment sweeps.
+"""Parallel job execution for experiment sweeps: a persistent worker
+pool.
 
-Each job runs in its own worker process (one process per job, a pool of
-at most ``workers`` concurrent slots).  Per-process isolation is what
-buys the orchestration guarantees:
+Workers are started **once per sweep** (forked by default; any
+multiprocessing start method works, spawn pays a one-time interpreter
+bootstrap per worker) and then stream jobs: the parent ships each
+pre-expanded spec dict over the worker's pipe and the worker sends one
+result message back.  Per job, the only thing pickled is the small spec
+dict and the result payload — the job runner callable crosses the
+process boundary exactly once per worker, at start — which is what
+removed the fork-per-job overhead that made 4-worker sweeps run slower
+than serial.
 
-* a job that raises reports the exception and can be retried;
-* a job whose process dies (segfault, OOM-kill, ``os._exit``) is
-  detected through its exit, not by poisoning a shared pool;
-* a job that exceeds its wall-clock ``timeout`` is terminated cleanly.
+Supervision lives entirely in the parent (pool level):
 
-Results travel back over a per-job pipe as plain dicts (see
+* a job that raises reports the exception over the pipe and can be
+  retried on any worker;
+* a worker that dies mid-job (segfault, OOM-kill, ``os._exit``) is
+  detected through its process sentinel; the job is retried and the
+  worker is **recycled** — a fresh replacement is started, so one crash
+  never poisons the pool;
+* a job that exceeds its wall-clock ``timeout`` gets its worker killed
+  (the only way to preempt a stuck simulation) and recycled the same
+  way.
+
+Results travel back as plain dicts (see
 :func:`repro.sweep.spec.result_to_dict`), so the parent never unpickles
 arbitrary objects from a half-dead child.
 
 Determinism: a job's behavior is fully determined by its
 :class:`~repro.sweep.spec.JobSpec` (the workload seed is part of the
-spec), so scheduling order, worker count, and retries cannot change any
-result — only wall-clock time.
+spec), so scheduling order, worker count, pool start method, and
+retries cannot change any result — only wall-clock time.  The
+determinism suite asserts sweeps are byte-identical across ``workers=1``,
+a fork pool, and a spawn pool.
 """
 
 from __future__ import annotations
@@ -36,6 +52,9 @@ from repro.testkit.failpoints import failpoint
 
 #: How long the parent sleeps waiting for worker messages, seconds.
 _POLL_INTERVAL = 0.05
+
+#: Worker-bound message telling the worker to exit its job loop.
+_SHUTDOWN = None
 
 
 def execute_job(spec_dict: Dict) -> Dict:
@@ -92,22 +111,36 @@ class ObsJobRunner:
         return payload
 
 
-def _worker_entry(job_runner: Callable, spec_dict: Dict, conn) -> None:
-    """Worker process body: run one job, send one message, exit."""
+def _pool_worker_main(job_runner: Callable, conn) -> None:
+    """Worker process body: receive specs, run them, reply, repeat.
+
+    The runner arrives once, through the process arguments; each loop
+    iteration moves only one spec dict in and one result message out.
+    A ``None`` message is the shutdown signal.
+    """
     try:
-        payload = job_runner(spec_dict)
-    except BaseException as exc:  # report crashes of any stripe
-        try:
-            conn.send(("error", "%s: %s" % (type(exc).__name__, exc)))
-        except Exception:
-            pass
-    else:
-        try:
-            conn.send(("ok", payload))
-        except Exception:
-            pass
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is _SHUTDOWN or message is None:
+                break
+            job_id, spec_dict = message
+            try:
+                payload = job_runner(spec_dict)
+                outcome = (job_id, "ok", payload)
+            except BaseException as exc:  # report failures of any stripe
+                outcome = (job_id, "error", "%s: %s" % (type(exc).__name__, exc))
+            try:
+                conn.send(outcome)
+            except Exception:
+                break
     finally:
-        conn.close()
+        try:
+            conn.close()
+        except Exception:
+            pass
 
 
 @dataclasses.dataclass(frozen=True)
@@ -145,12 +178,28 @@ class SweepStats:
     wall_seconds: float = 0.0
     job_seconds: float = 0.0
     skipped_job_seconds: float = 0.0
-    #: Effective concurrency the sweep ran with.
+    #: Effective concurrency the sweep ran with, after the executor
+    #: clamp (never more workers than runnable jobs or CPUs).
     workers: int = 1
-    #: The pre-clamp request (:func:`repro.sweep.report
-    #: .parallel_experiment` records it; plain :func:`run_sweep` honors
-    #: ``workers`` literally so the two are then equal).
+    #: The caller's pre-clamp request.
     workers_requested: int = 1
+    #: ``"inline"`` (workers<=1, no processes) or the multiprocessing
+    #: start method of the pool (``"fork"`` / ``"spawn"`` /
+    #: ``"forkserver"``).
+    pool_mode: str = "inline"
+    #: Wall time spent starting (and recycling) worker processes.
+    spawn_seconds: float = 0.0
+    #: Wall time the parent spent shipping specs to workers.
+    dispatch_seconds: float = 0.0
+    #: Wall time the parent spent receiving result messages.
+    drain_seconds: float = 0.0
+    #: Workers replaced after a crash or a timeout kill.
+    worker_recycles: int = 0
+
+    @property
+    def workers_effective(self) -> int:
+        """Alias for :attr:`workers` (the post-clamp pool size)."""
+        return self.workers
 
     @property
     def speedup_vs_serial(self) -> float:
@@ -161,13 +210,22 @@ class SweepStats:
         return self.job_seconds / self.wall_seconds
 
 
-@dataclasses.dataclass
-class _Running:
-    spec: JobSpec
-    attempt: int
-    proc: multiprocessing.Process
-    conn: "multiprocessing.connection.Connection"
-    started: float
+class _PoolWorker:
+    """Parent-side handle of one pool worker."""
+
+    __slots__ = ("proc", "conn", "spec", "attempt", "started")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        #: The job currently on this worker (None = idle).
+        self.spec: Optional[JobSpec] = None
+        self.attempt = 0
+        self.started = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.spec is not None
 
 
 def run_sweep(
@@ -178,35 +236,47 @@ def run_sweep(
     retries: int = 1,
     job_runner: Callable[[Dict], Dict] = execute_job,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    start_method: Optional[str] = None,
 ) -> "tuple[Dict[str, Dict], SweepStats]":
     """Run a job grid, return ``(results_by_digest, stats)``.
 
     Args:
         specs: The grid; duplicate digests are collapsed.
-        workers: Concurrent worker processes, honored literally —
-            callers wanting per-process isolation (crash containment,
-            timeouts) get it even on a single-CPU machine.  The
-            CPU-count clamp that protects interactive sweeps from
-            oversubscription lives one layer up, in
-            :func:`repro.sweep.report.parallel_experiment`.  ``<= 1``
-            runs jobs inline in this process (no fork overhead;
-            ``timeout`` is then not enforced, since there is no process
-            to kill).
+        workers: Requested concurrency.  The executor clamps the pool to
+            ``min(workers, runnable jobs, cpu_count)`` — extra workers
+            past either bound only add scheduling overhead — and records
+            both the request and the effective size in the stats (and
+            the manifest's run record).  Any request ``> 1`` still buys
+            per-process isolation: even when the clamp shrinks the pool
+            to one, jobs run in a worker process with crash containment
+            and timeouts.  ``<= 1`` runs jobs inline in this process (no
+            process overhead; ``timeout`` is then not enforced, since
+            there is no process to kill).
         manifest: Optional journal.  Jobs already recorded in it are
             skipped and their stored results returned; newly finished
             jobs are appended, so a killed sweep resumes where it died.
+            A ``run`` record with the pool configuration and phase
+            overheads is appended when the sweep completes.
         timeout: Per-job wall-clock limit in seconds; an overrunning
-            worker is terminated and the attempt counts as a failure.
+            worker is killed (and recycled) and the attempt counts as a
+            failure.
         retries: Additional attempts after a failed first one.  A job
             still failing after ``1 + retries`` attempts lands in
             ``stats.failed`` (the sweep itself keeps going).
-        job_runner: The function executed in the worker; tests inject
+        job_runner: The callable executed in the workers.  Shipped to
+            each worker once, at pool start — it must be picklable (a
+            module-level function, ``functools.partial`` of one, or a
+            picklable class instance; never a closure).  Tests inject
             misbehaving runners to exercise the failure paths.
         progress: Callback invoked after every skip/finish/retry/failure.
+        start_method: Multiprocessing start method for the pool
+            (``"fork"``, ``"spawn"``, ``"forkserver"``); None uses the
+            platform default.  Results are identical either way — only
+            the bootstrap cost differs.
     """
     start = time.perf_counter()
-    workers = max(1, workers)
-    stats = SweepStats(workers=workers, workers_requested=workers)
+    requested = max(1, workers)
+    stats = SweepStats(workers=requested, workers_requested=requested)
 
     unique: Dict[str, JobSpec] = {}
     for spec in specs:
@@ -224,7 +294,7 @@ def run_sweep(
         eta = None
         if stats.executed > 0 and remaining > 0:
             per_job = elapsed / stats.executed
-            eta = per_job * remaining / max(1, workers)
+            eta = per_job * remaining / max(1, stats.workers)
         progress(
             ProgressEvent(
                 done=stats.executed,
@@ -282,7 +352,9 @@ def run_sweep(
         emit(spec.label, "failed")
         return False
 
-    if workers <= 1:
+    if requested <= 1 or not pending:
+        # Inline execution: no pool, no isolation, no timeout.
+        stats.workers = 1 if requested <= 1 else 0
         while pending:
             spec, attempt = pending.popleft()
             t0 = time.perf_counter()
@@ -293,80 +365,182 @@ def run_sweep(
             else:
                 finish_ok(spec, attempt, payload, time.perf_counter() - t0)
         stats.wall_seconds = time.perf_counter() - start
+        _record_run(manifest, stats)
         return results, stats
 
-    ctx = multiprocessing.get_context()
-    running: Dict[str, _Running] = {}
-    try:
-        while pending or running:
-            while pending and len(running) < workers:
-                spec, attempt = pending.popleft()
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_worker_entry,
-                    args=(job_runner, spec.to_dict(), child_conn),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                running[spec.digest()] = _Running(
-                    spec=spec,
-                    attempt=attempt,
-                    proc=proc,
-                    conn=parent_conn,
-                    started=time.perf_counter(),
-                )
+    # ------------------------------------------------------------------
+    # Pool execution
+    # ------------------------------------------------------------------
+    ctx = multiprocessing.get_context(start_method)
+    stats.pool_mode = ctx.get_start_method()
+    # Executor-layer clamp: never more workers than runnable jobs or
+    # CPUs (a request > 1 keeps process isolation even when clamped to
+    # a single worker).
+    pool_size = max(1, min(requested, len(pending), default_workers()))
+    stats.workers = pool_size
 
-            waitables = [r.conn for r in running.values()]
-            waitables += [r.proc.sentinel for r in running.values()]
-            multiprocessing.connection.wait(waitables, timeout=_POLL_INTERVAL)
+    def spawn_worker() -> _PoolWorker:
+        t0 = time.perf_counter()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        # Not daemonic: a job may legitimately spawn its own pool (the
+        # sweep-scaling bench runs as a matrix cell inside a worker),
+        # and daemonic processes cannot have children.  An orphaned
+        # worker still exits on its own — losing the parent closes the
+        # pipe and the worker's recv sees EOF.
+        proc = ctx.Process(
+            target=_pool_worker_main,
+            args=(job_runner, child_conn),
+        )
+        proc.start()
+        child_conn.close()
+        stats.spawn_seconds += time.perf_counter() - t0
+        return _PoolWorker(proc, parent_conn)
+
+    def dispatch(worker: _PoolWorker) -> None:
+        spec, attempt = pending.popleft()
+        t0 = time.perf_counter()
+        worker.conn.send((spec.digest(), spec.to_dict()))
+        stats.dispatch_seconds += time.perf_counter() - t0
+        worker.spec = spec
+        worker.attempt = attempt
+        worker.started = t0
+
+    def recycle(worker: _PoolWorker, pool: List[_PoolWorker]) -> None:
+        """Replace a dead/killed worker if there is still work for it."""
+        _terminate(worker.proc)
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        pool.remove(worker)
+        if pending:
+            stats.worker_recycles += 1
+            pool.append(spawn_worker())
+
+    pool: List[_PoolWorker] = [spawn_worker() for _ in range(pool_size)]
+    try:
+        while pending or any(w.busy for w in pool):
+            for worker in pool:
+                if pending and not worker.busy:
+                    dispatch(worker)
+
+            waitables = [w.conn for w in pool if w.busy]
+            waitables += [w.proc.sentinel for w in pool]
+            if not waitables:
+                continue
+            # Block until a result or a worker death wakes us — polling
+            # would steal CPU from the workers (measurable on a one-core
+            # box).  Only an armed per-job timeout needs a deadline, and
+            # then exactly the earliest one.
+            if timeout is None:
+                wait_timeout = None
+            else:
+                started = [w.started for w in pool if w.busy]
+                wait_timeout = (
+                    max(0.0, min(started) + timeout - time.perf_counter())
+                    + 0.01
+                    if started
+                    else _POLL_INTERVAL
+                )
+            multiprocessing.connection.wait(waitables, timeout=wait_timeout)
 
             now = time.perf_counter()
-            for digest in list(running):
-                r = running[digest]
+            for worker in list(pool):
+                if not worker.busy:
+                    if not worker.proc.is_alive():
+                        # A worker died between jobs (startup failure or
+                        # an exit after replying); replace it if needed.
+                        recycle(worker, pool)
+                    continue
                 outcome = None
                 crashed = False
-                if r.conn.poll():
+                if worker.conn.poll():
+                    t0 = time.perf_counter()
                     try:
-                        outcome = r.conn.recv()
+                        outcome = worker.conn.recv()
                     except EOFError:
                         crashed = True
-                elif not r.proc.is_alive():
+                    stats.drain_seconds += time.perf_counter() - t0
+                elif not worker.proc.is_alive():
                     crashed = True
-                elif timeout is not None and now - r.started > timeout:
-                    _terminate(r.proc)
-                    outcome = (
-                        "error",
+                elif timeout is not None and now - worker.started > timeout:
+                    spec, attempt = worker.spec, worker.attempt
+                    worker.spec = None
+                    # Requeue (finish_failure) BEFORE the recycle
+                    # decision, so the replacement worker is spawned
+                    # when the retry is the only work left.
+                    finish_failure(
+                        spec,
+                        attempt,
                         "timeout: exceeded %.1fs wall clock" % timeout,
                     )
+                    recycle(worker, pool)
+                    continue
                 else:
                     continue
 
-                del running[digest]
-                r.conn.close()
-                r.proc.join(timeout=5)
+                spec, attempt = worker.spec, worker.attempt
+                took = now - worker.started
                 if crashed:
-                    outcome = (
-                        "error",
+                    worker.spec = None
+                    finish_failure(
+                        spec,
+                        attempt,
                         "worker died without reporting (exitcode %s)"
-                        % (r.proc.exitcode,),
+                        % (worker.proc.exitcode,),
                     )
-                status, payload = outcome
-                took = now - r.started
+                    recycle(worker, pool)
+                    continue
+                worker.spec = None
+                _, status, payload = outcome
                 if status == "ok":
-                    finish_ok(r.spec, r.attempt, payload, took)
+                    finish_ok(spec, attempt, payload, took)
                 else:
-                    finish_failure(r.spec, r.attempt, payload)
+                    finish_failure(spec, attempt, payload)
     finally:
-        for r in running.values():
-            _terminate(r.proc)
-            r.conn.close()
+        for worker in pool:
+            try:
+                worker.conn.send(_SHUTDOWN)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        for worker in pool:
+            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            _terminate(worker.proc)
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
 
     stats.wall_seconds = time.perf_counter() - start
+    _record_run(manifest, stats)
     return results, stats
 
 
-def _terminate(proc: multiprocessing.Process) -> None:
+def _record_run(manifest: Optional[Manifest], stats: SweepStats) -> None:
+    """Append the sweep's pool configuration to the manifest."""
+    if manifest is None:
+        return
+    manifest.record_run(
+        {
+            "workers_requested": stats.workers_requested,
+            "workers_effective": stats.workers,
+            "pool_mode": stats.pool_mode,
+            "cpu_count": os.cpu_count(),
+            "executed": stats.executed,
+            "skipped": stats.skipped,
+            "failed": len(stats.failed),
+            "wall_s": round(stats.wall_seconds, 6),
+            "job_wall_s": round(stats.job_seconds, 6),
+            "spawn_s": round(stats.spawn_seconds, 6),
+            "dispatch_s": round(stats.dispatch_seconds, 6),
+            "drain_s": round(stats.drain_seconds, 6),
+            "worker_recycles": stats.worker_recycles,
+        }
+    )
+
+
+def _terminate(proc: multiprocessing.process.BaseProcess) -> None:
     """Terminate, escalating to SIGKILL if the worker ignores SIGTERM."""
     if not proc.is_alive():
         return

@@ -8,6 +8,12 @@ records one finished job::
     {"kind": "job", "digest": "9f3c...", "label": "mdc/zipfian-0.99/...",
      "elapsed": 0.81, "attempts": 1, "result": {...}}
 
+Each executor invocation additionally appends one ``run`` record when it
+finishes — the pool configuration (requested and effective workers, pool
+mode) and the phase overheads (spawn/dispatch/drain), so a manifest
+tells the full story of how its results were produced, including every
+resume.
+
 Appends are flushed and fsynced, so after a crash or kill at most the
 line being written is lost.  :meth:`Manifest.load` therefore tolerates a
 torn *final* line (the kill case) but refuses corruption anywhere else,
@@ -45,6 +51,7 @@ class Manifest:
         self._fh = None
         self._completed: Optional[Dict[str, Dict[str, Any]]] = None
         self._header: Optional[Dict[str, Any]] = None
+        self._runs: Optional[list] = None
         #: Byte offset to truncate to before the first append, set when
         #: :meth:`load` found a torn final line.  Appending after a torn
         #: tail without truncating would glue the new record onto the
@@ -69,9 +76,11 @@ class Manifest:
         """
         completed: Dict[str, Dict[str, Any]] = {}
         header: Optional[Dict[str, Any]] = None
+        runs: list = []
         self._truncate_to = None
         if not self.path.exists():
             self._completed, self._header = completed, header
+            self._runs = runs
             return completed
         raw = self.path.read_text()
         lines = raw.splitlines()
@@ -98,11 +107,14 @@ class Manifest:
                 header = record
             elif kind == "job":
                 completed[record["digest"]] = record
+            elif kind == "run":
+                runs.append(record)
             else:
                 raise SweepError(
                     "unknown record kind %r in %s" % (kind, self.path)
                 )
         self._completed, self._header = completed, header
+        self._runs = runs
         return completed
 
     def completed(self) -> Dict[str, Dict[str, Any]]:
@@ -110,6 +122,13 @@ class Manifest:
         if self._completed is None:
             self.load()
         return self._completed
+
+    def runs(self) -> list:
+        """Executor run records, in append order (one per invocation
+        that touched this manifest, so resumes are visible)."""
+        if self._runs is None:
+            self.load()
+        return list(self._runs)
 
     # -- writing -------------------------------------------------------
 
@@ -171,6 +190,14 @@ class Manifest:
         self._append(record)
         if self._completed is not None:
             self._completed[digest] = record
+
+    def record_run(self, info: Dict[str, Any]) -> None:
+        """Journal one executor invocation's pool configuration."""
+        record = dict(info)
+        record["kind"] = "run"
+        self._append(record)
+        if self._runs is not None:
+            self._runs.append(record)
 
     def _append(self, record: Dict[str, Any]) -> None:
         failpoint("sweep.manifest.pre_append", record=record, path=self.path)

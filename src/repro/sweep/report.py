@@ -137,12 +137,20 @@ def build_summary(
         "failed": len(stats.failed),
         "workers": stats.workers,
         "workers_requested": stats.workers_requested,
+        "workers_effective": stats.workers_effective,
+        "pool_mode": stats.pool_mode,
         "cpu_count": os.cpu_count(),
         "wall_clock_s": round(stats.wall_seconds, 3),
         "job_wall_s": round(stats.job_seconds, 3),
         "skipped_job_wall_s": round(stats.skipped_job_seconds, 3),
         "serial_estimate_s": round(stats.job_seconds, 3),
         "speedup_vs_serial_estimate": round(stats.speedup_vs_serial, 3),
+        "pool_overhead_s": {
+            "spawn": round(stats.spawn_seconds, 3),
+            "dispatch": round(stats.dispatch_seconds, 3),
+            "drain": round(stats.drain_seconds, 3),
+        },
+        "worker_recycles": stats.worker_recycles,
     }
 
 
@@ -192,6 +200,7 @@ def parallel_experiment(
     name: Optional[str] = None,
     obs: bool = False,
     sample_interval: Optional[int] = None,
+    start_method: Optional[str] = None,
     **kwargs,
 ) -> SweepReport:
     """Run any experiment function through the sweep engine.
@@ -199,11 +208,11 @@ def parallel_experiment(
     Args:
         experiment: A function from :mod:`repro.bench.experiments` (or
             anything with the same ``runner`` contract).
-        workers: Worker processes; defaults to the CPU count.  Requests
-            above the CPU count are clamped — oversubscribing a
-            CPU-bound sweep only adds scheduling overhead (a 4-worker
-            sweep on a 1-CPU box ran 0.77x *slower* than serial).  Both
-            the requested and effective counts land in the summary.
+        workers: Worker processes; defaults to the CPU count.  The
+            executor clamps the pool to ``min(workers, jobs, cpus)`` —
+            oversubscribing a CPU-bound sweep only adds scheduling
+            overhead.  Both the requested and effective counts land in
+            the summary and the manifest's run record.
         out_dir: Where the manifest, rendered output, and summary.json
             land.  ``None`` keeps everything in memory (no resume).
         resume: Allow continuing from an existing manifest.  Without it
@@ -221,6 +230,9 @@ def parallel_experiment(
             re-run and contribute no rows.
         sample_interval: Clock ticks between time-series samples
             (default: a quarter of the store's user pages).
+        start_method: Multiprocessing start method of the worker pool
+            (``"fork"``, ``"spawn"``, ``"forkserver"``; None = platform
+            default).  Results are identical across methods.
         kwargs: Forwarded to the experiment function (grid parameters).
 
     Returns:
@@ -234,8 +246,6 @@ def parallel_experiment(
         )
     if workers is None:
         workers = default_workers()
-    requested = max(1, workers)
-    workers = min(requested, default_workers())
     run_name = name or getattr(experiment, "__name__", "experiment")
 
     specs = expand_grid(experiment, **kwargs)
@@ -269,14 +279,13 @@ def parallel_experiment(
             retries=retries,
             job_runner=job_runner,
             progress=progress,
+            start_method=start_method,
         )
     finally:
         if manifest is not None:
             manifest.close()
         if isinstance(progress, ProgressPrinter):
             progress.close()
-
-    stats.workers_requested = requested
 
     if stats.failed:
         details = "; ".join(
@@ -325,6 +334,7 @@ def run_named_sweep(
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     obs: bool = False,
     sample_interval: Optional[int] = None,
+    start_method: Optional[str] = None,
 ) -> SweepReport:
     """Run one of the registered experiment grids (``repro sweep``)."""
     try:
@@ -347,5 +357,6 @@ def run_named_sweep(
         name=run_name,
         obs=obs,
         sample_interval=sample_interval,
+        start_method=start_method,
         **kwargs,
     )

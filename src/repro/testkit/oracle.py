@@ -104,11 +104,12 @@ def recount_segments(store: LogStructuredStore) -> List[Tuple[int, int]]:
     store's incremental counters are supposed to equal."""
     pages = store.pages
     seg_col, slot_col, size_col = pages.seg, pages.slot, pages.size
+    segments = store.segments
     out: List[Tuple[int, int]] = []
-    for seg, slots in enumerate(store.segments.slots):
+    for seg in range(len(segments)):
         count = 0
         units = 0
-        for slot, pid in enumerate(slots):
+        for slot, pid in enumerate(segments.slot_list(seg)):
             if seg_col[pid] == seg and slot_col[pid] == slot:
                 count += 1
                 units += size_col[pid]

@@ -102,8 +102,9 @@ def state_digest(store: LogStructuredStore) -> str:
     feed("seg_up2_sum", segs.up2_sum.tolist())
     feed("seg_freq_sum", segs.freq_sum.tolist())
     feed("seg_erase_count", segs.erase_count.tolist())
-    feed("slots", segs.slots)
-    feed("slot_sizes", segs.slot_sizes)
+    n_segs = len(segs)
+    feed("slots", [segs.slot_list(s) for s in range(n_segs)])
+    feed("slot_sizes", [segs.slot_size_list(s) for s in range(n_segs)])
     feed("free_list", list(store.free_list))
     feed("open_segments", sorted(store.open_segments.items()))
     if store.buffer is not None:

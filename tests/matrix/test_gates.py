@@ -322,6 +322,69 @@ class TestBenchSuiteChecks:
         (verdict,) = evaluate_checks(cfg, {"e": [bad]})
         assert not verdict.passed
 
+    def sweep_report(self, speedup, effective=4, cpus=4, identical=True):
+        return {
+            "benchmark": "sweep-pool-scaling",
+            "grid": "fig5-zipf-80-20",
+            "jobs": 42,
+            "cpu_count": cpus,
+            "outputs_identical": identical,
+            "serial": {"workers": 1, "wall_clock_s": 50.0},
+            "pool": {
+                "workers_requested": 4,
+                "workers_effective": effective,
+                "pool_mode": "fork",
+                "wall_clock_s": 50.0 / speedup,
+                "overhead_s": {"spawn": 0.0, "dispatch": 0.0, "drain": 0.0},
+                "worker_recycles": 0,
+            },
+            "speedup_pool_vs_serial": speedup,
+        }
+
+    def test_sweep_scaling_delegates(self):
+        cfg = config_with_checks(
+            [{"type": "sweep-scaling"}], kind="sweep"
+        )
+        cell = cells_for_experiment(cfg.experiments[0])[0]
+        ok = CellResult(spec=cell, result=self.sweep_report(2.5))
+        (verdict,) = evaluate_checks(cfg, {"e": [ok]})
+        assert verdict.passed
+        assert verdict.observed == pytest.approx(2.5)
+        slow = CellResult(spec=cell, result=self.sweep_report(1.4))
+        (verdict,) = evaluate_checks(cfg, {"e": [slow]})
+        assert not verdict.passed
+        assert blocking_failures([verdict]) == [verdict]
+
+    def test_sweep_scaling_output_mismatch_blocks(self):
+        cfg = config_with_checks(
+            [{"type": "sweep-scaling"}], kind="sweep"
+        )
+        cell = cells_for_experiment(cfg.experiments[0])[0]
+        bad = CellResult(
+            spec=cell, result=self.sweep_report(2.5, identical=False)
+        )
+        (verdict,) = evaluate_checks(cfg, {"e": [bad]})
+        assert not verdict.passed
+        assert "differs" in verdict.detail
+
+    def test_sweep_scaling_floor_follows_hardware(self):
+        cfg = config_with_checks(
+            [{"type": "sweep-scaling"}], kind="sweep"
+        )
+        cell = cells_for_experiment(cfg.experiments[0])[0]
+        # 1.4x would fail on a 4-core box but a clamped pool-of-1 only
+        # has to stay within 5% of serial.
+        clamped = CellResult(
+            spec=cell, result=self.sweep_report(0.97, effective=1, cpus=1)
+        )
+        (verdict,) = evaluate_checks(cfg, {"e": [clamped]})
+        assert verdict.passed
+        regressed = CellResult(
+            spec=cell, result=self.sweep_report(0.8, effective=1, cpus=1)
+        )
+        (verdict,) = evaluate_checks(cfg, {"e": [regressed]})
+        assert not verdict.passed
+
     def test_service_floor_delegates(self):
         cfg = config_with_checks(
             [{"type": "service-floor"}], kind="service"

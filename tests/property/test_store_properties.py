@@ -69,7 +69,7 @@ def test_every_written_page_stays_reachable(policy, writes):
     for pid in written:
         seg, slot = store.pages.location(pid)
         assert seg >= 0, "page %d lost" % pid
-        assert store.segments.slots[seg][slot] == pid
+        assert store.segments.slot_page[seg, slot] == pid
 
 
 @given(writes=write_sequences)

@@ -1,0 +1,222 @@
+"""Parity suite for the optional compiled kernels.
+
+Three layers, matching the contract in ``repro.store.kernels``:
+
+1. The pure fallbacks are property-tested against brute-force oracles
+   (these are the reference implementations the whole suite runs on).
+2. Wherever numba is importable, every numba kernel is Hypothesis-fuzzed
+   for *bit-identity* against its fallback — same outputs, same IEEE-754
+   float bits.  These cases skip cleanly on machines without numba.
+3. End-to-end: a store run under ``REPRO_KERNEL=python`` in a subprocess
+   must produce the same :func:`repro.testkit.trace.state_digest` as the
+   in-process run under whatever mode is active.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.store import kernels
+from repro.store.kernels import (
+    ACTIVE,
+    HAVE_NUMBA,
+    ascending_prefix,
+    fold_add,
+    kernel_info,
+    prev_occurrence,
+)
+
+page_id_arrays = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=0, max_size=200
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+float_arrays = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=0,
+    max_size=120,
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+priority_arrays = st.lists(
+    st.floats(
+        min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=150,
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+
+class TestFallbacksAgainstOracles:
+    """The reference implementations vs the dumbest possible model."""
+
+    @given(pids=page_id_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_prev_occurrence_matches_linear_scan(self, pids):
+        got = prev_occurrence(pids)
+        last = {}
+        for i, p in enumerate(pids.tolist()):
+            assert got[i] == last.get(p, -1)
+            last[p] = i
+
+    @given(current=st.floats(-1e6, 1e6), values=float_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_fold_add_is_bit_identical_to_scalar_loop(self, current, values):
+        acc = float(current)
+        for v in values.tolist():
+            acc += v
+        # Bit-identity, not approx: the fold feeds accounting that the
+        # differential oracle compares with ==.
+        assert fold_add(current, values) == acc
+
+    @given(priorities=priority_arrays, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_ascending_prefix_is_stable_argsort_prefix(
+        self, priorities, data
+    ):
+        need = data.draw(
+            st.integers(min_value=1, max_value=priorities.size), label="need"
+        )
+        got = ascending_prefix(priorities, need)
+        full = np.argsort(priorities, kind="stable")
+        assert got.size >= need
+        np.testing.assert_array_equal(got, full[: got.size])
+
+    def test_nan_priorities_fall_back_to_full_sort(self):
+        # Enough NaNs that the need-th smallest is NaN: the cut is
+        # undefined and the kernel must hand back the full stable sort.
+        priorities = np.array([float(i) for i in range(6)] + [np.nan] * 35)
+        got = ascending_prefix(priorities, 10)
+        np.testing.assert_array_equal(
+            got, np.argsort(priorities, kind="stable")
+        )
+
+    def test_nan_outside_the_prefix_is_harmless(self):
+        priorities = np.array([np.nan] + [float(i) for i in range(40)])
+        got = ascending_prefix(priorities, 2)
+        full = np.argsort(priorities, kind="stable")
+        np.testing.assert_array_equal(got, full[: got.size])
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestNumbaBitIdentity:
+    """Every compiled kernel vs its fallback, on the same inputs."""
+
+    @given(pids=page_id_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_prev_occurrence_parity(self, pids):
+        np.testing.assert_array_equal(
+            kernels._prev_occurrence_nb(pids),
+            kernels._prev_occurrence_py(pids),
+        )
+
+    @given(current=st.floats(-1e6, 1e6), values=float_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_fold_add_parity_is_bitwise(self, current, values):
+        nb = kernels._fold_add_nb(float(current), values)
+        py = kernels._fold_add_py(float(current), values)
+        assert np.float64(nb).tobytes() == np.float64(py).tobytes()
+
+    @given(priorities=priority_arrays, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_prefix_gather_parity(self, priorities, data):
+        need = data.draw(
+            st.integers(min_value=1, max_value=priorities.size), label="need"
+        )
+        np.testing.assert_array_equal(
+            kernels._prefix_gather_nb(priorities, need),
+            kernels._prefix_gather_py(priorities, need),
+        )
+
+
+def _digest_script():
+    return textwrap.dedent(
+        """
+        import json
+        from repro.policies import make_policy
+        from repro.store import LogStructuredStore, StoreConfig
+        from repro.store.kernels import ACTIVE
+        from repro.testkit.trace import state_digest
+        from repro.bench.experiments import make_workload
+
+        cfg = StoreConfig(
+            n_segments=48, segment_units=16, fill_factor=0.7,
+            clean_trigger=3, clean_batch=4, seed=11,
+        )
+        store = LogStructuredStore(cfg, make_policy("cost-benefit"))
+        workload = make_workload("zipf-80-20", cfg.user_pages, 11)
+        for chunk in workload.batches(4000, 512):
+            store.write_batch(chunk)
+        store.flush()
+        print(json.dumps({"active": ACTIVE, "digest": state_digest(store)}))
+        """
+    )
+
+
+class TestModeSwitch:
+    def test_kernel_info_reports_active_mode(self):
+        info = kernel_info()
+        assert info["active"] == ACTIVE
+        assert info["active"] in ("python", "numba")
+        assert info["have_numba"] == HAVE_NUMBA
+
+    def test_forced_python_digest_matches_active_mode(self):
+        """REPRO_KERNEL=python must be indistinguishable end to end."""
+        env = dict(os.environ, REPRO_KERNEL="python")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", _digest_script()],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        forced = json.loads(out.stdout)
+        assert forced["active"] == "python"
+
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            exec(compile(_digest_script(), "<digest>", "exec"), {})
+        local = json.loads(buf.getvalue())
+        assert forced["digest"] == local["digest"]
+
+    def test_bad_mode_rejected_at_import(self):
+        env = dict(os.environ, REPRO_KERNEL="turbo")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", "import repro.store.kernels"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert out.returncode != 0
+        assert "REPRO_KERNEL" in out.stderr
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed here")
+    def test_requiring_numba_without_it_is_loud(self):
+        env = dict(os.environ, REPRO_KERNEL="numba")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", "import repro.store.kernels"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert out.returncode != 0
+        assert "numba is not importable" in out.stderr

@@ -35,7 +35,7 @@ class TestWritePath:
         store.write(5)
         seg, slot = store.pages.location(5)
         assert seg >= 0
-        assert store.segments.slots[seg][slot] == 5
+        assert store.segments.slot_page[seg, slot] == 5
         assert store.segments.live_count[seg] == 1
 
     def test_overwrite_invalidates_old_slot(self, tiny_config):
@@ -159,7 +159,7 @@ class TestCleaning:
         for pid in live_before:
             seg, slot = store.pages.location(pid)
             assert seg >= 0
-            assert store.segments.slots[seg][slot] == pid
+            assert store.segments.slot_page[seg, slot] == pid
 
     def test_clean_returns_reclaimed_units(self, small_config):
         store = greedy_store(small_config)

@@ -57,7 +57,7 @@ class TestLiveness:
         pt = PageTable(4)
         # Segment 0 received pages 0, 1, 2; page 1 has since moved away,
         # and page 0 was rewritten into the same segment at slot 3.
-        segs.slots[0] = [0, 1, 2, 0]
+        segs.set_slots(0, [0, 1, 2, 0])
         pt.seg[0], pt.slot[0] = 0, 3
         pt.seg[1], pt.slot[1] = 1, 0
         pt.seg[2], pt.slot[2] = 0, 2

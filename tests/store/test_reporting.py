@@ -66,7 +66,7 @@ class TestCheckerboard:
         board = checkerboard(store, seg)
         assert board[0] == "."
         assert board.count("#") == store.segments.live_count[seg]
-        assert len(board) == len(store.segments.slots[seg])
+        assert len(board) == store.segments.slot_count[seg]
 
     def test_open_segment_shows_only_written_slots(self, small_config):
         """An open segment's board covers just the slots written so far;
@@ -80,7 +80,7 @@ class TestCheckerboard:
         board = checkerboard(store, seg)
         assert board.count("#") == store.segments.live_count[seg]
         assert "." in board and "#" in board
-        assert len(board) == len(store.segments.slots[seg])
+        assert len(board) == store.segments.slot_count[seg]
 
     def test_free_segment_is_all_dead(self, busy_store):
         """A free segment — including one recycled by cleaning — shows
@@ -92,7 +92,7 @@ class TestCheckerboard:
         for seg in free_segs[:4]:
             board = checkerboard(busy_store, int(seg))
             assert "#" not in board
-            assert board == "." * len(busy_store.segments.slots[int(seg)])
+            assert board == "." * int(busy_store.segments.slot_count[int(seg)])
 
 
 class TestDescribe:

@@ -1,8 +1,10 @@
-"""SegmentTable bookkeeping."""
+"""SegmentTable bookkeeping (structure-of-arrays layout)."""
 
+import numpy as np
 import pytest
 
 from repro.store import FREE, OPEN, SEALED, SegmentTable
+from repro.store.segments import NO_STREAM
 
 
 @pytest.fixture
@@ -18,7 +20,8 @@ class TestLifecycle:
             assert table.live_count[s] == 0
             assert table.available_units(s) == 8
             assert table.emptiness(s) == 1.0
-            assert table.slots[s] == []
+            assert table.slot_list(s) == []
+            assert table.stream[s] == NO_STREAM
 
     def test_reset_restores_pristine_state(self, table):
         table.state[1] = SEALED
@@ -30,22 +33,65 @@ class TestLifecycle:
         table.up2[1] = 35.0
         table.up2_sum[1] = 100.0
         table.freq_sum[1] = 0.5
-        table.slots[1] = [7, 8, 9]
-        table.slot_sizes[1] = [1, 1, 1]
+        table.stream[1] = 2
+        table.set_slots(1, [7, 8, 9])
         table.reset(1)
         assert table.state[1] == FREE
         assert table.live_count[1] == 0
         assert table.live_units[1] == 0
         assert table.used_units[1] == 0
         assert table.up2[1] == 0.0
-        assert table.slots[1] == []
-        assert table.slot_sizes[1] == []
+        assert table.slot_list(1) == []
+        assert table.slot_size_list(1) == []
+        assert table.stream[1] == NO_STREAM
 
-    def test_reset_does_not_share_slot_lists(self, table):
-        table.reset(0)
+    def test_reset_does_not_bleed_across_segments(self, table):
+        table.set_slots(0, [1, 2])
+        table.set_slots(1, [7, 8, 9])
         table.reset(1)
-        table.slots[0].append(99)
-        assert table.slots[1] == []
+        assert table.slot_list(0) == [1, 2]
+        assert table.slot_list(1) == []
+
+
+class TestSlotLog:
+    def test_append_slot_returns_positions_in_order(self, table):
+        assert table.append_slot(2, 10, 1) == 0
+        assert table.append_slot(2, 11, 2) == 1
+        assert table.slot_list(2) == [10, 11]
+        assert table.slot_size_list(2) == [1, 2]
+        assert table.slot_count[2] == 2
+
+    def test_set_slots_defaults_to_unit_sizes(self, table):
+        table.set_slots(3, [4, 5, 6])
+        assert table.slot_size_list(3) == [1, 1, 1]
+
+    def test_set_slots_rejects_overflow(self, table):
+        with pytest.raises(ValueError):
+            table.set_slots(0, list(range(9)))
+
+    def test_views_track_the_backing_matrix(self, table):
+        table.set_slots(0, [4, 5])
+        view = table.slot_pages_of(0)
+        table.slot_page[0, 1] = 9
+        assert view.tolist() == [4, 9]
+
+    def test_gather_slots_concatenates_in_segment_order(self, table):
+        table.set_slots(2, [20, 21, 22], [1, 2, 1])
+        table.set_slots(0, [7])
+        pids, owners, local = table.gather_slots(
+            np.asarray([2, 0, 1], dtype=np.int64)
+        )
+        assert pids.tolist() == [20, 21, 22, 7]
+        assert owners.tolist() == [2, 2, 2, 0]
+        assert local.tolist() == [0, 1, 2, 0]
+
+    def test_gather_slots_empty_victim_set(self, table):
+        pids, owners, local = table.gather_slots(
+            np.empty(0, dtype=np.int64)
+        )
+        assert pids.size == 0
+        assert owners.size == 0
+        assert local.size == 0
 
 
 class TestAccounting:

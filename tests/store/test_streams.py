@@ -29,7 +29,7 @@ class TestGcStream:
         store.policy.select_victims = lambda c, n=None: [victim]
         store.clean()
         gc_seg = store.open_segments[GC_STREAM]
-        assert set(store.segments.slots[gc_seg]) <= survivors
+        assert set(store.segments.slot_list(gc_seg)) <= survivors
 
 
 class TestMultiStream:

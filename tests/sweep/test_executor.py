@@ -179,35 +179,121 @@ class TestRetry:
 
 
 class TestWorkerClamp:
-    """Worker counts above the CPU count are clamped at the
-    ``parallel_experiment`` layer — oversubscribing a CPU-bound sweep
-    only adds scheduling overhead — while ``run_sweep`` itself honors
-    the request literally (the crash/timeout tests above depend on
-    getting worker *processes* even on a single-CPU box)."""
+    """The executor clamps the pool to ``min(request, jobs, cpus)`` —
+    oversubscribing a CPU-bound sweep only adds scheduling overhead —
+    but any request > 1 still gets worker *processes* (possibly a pool
+    of one): the crash/timeout tests above depend on per-process
+    isolation even on a single-CPU box."""
 
-    def test_run_sweep_honors_request_literally(self):
+    def test_pool_clamps_to_jobs_and_cpus(self):
+        from repro.sweep.executor import default_workers
+
         specs = tiny_specs(policies=("greedy",))
         _, stats = run_sweep(specs, workers=64)
-        assert stats.workers == 64
         assert stats.workers_requested == 64
+        assert stats.workers == min(64, len(specs), default_workers())
+        assert stats.workers_effective == stats.workers
+        assert stats.pool_mode != "inline"  # clamped, but still a pool
         assert stats.executed == 1
 
     def test_nonpositive_request_runs_inline(self):
         specs = tiny_specs(policies=("greedy",))
         _, stats = run_sweep(specs, workers=0)
         assert stats.workers == 1
+        assert stats.pool_mode == "inline"
         assert stats.executed == 1
 
-    def test_parallel_experiment_clamps_and_records_request(self):
-        from repro.bench.experiments import demo_experiment
+    def test_parallel_experiment_records_request_and_effective(self):
         from repro.sweep.executor import default_workers
         from repro.sweep.report import parallel_experiment
+
+        from repro.bench.experiments import demo_experiment
 
         report = parallel_experiment(demo_experiment, workers=64)
         stats = report.stats
         assert stats.workers_requested == 64
-        assert stats.workers == min(64, default_workers())
+        assert stats.workers == min(64, stats.total, default_workers())
         assert stats.workers <= (os.cpu_count() or 1)
         assert report.summary["workers"] == stats.workers
         assert report.summary["workers_requested"] == 64
+        assert report.summary["workers_effective"] == stats.workers
+        assert report.summary["pool_mode"] == stats.pool_mode
         assert report.summary["cpu_count"] == os.cpu_count()
+        assert set(report.summary["pool_overhead_s"]) == {
+            "spawn", "dispatch", "drain",
+        }
+
+
+class TestPoolDeterminism:
+    """Sweep outputs must be byte-identical no matter how the pool is
+    shaped: inline, fork workers, or spawn workers (spawn re-imports
+    everything, so it would expose any state smuggled through fork)."""
+
+    def test_results_identical_across_pool_modes(self):
+        import json
+
+        specs = tiny_specs()
+        inline, inline_stats = run_sweep(specs, workers=1)
+        fork, fork_stats = run_sweep(specs, workers=2, start_method="fork")
+        spawn, spawn_stats = run_sweep(specs, workers=2, start_method="spawn")
+        canon = lambda r: json.dumps(r, sort_keys=True)
+        assert canon(inline) == canon(fork) == canon(spawn)
+        assert inline_stats.pool_mode == "inline"
+        assert fork_stats.pool_mode == "fork"
+        assert spawn_stats.pool_mode == "spawn"
+
+    def test_pool_phase_overheads_are_recorded(self):
+        specs = tiny_specs()
+        _, stats = run_sweep(specs, workers=2)
+        assert stats.spawn_seconds > 0.0
+        assert stats.dispatch_seconds > 0.0
+        assert stats.drain_seconds > 0.0
+        assert stats.worker_recycles == 0
+
+
+class TestWorkerRecycle:
+    def test_crash_recycles_worker_and_resumes_manifest(self, tmp_path):
+        from repro.sweep.manifest import Manifest
+
+        specs = tiny_specs()
+        manifest = Manifest(tmp_path / "manifest.jsonl")
+        manifest.ensure_header("recycle-test", "deadbeef")
+        results, stats = run_sweep(
+            specs,
+            workers=2,
+            retries=1,
+            manifest=manifest,
+            job_runner=functools.partial(_crash_once_runner, str(tmp_path)),
+        )
+        manifest.close()
+        assert not stats.failed
+        assert stats.worker_recycles >= len(specs)  # one kill per job
+        clean, _ = run_sweep(specs, workers=1)
+        assert results == clean
+
+        # The manifest journaled every job plus the run record; a
+        # fresh sweep over it resumes instead of re-running.
+        resumed = Manifest(tmp_path / "manifest.jsonl")
+        assert len(resumed.completed()) == len(specs)
+        runs = resumed.runs()
+        assert len(runs) == 1
+        assert runs[0]["worker_recycles"] == stats.worker_recycles
+        assert runs[0]["workers_requested"] == 2
+        assert runs[0]["workers_effective"] == stats.workers
+        again, again_stats = run_sweep(specs, workers=2, manifest=resumed)
+        resumed.close()
+        assert again == results
+        assert again_stats.skipped == len(specs)
+        assert again_stats.executed == 0
+
+    def test_timeout_kill_counts_as_recycle(self, tmp_path):
+        specs = tiny_specs(policies=("greedy",))
+        _, stats = run_sweep(
+            specs,
+            workers=2,
+            retries=1,
+            timeout=1.0,
+            job_runner=functools.partial(_hang_once_runner, str(tmp_path)),
+        )
+        assert not stats.failed
+        assert stats.worker_recycles >= 1
