@@ -15,6 +15,7 @@ Usage (installed as ``repro``, or ``python -m repro``):
     repro bench service          # sharded-service scaling vs serial baseline
     repro serve --shards 4       # drive the sharded service front-end
     repro loadgen ops.jsonl      # record a deterministic client op trace
+    repro top telemetry.jsonl    # live per-shard dashboard + SLO burn
     repro policies               # list registered cleaning policies
     repro replay trace.jsonl     # re-run a recorded op trace, verify digest
     repro difftest --ops 10000   # store-vs-oracle differential harness
@@ -553,6 +554,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="store clock ticks between per-shard time-series samples",
     )
     p.add_argument(
+        "--trace-out", default=None, metavar="JSONL",
+        help="record causal spans (service.put -> flush -> shard put "
+        "-> write-stall/clean) to this span file; inspect with 'repro "
+        "obs critical' or export with 'repro obs chrome'",
+    )
+    p.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="FRAC",
+        help="head-based trace sampling fraction, decided at each trace "
+        "root and inherited by all its spans (default 1.0 = keep all)",
+    )
+    p.add_argument(
+        "--telemetry-out", default=None, metavar="JSONL",
+        help="append one per-tick telemetry row (per-shard Wamp/fill/"
+        "queue/stall + SLO burn state) to this file; watch live with "
+        "'repro top'",
+    )
+    p.add_argument(
         "--history", default=None, metavar="JSONL",
         help="append aggregate writes/sec, keyed by git SHA, to this "
         "JSONL trajectory (default benchmarks/history.jsonl)",
@@ -614,6 +632,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--kind", default=None,
         help="only events of this kind (e.g. clean_cycle)",
     )
+    p.add_argument(
+        "--follow", action="store_true",
+        help="after the initial tail, keep polling the file for new "
+        "rows (bounded-backoff polling; ctrl-c to stop)",
+    )
+    p.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="S",
+        help="with --follow: stop after this many idle seconds "
+        "(default: follow forever)",
+    )
     p = obs_sub.add_parser(
         "validate", help="schema-check a metrics.jsonl; exit 1 on problems"
     )
@@ -621,6 +649,57 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument(
         "--require-decisions", action="store_true",
         help="additionally require >=1 cleaning-decision record per run",
+    )
+    p = obs_sub.add_parser(
+        "chrome",
+        help="export a span file to Chrome trace-event JSON "
+        "(open in Perfetto / chrome://tracing)",
+    )
+    p.add_argument("file", help="path to a span .jsonl (--trace-out)")
+    p.add_argument(
+        "--out", default=None, metavar="JSON",
+        help="output path (default: <file> with a .trace.json suffix)",
+    )
+    p = obs_sub.add_parser(
+        "critical",
+        help="critical-path report: attribute each tail flush-stall "
+        "sample to its dominant child span",
+    )
+    p.add_argument("file", help="path to a span .jsonl (--trace-out)")
+    p.add_argument(
+        "--quantile", type=float, default=0.99,
+        help="tail quantile over nonzero flush stalls (default 0.99)",
+    )
+    p.add_argument(
+        "--min-attribution", type=float, default=None, metavar="FRAC",
+        help="exit 1 unless at least this fraction of tail samples "
+        "is attributed to a concrete child span",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a --telemetry-out file: "
+        "per-shard Wamp/fill/queue/stall plus SLO burn state",
+    )
+    p.add_argument("file", help="path to a telemetry .jsonl")
+    p.add_argument(
+        "--refresh", type=float, default=1.0, metavar="S",
+        help="minimum seconds between frame redraws (default 1.0)",
+    )
+    p.add_argument(
+        "--frames", type=int, default=None,
+        help="stop after rendering N frames (default: run until ctrl-c)",
+    )
+    p.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="S",
+        help="stop after this many seconds without new rows",
+    )
+    p.add_argument(
+        "--no-clear", action="store_true",
+        help="do not clear the screen between frames (scrolling output)",
     )
 
     p = sub.add_parser(
@@ -782,6 +861,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
     elif args.command == "obs":
         return _run_obs_command(args)
+    elif args.command == "top":
+        return _run_top_command(args)
     elif args.command == "replay":
         return _run_replay_command(args)
     elif args.command == "difftest":
@@ -861,10 +942,15 @@ def _run_obs_command(args: argparse.Namespace) -> int:
             )
             dropped = ""
             if run.get("events_dropped") or run.get("decisions_dropped"):
-                dropped = " dropped=%d ev/%d dec" % (
+                dropped = " dropped=%d ev/%d dec (ring=%s)" % (
                     run.get("events_dropped", 0),
                     run.get("decisions_dropped", 0),
+                    run.get("ring_capacity", "?"),
                 )
+            elif run.get("ring_capacity") is not None:
+                dropped = " ring=%s" % run["ring_capacity"]
+            if run.get("spans"):
+                dropped += " spans=%d" % run["spans"]
             print(
                 "  %-40s samples=%-4d decisions=%-5d clock=%-9s Wamp=%s%s"
                 % (
@@ -909,10 +995,8 @@ def _run_obs_command(args: argparse.Namespace) -> int:
             n = samples_to_csv(args.csv, rows)
             print("%d samples written to %s" % (n, args.csv))
     elif args.obs_command == "tail":
-        events = [r for r in rows if r.get("type") == "event"]
-        if args.kind:
-            events = [r for r in events if r.get("kind") == args.kind]
-        for event in events[-args.n:]:
+
+        def show(event: dict) -> None:
             extras = {
                 k: v
                 for k, v in event.items()
@@ -927,6 +1011,91 @@ def _run_obs_command(args: argparse.Namespace) -> int:
                     json.dumps(extras, sort_keys=True),
                 )
             )
+
+        def wanted(row: dict) -> bool:
+            if row.get("type") != "event":
+                return False
+            return not args.kind or row.get("kind") == args.kind
+
+        events = [r for r in rows if wanted(r)]
+        for event in events[-args.n:]:
+            show(event)
+        if args.follow:
+            from repro.obs import follow_lines
+
+            try:
+                for line in follow_lines(
+                    args.file,
+                    from_start=False,
+                    idle_timeout_s=args.idle_timeout,
+                ):
+                    try:
+                        row = json.loads(line)
+                    except ValueError:
+                        continue
+                    if wanted(row):
+                        show(row)
+            except KeyboardInterrupt:
+                pass
+    elif args.obs_command == "chrome":
+        from repro.obs import write_chrome_trace
+
+        out = args.out
+        if out is None:
+            base = args.file
+            if base.endswith(".jsonl"):
+                base = base[: -len(".jsonl")]
+            out = base + ".trace.json"
+        span_rows = [r for r in rows if r.get("type") == "span"]
+        if not span_rows:
+            print("obs error: %s has no span rows" % args.file, file=sys.stderr)
+            return 1
+        n = write_chrome_trace(out, span_rows)
+        print(
+            "%d span(s) exported to %s (load in Perfetto via "
+            "https://ui.perfetto.dev or chrome://tracing)" % (n, out)
+        )
+    elif args.obs_command == "critical":
+        from repro.obs import critical_path_report
+
+        report = critical_path_report(rows, tail_quantile=args.quantile)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                "%s: %d span(s), %d flush(es), %d stalled, tail p%g >= "
+                "%.1f pages -> %d tail sample(s)"
+                % (
+                    args.file,
+                    report["spans"],
+                    report["flushes"],
+                    report["stalled_flushes"],
+                    100 * report["tail_quantile"],
+                    report["tail_threshold_pages"],
+                    report["tail_samples"],
+                )
+            )
+            print(
+                "attributed %d/%d tail sample(s) (%.1f%%) to a dominant "
+                "child span"
+                % (
+                    report["attributed"],
+                    report["tail_samples"],
+                    100 * report["attribution_fraction"],
+                )
+            )
+            for cause, count in report["by_cause"].items():
+                print("  %-28s %4d sample(s)" % (cause, count))
+        if (
+            args.min_attribution is not None
+            and report["attribution_fraction"] < args.min_attribution
+        ):
+            print(
+                "critical-path attribution %.3f below required %.3f"
+                % (report["attribution_fraction"], args.min_attribution),
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -946,14 +1115,31 @@ def _run_serve_command(args: argparse.Namespace) -> int:
             cfg = cfg.scaled(n_shards=args.shards)
         if args.sample_interval is not None:
             cfg = cfg.scaled(sample_interval=args.sample_interval)
-        result = replay_ops(cfg, ops, metrics_out=args.metrics_out)
+        result = replay_ops(
+            cfg,
+            ops,
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+            trace_sample=args.trace_sample,
+            telemetry_out=args.telemetry_out,
+        )
         print("replayed %d ops from %s" % (len(ops), args.from_file))
     else:
         cfg = _harness_config(args)
-        result = run_harness(cfg, metrics_out=args.metrics_out)
+        result = run_harness(
+            cfg,
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+            trace_sample=args.trace_sample,
+            telemetry_out=args.telemetry_out,
+        )
     print(result.report())
     if args.metrics_out:
         print("observability rows written to %s" % args.metrics_out)
+    if args.trace_out:
+        print("causal spans written to %s" % args.trace_out)
+    if args.telemetry_out:
+        print("telemetry rows written to %s" % args.telemetry_out)
     if not args.no_history:
         from repro.bench.micro import HISTORY_PATH
 
@@ -962,6 +1148,27 @@ def _run_serve_command(args: argparse.Namespace) -> int:
         print(
             "headline appended to %s (sha %s)" % (history_path, entry["sha"])
         )
+    return 0
+
+
+def _run_top_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro top``: live dashboard over a telemetry file."""
+    from repro.obs import run_top
+
+    frames = run_top(
+        args.file,
+        refresh_s=args.refresh,
+        iterations=args.frames,
+        clear=not args.no_clear,
+        idle_timeout_s=args.idle_timeout,
+    )
+    if frames == 0:
+        print(
+            "no telemetry rows in %s (produce one with "
+            "'repro serve --telemetry-out %s')" % (args.file, args.file),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -74,6 +74,7 @@ CHECK_TYPES = (
     "service-floor",
     "latency-baseline",
     "sweep-scaling",
+    "slo",
 )
 
 #: Result-section types understood by :mod:`repro.matrix.report`.
@@ -429,6 +430,9 @@ _CHECK_KINDS = {
     "service-floor": ("service",),
     "latency-baseline": ("latency",),
     "sweep-scaling": ("sweep",),
+    # The burn-rate gate reads an SLOTracker report embedded in a cell
+    # result (the latency bench emits one per mode).
+    "slo": ("latency",),
 }
 
 
@@ -482,6 +486,12 @@ def _parse_check(node: Any, path: str, kind: str) -> CheckDef:
             raise _fail(path, "metric checks need min: and/or max: bounds")
     if ctype == "baseline" and (metric is None or check.get("file") is None):
         raise _fail(path, "baseline checks need metric: and file: fields")
+    if ctype == "slo" and metric is None:
+        raise _fail(
+            path,
+            "slo checks need a metric: field (dotted path to the "
+            "embedded SLO report, e.g. modes.incremental.slo)",
+        )
     if ctype in ("micro-baseline", "latency-baseline") and not check.get("file"):
         raise _fail(path, "%s checks need a file: field" % ctype)
     direction = check.get("direction", "min")

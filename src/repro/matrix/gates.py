@@ -430,6 +430,69 @@ def _check_sweep_scaling(
     )
 
 
+def _check_slo(
+    experiment: str, check: CheckDef, cells: Sequence[CellResult]
+) -> GateResult:
+    """Burn-rate ceiling over an embedded SLOTracker report.
+
+    ``metric:`` is the dotted path to the report inside the cell result
+    (the latency bench embeds one per mode, e.g.
+    ``modes.incremental.slo``); ``max:`` is the sustained-burn ceiling,
+    default 1.0 — burning the error budget no faster than allotted.
+    """
+    ceiling = check.max if check.max is not None else 1.0
+    problems = []
+    observed = None
+    for cell in cells:
+        try:
+            report = dig(cell.result, check.metric)
+        except (KeyError, TypeError):
+            problems.append(
+                "%s: result has no SLO report at %r"
+                % (cell.spec.label, check.metric)
+            )
+            continue
+        if not isinstance(report, Mapping) or "sustained_burn" not in report:
+            problems.append(
+                "%s: %r is not an SLO report (no sustained_burn)"
+                % (cell.spec.label, check.metric)
+            )
+            continue
+        burn = float(report["sustained_burn"])
+        observed = burn if observed is None else max(observed, burn)
+        if burn > ceiling:
+            problems.append(
+                "%s: sustained burn %.3f exceeds %.2f "
+                "(objective %.3f, threshold %.1f pages, %s bad of %s samples)"
+                % (
+                    cell.spec.label,
+                    burn,
+                    ceiling,
+                    float(report.get("objective", 0.0)),
+                    float(report.get("threshold", 0.0)),
+                    report.get("bad", "?"),
+                    report.get("samples", "?"),
+                )
+            )
+    if problems:
+        return _result(
+            experiment,
+            check,
+            False,
+            "; ".join(problems),
+            observed=observed,
+            expected=ceiling,
+        )
+    return _result(
+        experiment,
+        check,
+        True,
+        "%d cell(s) under the burn ceiling %.2f" % (len(cells), ceiling),
+        observed=observed,
+        expected=ceiling,
+    )
+
+
 _EVALUATORS = {
     "metric": _check_metric,
     "baseline": _check_baseline,
@@ -438,6 +501,7 @@ _EVALUATORS = {
     "service-floor": _check_service_floor,
     "latency-baseline": _check_latency_baseline,
     "sweep-scaling": _check_sweep_scaling,
+    "slo": _check_slo,
 }
 
 

@@ -157,8 +157,15 @@ def run_matrix(
     history_path: str = HISTORY_PATH,
     sample_interval: Optional[int] = None,
     root: str = ".",
+    trace: bool = True,
 ) -> MatrixRunReport:
     """Execute a parsed config end to end; returns the run report.
+
+    With ``trace`` on (the default) the run also writes
+    ``spans.jsonl`` to the output directory: a ``sweep.run`` root span
+    plus one ``sweep.job`` span per executed cell, from the parent's
+    dispatch clock.  Span files carry wall times and live beside — never
+    inside — the deterministic metrics merges.
 
     Raises :class:`~repro.sweep.spec.SweepError` when the output
     directory already holds a manifest and ``resume`` is off, or when
@@ -200,6 +207,11 @@ def run_matrix(
     # than CPUs only adds scheduling churn.
     workers = min(max(1, workers), default_workers())
 
+    tracer = None
+    if trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(seed=0)
     try:
         results_by_digest, stats = run_sweep(
             all_cells,
@@ -209,9 +221,19 @@ def run_matrix(
             retries=retries,
             job_runner=runner,
             progress=progress,
+            tracer=tracer,
         )
     finally:
         manifest.close()
+
+    if tracer is not None:
+        from repro.obs.trace import write_spans
+
+        write_spans(
+            str(out_path / "spans.jsonl"),
+            tracer,
+            {"component": "trace", "matrix": config.name, "digest": digest},
+        )
 
     results: Dict[str, List[CellResult]] = {}
     for exp in config.experiments:

@@ -8,9 +8,20 @@ surface:
 * :class:`MetricsRegistry` — counters / gauges / histograms with
   snapshot-delta windowing.
 * :class:`TimeSeriesSampler` — clock-keyed convergence sampling.
+* :class:`Tracer` / :class:`Span` / :class:`SpanCollector` — causal
+  spans with deterministic IDs and head sampling; Chrome trace export
+  and the flush-stall critical-path analyzer live alongside them in
+  :mod:`repro.obs.trace`.
+* :class:`SLOTracker` — multi-window burn-rate evaluation backing the
+  ``kind: slo`` matrix gate.
+* :mod:`repro.obs.clock` — the shared monotonic wall clock every
+  timing field (spans, benches, telemetry) is stamped against.
 * :mod:`repro.obs.export` — JSONL/CSV writers, validation, aggregation.
+* :mod:`repro.obs.top` — the ``repro top`` live telemetry dashboard
+  and the poll/backoff file follower shared with ``obs tail --follow``.
 """
 
+from repro.obs.clock import now_s, now_us
 from repro.obs.events import (
     BUFFER_FLUSH,
     CLEAN_CYCLE,
@@ -24,6 +35,7 @@ from repro.obs.events import (
 )
 from repro.obs.export import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
     MetricsWriter,
     aggregate_convergence,
     load_rows,
@@ -43,6 +55,18 @@ from repro.obs.metrics import (
 )
 from repro.obs.observer import PAGES_EDGES, StoreObserver
 from repro.obs.samplers import TimeSeriesSampler, default_interval
+from repro.obs.slo import SLOTracker
+from repro.obs.top import follow_lines, render_top, run_top
+from repro.obs.trace import (
+    Span,
+    SpanCollector,
+    Tracer,
+    chrome_trace,
+    critical_path_report,
+    load_spans,
+    write_chrome_trace,
+    write_spans,
+)
 
 __all__ = [
     "BUFFER_FLUSH",
@@ -54,6 +78,7 @@ __all__ = [
     "WRITE_STALL",
     "PAGES_EDGES",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
     "Counter",
     "Event",
     "EventBus",
@@ -62,15 +87,29 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "MetricsWriter",
+    "SLOTracker",
+    "Span",
+    "SpanCollector",
     "StoreObserver",
     "TimeSeriesSampler",
+    "Tracer",
     "aggregate_convergence",
+    "chrome_trace",
+    "critical_path_report",
     "default_interval",
+    "follow_lines",
     "load_rows",
+    "load_spans",
+    "now_s",
+    "now_us",
+    "render_top",
+    "run_top",
     "samples_to_csv",
     "summarize_rows",
     "percentile_from_buckets",
     "validate_file",
     "validate_rows",
+    "write_chrome_trace",
     "write_jsonl",
+    "write_spans",
 ]

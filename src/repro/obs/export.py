@@ -3,11 +3,19 @@
 The on-disk format is line-delimited JSON (``metrics.jsonl``).  Each run
 contributes a block of rows opened by a ``meta`` header::
 
-    {"type": "meta", "schema": 1, "run": {"label": ..., "policy": ...}}
+    {"type": "meta", "schema": 2, "run": {"label": ..., "policy": ...}}
     {"type": "sample", "clock": ..., "wamp_win": ..., ...}
     {"type": "decision", "clock": ..., "policy": ..., "victims": [...]}
     {"type": "metrics", "counters": {...}, "gauges": {...}, ...}
     {"type": "event", "seq": ..., "kind": "clean_cycle", ...}
+
+Schema v2 adds two row types on top of v1 (which stays valid): ``span``
+rows (causal trace spans, usually in their own span file — see
+:mod:`repro.obs.trace`) and ``telemetry`` rows (per-tick service state
+for ``repro top``).  Metrics rows may carry ``ring_capacity`` so drop
+counts can be read against the ring size.  Wall-clock fields appear
+only in span/telemetry rows; the default metrics export stays
+byte-deterministic across same-seed runs.
 
 Several runs (a fig5 policy grid, a sweep) concatenate blocks in one
 file; :func:`aggregate_convergence` splits them back apart on the meta
@@ -24,10 +32,14 @@ from typing import Dict, Iterable, List, Optional
 from repro.obs.events import EVENT_KINDS
 
 #: Version stamped into every meta row; bump on breaking row changes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions :func:`validate_rows` accepts — v1 files stay valid; v2
+#: adds ``span``/``telemetry`` rows and the ``ring_capacity`` field.
+SUPPORTED_SCHEMAS = (1, 2)
 
 #: Every row type a metrics.jsonl may contain.
-ROW_TYPES = ("meta", "sample", "decision", "event", "metrics")
+ROW_TYPES = ("meta", "sample", "decision", "event", "metrics", "span", "telemetry")
 
 _SAMPLE_KEYS = (
     "clock",
@@ -48,6 +60,8 @@ _DECISION_KEYS = ("clock", "policy", "candidates", "victims")
 _VICTIM_KEYS = ("seg", "A", "C", "up2", "score")
 _EVENT_KEYS = ("seq", "clock", "kind")
 _METRICS_KEYS = ("counters", "gauges", "histograms")
+_SPAN_KEYS = ("trace", "span", "name", "start_us", "dur_us")
+_TELEMETRY_KEYS = ("t_s", "clock", "shards", "slo")
 
 
 class MetricsWriter:
@@ -159,10 +173,14 @@ def validate_rows(
             runs += 1
             decisions_in_run = 0
             saw_rows_in_run = False
-            if row.get("schema") != SCHEMA_VERSION:
+            if row.get("schema") not in SUPPORTED_SCHEMAS:
                 errors.append(
-                    "%s: schema %r, expected %d"
-                    % (where, row.get("schema"), SCHEMA_VERSION)
+                    "%s: schema %r, expected one of %s"
+                    % (
+                        where,
+                        row.get("schema"),
+                        ", ".join(str(v) for v in SUPPORTED_SCHEMAS),
+                    )
                 )
             if not isinstance(row.get("run"), dict):
                 errors.append("%s: meta.run must be an object" % where)
@@ -195,6 +213,20 @@ def validate_rows(
                     )
         elif rtype == "metrics":
             _check_keys(row, _METRICS_KEYS, where, errors)
+        elif rtype == "span":
+            if _check_keys(row, _SPAN_KEYS, where, errors):
+                if not isinstance(row["start_us"], int) or not isinstance(
+                    row["dur_us"], int
+                ):
+                    errors.append(
+                        "%s: start_us/dur_us must be integer microseconds" % where
+                    )
+                elif row["dur_us"] < 0:
+                    errors.append("%s: dur_us must be non-negative" % where)
+        elif rtype == "telemetry":
+            if _check_keys(row, _TELEMETRY_KEYS, where, errors):
+                if not isinstance(row["shards"], list):
+                    errors.append("%s: shards must be a list" % where)
     if runs == 0:
         errors.append("no meta header found")
     elif require_decisions and saw_rows_in_run and decisions_in_run == 0:
@@ -254,26 +286,36 @@ def summarize_rows(rows: Iterable[Dict]) -> Dict:
     runs = []
     total_events_dropped = 0
     total_decisions_dropped = 0
+    total_spans = 0
     for block in blocks:
         samples = [r for r in block["rows"] if r.get("type") == "sample"]
         decisions = [r for r in block["rows"] if r.get("type") == "decision"]
+        spans = [r for r in block["rows"] if r.get("type") == "span"]
         events: Dict[str, int] = {}
         events_dropped = 0
         decisions_dropped = 0
+        ring_capacity: Optional[int] = None
         for row in block["rows"]:
             if row.get("type") == "metrics":
                 for kind, n in row.get("event_counts", {}).items():
                     events[kind] = events.get(kind, 0) + n
                 events_dropped += int(row.get("events_dropped", 0) or 0)
                 decisions_dropped += int(row.get("decisions_dropped", 0) or 0)
+                if row.get("ring_capacity") is not None:
+                    cap = int(row["ring_capacity"])
+                    ring_capacity = cap if ring_capacity is None else max(ring_capacity, cap)
+        if ring_capacity is None and block["run"].get("ring_capacity") is not None:
+            ring_capacity = int(block["run"]["ring_capacity"])
         total_events_dropped += events_dropped
         total_decisions_dropped += decisions_dropped
+        total_spans += len(spans)
         last = samples[-1] if samples else None
         runs.append(
             {
                 "run": block["run"],
                 "samples": len(samples),
                 "decisions": len(decisions),
+                "spans": len(spans),
                 "decision_policies": sorted({d["policy"] for d in decisions}),
                 "final_clock": last["clock"] if last else None,
                 "final_wamp_win": last["wamp_win"] if last else None,
@@ -281,12 +323,14 @@ def summarize_rows(rows: Iterable[Dict]) -> Dict:
                 "event_counts": events,
                 "events_dropped": events_dropped,
                 "decisions_dropped": decisions_dropped,
+                "ring_capacity": ring_capacity,
             }
         )
     return {
         "schema": SCHEMA_VERSION,
         "runs": len(blocks),
         "per_run": runs,
+        "spans": total_spans,
         "events_dropped": total_events_dropped,
         "decisions_dropped": total_decisions_dropped,
     }

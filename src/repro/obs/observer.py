@@ -84,6 +84,11 @@ class StoreObserver:
         )
         self.decisions: "deque[Dict]" = deque(maxlen=max_decisions)
         self.decisions_dropped = 0
+        #: Optional :class:`~repro.obs.trace.Tracer` the store hooks use
+        #: to open spans around stalls and clean begin/step work.  Left
+        #: ``None`` unless a trace consumer attaches one — the hook
+        #: sites pay one attribute test, same budget as ``store.obs``.
+        self.tracer = None
         self._capture_failpoints = capture_failpoints
         self._start = store.stats.snapshot()
         self._attached = False
@@ -248,6 +253,7 @@ class StoreObserver:
         row["clock"] = self.store.clock
         row["events_dropped"] = self.bus.dropped
         row["decisions_dropped"] = self.decisions_dropped
+        row["ring_capacity"] = self.bus.capacity
         row["event_counts"] = dict(self.bus.counts)
         yield row
         for event in self.bus.events():

@@ -26,13 +26,13 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
-import time
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.kvstore import LogStructuredKVStore
-from repro.obs import MetricsWriter
+from repro.obs import MetricsWriter, Tracer, write_spans
+from repro.obs.clock import now_s
 from repro.service.router import ConsistentHashRouter
 from repro.service.service import Service
 from repro.store import StoreConfig
@@ -288,16 +288,25 @@ def run_harness(
     cfg: HarnessConfig,
     metrics_out: Union[None, str, MetricsWriter] = None,
     meta: Optional[Dict] = None,
+    trace_out: Optional[str] = None,
+    trace_sample: float = 1.0,
+    telemetry_out: Optional[str] = None,
 ) -> HarnessResult:
     """Drive a full harness run; optionally export obs rows.
 
-    The export contains no wall-clock data, so it is byte-identical
-    across runs with the same config; throughput lives only in the
-    returned result.
+    The metrics export contains no wall-clock data, so it is
+    byte-identical across runs with the same config; throughput lives
+    only in the returned result.  ``trace_out``/``telemetry_out`` add
+    the wall-clocked trace plane in *separate* files: a causal span
+    file (head-sampled at ``trace_sample``) and a per-tick telemetry
+    feed for ``repro top``.
     """
     service = build_service(cfg)
+    tracer = _attach_instrumentation(
+        service, cfg, trace_out, trace_sample, telemetry_out, meta
+    )
     puts = deletes = applied = 0
-    t0 = time.perf_counter()
+    t0 = now_s()
     for op, tenant, key, size in ops_stream(cfg):
         if op == "put":
             service.put(key, bytes(size), tenant=tenant)
@@ -310,7 +319,7 @@ def run_harness(
             service.tick()
     service.flush()
     service.tick()
-    elapsed = time.perf_counter() - t0
+    elapsed = now_s() - t0
     result = _result_from_service(
         "service[%d shards]" % cfg.n_shards, cfg, service, puts, deletes, elapsed
     )
@@ -319,8 +328,43 @@ def run_harness(
         if meta:
             run_meta.update(meta)
         service.export_rows(metrics_out, run_meta)
+    if tracer is not None and trace_out is not None:
+        _export_trace(tracer, trace_out, cfg, meta)
     service.close()
     return result
+
+
+def _attach_instrumentation(
+    service: Service,
+    cfg: HarnessConfig,
+    trace_out: Optional[str],
+    trace_sample: float,
+    telemetry_out: Optional[str],
+    meta: Optional[Dict],
+) -> Optional[Tracer]:
+    """Wire the optional trace plane into a freshly built service."""
+    tracer = None
+    if trace_out is not None:
+        tracer = Tracer(seed=cfg.seed, sample=trace_sample)
+        service.attach_tracer(tracer)
+    if telemetry_out is not None:
+        run_meta = _run_meta(cfg)
+        if meta:
+            run_meta.update(meta)
+        run_meta["component"] = "telemetry"
+        service.telemetry_to(telemetry_out, run_meta)
+    return tracer
+
+
+def _export_trace(
+    tracer: Tracer, trace_out: str, cfg: HarnessConfig, meta: Optional[Dict]
+) -> int:
+    run_meta = _run_meta(cfg)
+    if meta:
+        run_meta.update(meta)
+    run_meta["component"] = "trace"
+    run_meta["trace_sample"] = tracer.sample
+    return write_spans(trace_out, tracer, run_meta)
 
 
 def _run_meta(cfg: HarnessConfig) -> Dict:
@@ -374,7 +418,7 @@ def run_serial_baseline(cfg: HarnessConfig) -> HarnessResult:
         unit_bytes=cfg.unit_bytes,
     )
     puts = deletes = 0
-    t0 = time.perf_counter()
+    t0 = now_s()
     for op, tenant, key, size in ops_stream(cfg):
         if op == "put":
             kv.put((tenant, key), bytes(size))
@@ -382,7 +426,7 @@ def run_serial_baseline(cfg: HarnessConfig) -> HarnessResult:
         else:
             kv.delete((tenant, key))
             deletes += 1
-    elapsed = time.perf_counter() - t0
+    elapsed = now_s() - t0
     total = puts + deletes
     wamp = kv.write_amplification
     return HarnessResult(
@@ -463,12 +507,18 @@ def replay_ops(
     ops: List[HarnessOp],
     metrics_out: Union[None, str, MetricsWriter] = None,
     meta: Optional[Dict] = None,
+    trace_out: Optional[str] = None,
+    trace_sample: float = 1.0,
+    telemetry_out: Optional[str] = None,
 ) -> HarnessResult:
     """Apply a recorded op list through a fresh service built from
     ``cfg`` (the serve-side half of the loadgen/serve pair)."""
     service = build_service(cfg)
+    tracer = _attach_instrumentation(
+        service, cfg, trace_out, trace_sample, telemetry_out, meta
+    )
     puts = deletes = applied = 0
-    t0 = time.perf_counter()
+    t0 = now_s()
     for op, tenant, key, size in ops:
         if op == "put":
             service.put(key, bytes(size), tenant=tenant)
@@ -481,7 +531,7 @@ def replay_ops(
             service.tick()
     service.flush()
     service.tick()
-    elapsed = time.perf_counter() - t0
+    elapsed = now_s() - t0
     result = _result_from_service(
         "service[%d shards]" % cfg.n_shards, cfg, service, puts, deletes, elapsed
     )
@@ -490,5 +540,7 @@ def replay_ops(
         if meta:
             run_meta.update(meta)
         service.export_rows(metrics_out, run_meta)
+    if tracer is not None and trace_out is not None:
+        _export_trace(tracer, trace_out, cfg, meta)
     service.close()
     return result

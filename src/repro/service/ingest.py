@@ -93,6 +93,13 @@ class IngestQueue:
         #: Optional callback fired after any shard flush (the service
         #: uses it to run cleaning governance between batches).
         self.after_flush: Optional[Callable[[int], None]] = None
+        #: Optional callback fed each flush's stall pages (the service
+        #: routes it into its :class:`~repro.obs.slo.SLOTracker`).
+        self.on_stall: Optional[Callable[[float], None]] = None
+        #: Optional :class:`~repro.obs.trace.Tracer`; when set, each
+        #: flush opens a ``queue.flush`` span with ``shard.put_many``
+        #: and downstream clean/maintain work as children.
+        self.tracer = None
 
     def add_shard(self, shard) -> None:
         """Track one more shard (pool growth)."""
@@ -152,6 +159,16 @@ class IngestQueue:
         ops = self._pending[shard]
         if not ops:
             return 0
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            oldest = self._oldest_tick[shard]
+            span = tracer.start(
+                "queue.flush",
+                shard=shard,
+                ops=len(ops),
+                queue_wait_ticks=0 if oldest is None else self._tick - oldest,
+            )
         self._pending[shard] = []
         self._oldest_tick[shard] = None
         n = len(ops)
@@ -177,7 +194,16 @@ class IngestQueue:
             (key, op[2]) for key, op in final.items() if op[0] == OP_PUT
         ]
         if puts:
-            kv.put_many(puts)
+            pspan = (
+                tracer.start("shard.put_many", shard=shard, puts=len(puts))
+                if tracer is not None
+                else None
+            )
+            try:
+                kv.put_many(puts)
+            finally:
+                if pspan is not None:
+                    tracer.finish(pspan)
         for key, op in final.items():
             if op[0] == OP_DELETE:
                 kv.delete(key)
@@ -189,6 +215,7 @@ class IngestQueue:
             self.metrics.histogram("batch_size", BATCH_SIZE_EDGES).observe(n)
         if self.after_flush is not None:
             self.after_flush(shard)
+        stall = 0
         if self.metrics is not None:
             stall = (
                 sum(s.store.stats.gc_writes for s in self.shards) - gc_before
@@ -196,6 +223,12 @@ class IngestQueue:
             self.metrics.histogram(
                 "flush_stall_pages", PAGES_EDGES
             ).observe(stall)
+            if self.on_stall is not None:
+                self.on_stall(float(stall))
+        if span is not None:
+            tracer.finish(
+                span, stall_pages=float(stall), coalesced=n - len(final)
+            )
         return n
 
     def flush_all(self) -> int:

@@ -31,13 +31,13 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.bench.history import HISTORY_PATH, append_entry, git_sha as _git_sha
 from repro.obs import PAGES_EDGES
+from repro.obs.clock import now_s
 from repro.service.harness import HarnessConfig, build_service, ops_stream
 
 #: Default committed report location.
@@ -87,20 +87,23 @@ def _drive(cfg: HarnessConfig) -> Dict:
     service = build_service(cfg)
     latencies: List[float] = []
     applied = 0
-    t0 = time.perf_counter()
+    # Per-op and elapsed timings share the process clock span
+    # timestamps use (repro.obs.clock), so a traced run's span file
+    # lines up with these numbers directly.
+    t0 = now_s()
     for op, tenant, key, size in ops_stream(cfg):
-        t1 = time.perf_counter()
+        t1 = now_s()
         if op == "put":
             service.put(key, bytes(size), tenant=tenant)
         else:
             service.delete(key, tenant=tenant)
-        latencies.append(time.perf_counter() - t1)
+        latencies.append(now_s() - t1)
         applied += 1
         if applied % cfg.tick_every == 0:
             service.tick()
     service.flush()
     service.tick()
-    elapsed = time.perf_counter() - t0
+    elapsed = now_s() - t0
 
     metrics = service.metrics
     stall_hist = metrics.histogram("flush_stall_pages", PAGES_EDGES)
@@ -138,6 +141,9 @@ def _drive(cfg: HarnessConfig) -> Dict:
             "p999": round(float(np.percentile(lat_us, 99.9)), 2),
             "max": round(float(lat_us.max()), 2),
         },
+        # Burn-rate view over the same flush-stall stream; the
+        # ``kind: slo`` matrix gate reads modes.<mode>.slo from here.
+        "slo": service.slo.report(),
     }
     service.close()
     return result

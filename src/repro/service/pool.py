@@ -133,6 +133,11 @@ class StorePool:
             self.cleaners = [
                 self._make_cleaner(kv) for kv in self.shards
             ]
+        #: Optional :class:`~repro.obs.trace.Tracer`; when set, each
+        #: maintenance round opens a ``pool.maintain`` span (shard-level
+        #: clean_begin/clean_step spans nest under it via the store
+        #: observers' tracer).
+        self.tracer = None
 
     def _make_cleaner(self, kv: LogStructuredKVStore) -> IncrementalCleaner:
         return IncrementalCleaner(
@@ -176,8 +181,25 @@ class StorePool:
         incremental mode, dispatches bounded cleaner steps — see the
         module docstring for the loaded/idle split.
         """
-        if self.cleaners is not None:
-            return self._maintain_incremental(idle)
+        tracer = self.tracer
+        span = (
+            tracer.start("pool.maintain", idle=idle)
+            if tracer is not None
+            else None
+        )
+        moved = 0
+        try:
+            if self.cleaners is not None:
+                moved = self._maintain_incremental(idle)
+            else:
+                moved = self._maintain_batch()
+        finally:
+            if span is not None:
+                tracer.finish(span, pages=moved)
+        return moved
+
+    def _maintain_batch(self) -> int:
+        """Whole-cycle governance round (``cleaner="batch"``)."""
         budget = self.gc_budget
         share_cap = max(1, int(self.gc_max_share * budget))
         needy = [

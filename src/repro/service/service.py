@@ -18,16 +18,36 @@ carries a :class:`~repro.obs.StoreObserver` (per-shard Wamp/fill time
 series, cleaning decisions, seal/clean events), the service keeps its
 own :class:`~repro.obs.MetricsRegistry` (ingest queue depth, batch-size
 histogram, per-shard op counters, rebalance counts), and
-:meth:`Service.export_rows` emits one schema-v1 block for the service
+:meth:`Service.export_rows` emits one schema block for the service
 plus one per shard — a file ``repro obs report`` and ``repro obs
 validate`` consume unchanged.
+
+Three trace-plane extensions sit on top (all optional, all off by
+default so the metrics export stays byte-deterministic):
+
+* :meth:`attach_tracer` wires one :class:`~repro.obs.Tracer` through
+  the queue, pool, and every shard observer, so a ``service.put`` and
+  the flush/maintain/clean work it triggers form one causal span tree.
+* Every flush's stall pages feed an :class:`~repro.obs.SLOTracker`
+  (``service.slo``) — multi-window burn rates over the flush-stall
+  stream, embedded in bench results for the ``kind: slo`` matrix gate.
+* :meth:`telemetry_to` appends one ``telemetry`` row per tick (wall
+  time, per-shard Wamp/fill/queue/stall, SLO state) — the file
+  ``repro top`` tails.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Union
 
-from repro.obs import MetricsRegistry, MetricsWriter, StoreObserver
+from repro.obs import (
+    PAGES_EDGES,
+    MetricsRegistry,
+    MetricsWriter,
+    SLOTracker,
+    StoreObserver,
+)
+from repro.obs.clock import now_s
 from repro.obs.export import SCHEMA_VERSION
 from repro.service.ingest import OP_PUT, IngestQueue
 from repro.service.pool import StorePool
@@ -99,6 +119,14 @@ class Service:
             metrics=self.metrics,
         )
         self.queue.after_flush = self._after_flush
+        #: Flush-stall SLO: a flush stalling behind more than one
+        #: incremental step's worth of GC pages is a bad event.
+        self.slo = SLOTracker()
+        self.queue.on_stall = self.slo.record
+        #: Trace plane — ``None`` until :meth:`attach_tracer`.
+        self.tracer = None
+        #: Telemetry sink — ``None`` until :meth:`telemetry_to`.
+        self.telemetry: Optional[MetricsWriter] = None
         self.seed = seed
         self._sample_interval = sample_interval
         # The keyspace a service sees is bounded (tenants x keys), so
@@ -129,8 +157,14 @@ class Service:
         skey = (tenant, key)
         shard = self._routes.get(skey)
         if shard is None:
+            # Only a memo miss does real ring work, so only a miss
+            # opens a router span.
+            tracer = self.tracer
+            span = tracer.start("router.route") if tracer is not None else None
             shard = self.router.shard_for(key, tenant=tenant)
             self._routes[skey] = shard
+            if span is not None:
+                tracer.finish(span, shard=shard)
         return shard
 
     def _after_flush(self, shard: int) -> None:
@@ -142,16 +176,24 @@ class Service:
     def put(self, key: Key, value: bytes, tenant: Optional[Key] = None) -> int:
         """Acknowledge an upsert into the ingest queue; returns the
         owning shard index."""
+        tracer = self.tracer
+        span = tracer.start("service.put") if tracer is not None else None
         shard = self.shard_of(key, tenant)
         self._c_puts.inc()
         self.queue.put(shard, self._skey(tenant, key), value)
+        if span is not None:
+            tracer.finish(span, shard=shard)
         return shard
 
     def delete(self, key: Key, tenant: Optional[Key] = None) -> int:
         """Acknowledge a delete; returns the owning shard index."""
+        tracer = self.tracer
+        span = tracer.start("service.delete") if tracer is not None else None
         shard = self.shard_of(key, tenant)
         self._c_deletes.inc()
         self.queue.delete(shard, self._skey(tenant, key))
+        if span is not None:
+            tracer.finish(span, shard=shard)
         return shard
 
     def get(
@@ -189,10 +231,16 @@ class Service:
         needy shard gets proactive steps up to the budget), whereas the
         rounds fired from inside a flush are loaded and defer all
         non-urgent work to this one."""
+        tracer = self.tracer
+        span = tracer.start("service.tick") if tracer is not None else None
         self.queue.tick()
         self.pool.maintain(idle=True)
         for observer in self.observers:
             observer.maybe_sample()
+        if span is not None:
+            tracer.finish(span)
+        if self.telemetry is not None:
+            self.telemetry.write_row(self.telemetry_row())
 
     def flush(self) -> int:
         """Drain the ingest queue; returns ops applied."""
@@ -219,13 +267,13 @@ class Service:
         for _ in range(old_n, n_shards):
             shard = self.pool.add_shard()
             self.queue.add_shard(shard)
-            self.observers.append(
-                StoreObserver(
-                    shard.store,
-                    sample_interval=self._sample_interval,
-                    capture_failpoints=False,
-                ).attach()
-            )
+            observer = StoreObserver(
+                shard.store,
+                sample_interval=self._sample_interval,
+                capture_failpoints=False,
+            ).attach()
+            observer.tracer = self.tracer
+            self.observers.append(observer)
         self.router = self.router.grown(n_shards)
         self._routes.clear()
         moved = 0
@@ -249,6 +297,75 @@ class Service:
         return moved
 
     # -- observability ---------------------------------------------------
+
+    def attach_tracer(self, tracer):
+        """Wire one :class:`~repro.obs.Tracer` through the whole stack:
+        service ops, queue flushes, pool maintenance, and the per-shard
+        store hooks (via each observer's ``tracer`` slot).  Returns the
+        tracer for chaining; pass ``None`` to detach."""
+        self.tracer = tracer
+        self.queue.tracer = tracer
+        self.pool.tracer = tracer
+        for observer in self.observers:
+            observer.tracer = tracer
+        return tracer
+
+    def telemetry_to(
+        self,
+        sink: Union[str, MetricsWriter],
+        meta: Optional[Dict] = None,
+    ) -> MetricsWriter:
+        """Start appending one ``telemetry`` row per tick to ``sink``.
+
+        Writes the schema meta header immediately, so the file is valid
+        (and ``repro top``-tailable) from the first tick.
+        """
+        writer = sink if isinstance(sink, MetricsWriter) else MetricsWriter(str(sink))
+        run = dict(meta) if meta else {}
+        run.setdefault("component", "telemetry")
+        run.setdefault("policy", self.pool.policy_name)
+        run.setdefault("shards", self.pool.n_shards)
+        run.setdefault("seed", self.seed)
+        writer.write_row({"type": "meta", "schema": SCHEMA_VERSION, "run": run})
+        self.telemetry = writer
+        return writer
+
+    def telemetry_row(self) -> Dict:
+        """One live-state row: wall time on the shared clock, service
+        clock/queue/SLO state, and per-shard Wamp/fill/queue/stall."""
+        flush_hist = self.metrics.histogram("flush_stall_pages", PAGES_EDGES)
+        shards = []
+        for i, kv in enumerate(self.pool.shards):
+            store = kv.store
+            observer = self.observers[i] if i < len(self.observers) else None
+            stall_p99 = 0.0
+            stalls = 0
+            if observer is not None:
+                stall_p99 = observer.metrics.histogram(
+                    "write_stall_pages", PAGES_EDGES
+                ).percentile(0.99)
+                stalls = observer.metrics.counter("write_stalls").value
+            shards.append(
+                {
+                    "shard": i,
+                    "wamp": round(kv.write_amplification, 4),
+                    "fill": round(store.fill_factor_now(), 4),
+                    "free_segments": store.free_segment_count,
+                    "queue_depth": len(self.queue._pending[i]),
+                    "write_stalls": stalls,
+                    "stall_p99_pages": round(stall_p99, 2),
+                }
+            )
+        return {
+            "type": "telemetry",
+            "t_s": round(now_s(), 6),
+            "clock": sum(kv.store.clock for kv in self.pool.shards),
+            "tick": self.queue._tick,
+            "queue_depth": self.queue.depth,
+            "flush_stall_p99_pages": round(flush_hist.percentile(0.99), 2),
+            "slo": self.slo.report(),
+            "shards": shards,
+        }
 
     def queue_depth_p95(self) -> int:
         """95th percentile of the queue depth across all ticks so far."""

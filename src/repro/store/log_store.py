@@ -1046,24 +1046,34 @@ class LogStructuredStore:
         trigger = max(self.config.clean_trigger, self.policy.min_free_target())
         obs = self.obs
         gc_before = self.stats.gc_writes if obs is not None else 0
-        if self._clean_cursor is not None:
-            # Correctness backstop: a foreground allocation must never
-            # overtake a mid-flight incremental cycle — the segments the
-            # cycle freed at clean_begin are the headroom its own GC
-            # emission relies on.  Drain it fully before cleaning more.
-            self.clean_step(None)
-        stalled = 0
-        while len(self.free_list) < trigger:
-            reclaimed_units = self.clean()
-            if reclaimed_units == 0:
-                stalled += 1
-                if stalled > 2:
-                    raise OutOfSpaceError(
-                        "cleaning is not reclaiming space (policy=%s, free=%d)"
-                        % (getattr(self.policy, "name", "?"), len(self.free_list))
-                    )
-            else:
-                stalled = 0
+        tracer = obs.tracer if obs is not None else None
+        span = (
+            tracer.start("store.write_stall", clock=self.clock)
+            if tracer is not None
+            else None
+        )
+        try:
+            if self._clean_cursor is not None:
+                # Correctness backstop: a foreground allocation must never
+                # overtake a mid-flight incremental cycle — the segments the
+                # cycle freed at clean_begin are the headroom its own GC
+                # emission relies on.  Drain it fully before cleaning more.
+                self.clean_step(None)
+            stalled = 0
+            while len(self.free_list) < trigger:
+                reclaimed_units = self.clean()
+                if reclaimed_units == 0:
+                    stalled += 1
+                    if stalled > 2:
+                        raise OutOfSpaceError(
+                            "cleaning is not reclaiming space (policy=%s, free=%d)"
+                            % (getattr(self.policy, "name", "?"), len(self.free_list))
+                        )
+                else:
+                    stalled = 0
+        finally:
+            if span is not None:
+                tracer.finish(span, pages=int(self.stats.gc_writes - gc_before))
         if obs is not None:
             stall = self.stats.gc_writes - gc_before
             if stall:
@@ -1127,6 +1137,13 @@ class LogStructuredStore:
             )
         segs = self.segments
         pages = self.pages
+        obs_t = self.obs
+        tracer = obs_t.tracer if obs_t is not None else None
+        span = (
+            tracer.start("store.clean_begin", clock=self.clock)
+            if tracer is not None
+            else None
+        )
         self._cleaning = True
         try:
             candidates = self.sealed_segments()
@@ -1206,9 +1223,14 @@ class LogStructuredStore:
                 emptiness=avail / float(segs.capacity),
             )
             self._clean_cursor = cursor
+            if span is not None:
+                span.attrs["victims"] = len(victims)
+                span.attrs["staged_pages"] = int(p_arr.size)
             return cursor
         finally:
             self._cleaning = False
+            if span is not None:
+                tracer.finish(span)
 
     def clean_step(self, max_pages: Optional[int] = None) -> int:
         """Relocate up to ``max_pages`` staged pages of the active cycle
@@ -1239,6 +1261,13 @@ class LogStructuredStore:
         n = cur.pending.size
         relocated = 0
         skipped_before = cur.skipped
+        obs_t = self.obs
+        tracer = obs_t.tracer if obs_t is not None else None
+        span = (
+            tracer.start("store.clean_step", clock=self.clock, budget=int(budget))
+            if tracer is not None
+            else None
+        )
         self._cleaning = True
         try:
             failpoint(
@@ -1276,6 +1305,13 @@ class LogStructuredStore:
             cur.relocated += relocated
         finally:
             self._cleaning = False
+            if span is not None:
+                tracer.finish(
+                    span,
+                    relocated=int(relocated),
+                    skipped=int(cur.skipped - skipped_before),
+                    remaining=int(cur.remaining),
+                )
         obs = self.obs
         if obs is not None:
             obs.on_clean_step(

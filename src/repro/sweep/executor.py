@@ -213,7 +213,7 @@ class SweepStats:
 class _PoolWorker:
     """Parent-side handle of one pool worker."""
 
-    __slots__ = ("proc", "conn", "spec", "attempt", "started")
+    __slots__ = ("proc", "conn", "spec", "attempt", "started", "span")
 
     def __init__(self, proc, conn) -> None:
         self.proc = proc
@@ -222,6 +222,8 @@ class _PoolWorker:
         self.spec: Optional[JobSpec] = None
         self.attempt = 0
         self.started = 0.0
+        #: Parent-side dispatch span for the in-flight job, if traced.
+        self.span = None
 
     @property
     def busy(self) -> bool:
@@ -237,6 +239,7 @@ def run_sweep(
     job_runner: Callable[[Dict], Dict] = execute_job,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     start_method: Optional[str] = None,
+    tracer=None,
 ) -> "tuple[Dict[str, Dict], SweepStats]":
     """Run a job grid, return ``(results_by_digest, stats)``.
 
@@ -273,10 +276,33 @@ def run_sweep(
             (``"fork"``, ``"spawn"``, ``"forkserver"``); None uses the
             platform default.  Results are identical either way — only
             the bootstrap cost differs.
+        tracer: Optional :class:`repro.obs.Tracer`.  The parent records
+            one detached ``sweep.run`` root span plus a ``sweep.job``
+            span per dispatch (covering ship-to-worker through
+            result-drained, i.e. job wall time as the parent sees it).
+            Jobs run in other processes, so the spans are parent-side
+            and detached from the tracer's span stack — overlapping
+            jobs cannot nest.
     """
     start = time.perf_counter()
     requested = max(1, workers)
     stats = SweepStats(workers=requested, workers_requested=requested)
+    sweep_root = (
+        tracer.start("sweep.run", parent=None, workers=requested)
+        if tracer is not None
+        else None
+    )
+
+    def job_span(spec: JobSpec, attempt: int):
+        if tracer is None:
+            return None
+        return tracer.start(
+            "sweep.job", parent=sweep_root, label=spec.label, attempt=attempt
+        )
+
+    def finish_span(span, status: str) -> None:
+        if span is not None:
+            tracer.finish(span, status=status)
 
     unique: Dict[str, JobSpec] = {}
     for spec in specs:
@@ -357,14 +383,19 @@ def run_sweep(
         stats.workers = 1 if requested <= 1 else 0
         while pending:
             spec, attempt = pending.popleft()
+            span = job_span(spec, attempt)
             t0 = time.perf_counter()
             try:
                 payload = job_runner(spec.to_dict())
             except Exception as exc:
+                finish_span(span, "error")
                 finish_failure(spec, attempt, "%s: %s" % (type(exc).__name__, exc))
             else:
+                finish_span(span, "ok")
                 finish_ok(spec, attempt, payload, time.perf_counter() - t0)
         stats.wall_seconds = time.perf_counter() - start
+        if sweep_root is not None:
+            tracer.finish(sweep_root, executed=stats.executed)
         _record_run(manifest, stats)
         return results, stats
 
@@ -404,6 +435,7 @@ def run_sweep(
         worker.spec = spec
         worker.attempt = attempt
         worker.started = t0
+        worker.span = job_span(spec, attempt)
 
     def recycle(worker: _PoolWorker, pool: List[_PoolWorker]) -> None:
         """Replace a dead/killed worker if there is still work for it."""
@@ -466,6 +498,8 @@ def run_sweep(
                 elif timeout is not None and now - worker.started > timeout:
                     spec, attempt = worker.spec, worker.attempt
                     worker.spec = None
+                    finish_span(worker.span, "timeout")
+                    worker.span = None
                     # Requeue (finish_failure) BEFORE the recycle
                     # decision, so the replacement worker is spawned
                     # when the retry is the only work left.
@@ -483,6 +517,8 @@ def run_sweep(
                 took = now - worker.started
                 if crashed:
                     worker.spec = None
+                    finish_span(worker.span, "crashed")
+                    worker.span = None
                     finish_failure(
                         spec,
                         attempt,
@@ -493,6 +529,8 @@ def run_sweep(
                     continue
                 worker.spec = None
                 _, status, payload = outcome
+                finish_span(worker.span, status)
+                worker.span = None
                 if status == "ok":
                     finish_ok(spec, attempt, payload, took)
                 else:
@@ -513,6 +551,8 @@ def run_sweep(
                 pass
 
     stats.wall_seconds = time.perf_counter() - start
+    if sweep_root is not None:
+        tracer.finish(sweep_root, executed=stats.executed)
     _record_run(manifest, stats)
     return results, stats
 

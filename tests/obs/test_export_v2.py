@@ -1,0 +1,121 @@
+"""Schema v2: span/telemetry rows, v1 back-compat, ring capacity."""
+
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
+    summarize_rows,
+    validate_rows,
+)
+
+
+def _meta(schema=SCHEMA_VERSION, **run):
+    return {"type": "meta", "schema": schema, "run": run}
+
+
+def _span(**over):
+    row = {
+        "type": "span",
+        "trace": "aaaa",
+        "span": "bbbb",
+        "parent": None,
+        "name": "queue.flush",
+        "start_us": 100,
+        "dur_us": 50,
+    }
+    row.update(over)
+    return row
+
+
+def _telemetry(**over):
+    row = {
+        "type": "telemetry",
+        "t_s": 1.5,
+        "clock": 100,
+        "shards": [],
+        "slo": {},
+    }
+    row.update(over)
+    return row
+
+
+class TestVersioning:
+    def test_current_version_is_two(self):
+        assert SCHEMA_VERSION == 2
+        assert SUPPORTED_SCHEMAS == (1, 2)
+
+    def test_v1_meta_still_validates(self):
+        rows = [
+            _meta(schema=1, policy="mdc"),
+            {"type": "metrics", "counters": {}, "gauges": {}, "histograms": {}},
+        ]
+        assert validate_rows(rows) == []
+
+    def test_unsupported_schema_rejected(self):
+        (problem,) = validate_rows([_meta(schema=3)])
+        assert "expected one of 1, 2" in problem
+
+
+class TestSpanRows:
+    def test_valid_span_row(self):
+        assert validate_rows([_meta(), _span()]) == []
+
+    def test_span_missing_keys(self):
+        row = _span()
+        del row["dur_us"]
+        (problem,) = validate_rows([_meta(), row])
+        assert "missing keys dur_us" in problem
+
+    def test_span_timestamps_must_be_integers(self):
+        (problem,) = validate_rows([_meta(), _span(start_us=1.5)])
+        assert "integer microseconds" in problem
+
+    def test_span_duration_must_be_nonnegative(self):
+        (problem,) = validate_rows([_meta(), _span(dur_us=-1)])
+        assert "non-negative" in problem
+
+    def test_span_before_meta_rejected(self):
+        (problem,) = validate_rows([_span(), _meta()])
+        assert "before any meta header" in problem
+
+
+class TestTelemetryRows:
+    def test_valid_telemetry_row(self):
+        assert validate_rows([_meta(), _telemetry()]) == []
+
+    def test_telemetry_shards_must_be_list(self):
+        (problem,) = validate_rows([_meta(), _telemetry(shards={})])
+        assert "shards must be a list" in problem
+
+    def test_telemetry_missing_keys(self):
+        row = _telemetry()
+        del row["slo"]
+        (problem,) = validate_rows([_meta(), row])
+        assert "missing keys slo" in problem
+
+
+class TestSummarizeV2:
+    def test_span_counts_surface(self):
+        rows = [_meta(), _span(), _span(span="cccc")]
+        summary = summarize_rows(rows)
+        assert summary["spans"] == 2
+        assert summary["per_run"][0]["spans"] == 2
+
+    def test_ring_capacity_from_metrics_row(self):
+        rows = [
+            _meta(),
+            {
+                "type": "metrics",
+                "counters": {},
+                "gauges": {},
+                "histograms": {},
+                "events_dropped": 7,
+                "ring_capacity": 512,
+            },
+        ]
+        run = summarize_rows(rows)["per_run"][0]
+        assert run["ring_capacity"] == 512
+        assert run["events_dropped"] == 7
+
+    def test_ring_capacity_falls_back_to_run_meta(self):
+        rows = [_meta(ring_capacity=64), _span()]
+        assert summarize_rows(rows)["per_run"][0]["ring_capacity"] == 64

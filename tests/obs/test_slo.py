@@ -1,0 +1,109 @@
+"""SLO burn-rate math: windows, sustained vs worst, report shape."""
+
+import pytest
+
+from repro.obs.slo import SLOTracker
+
+
+class TestValidation:
+    def test_objective_must_be_below_one(self):
+        with pytest.raises(ValueError):
+            SLOTracker(objective=1.0)
+
+    def test_objective_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            SLOTracker(objective=-0.1)
+
+    def test_windows_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SLOTracker(windows=(16, 0))
+
+    def test_windows_required(self):
+        with pytest.raises(ValueError):
+            SLOTracker(windows=())
+
+
+class TestBurnRates:
+    def test_no_samples_no_burn(self):
+        slo = SLOTracker()
+        assert slo.worst_burn == 0.0
+        assert slo.sustained_burn == 0.0
+        assert not slo.report()["burning"]
+
+    def test_all_good_zero_burn(self):
+        slo = SLOTracker(objective=0.95, threshold=32.0)
+        for _ in range(100):
+            slo.record(0.0)
+        assert slo.worst_burn == 0.0
+        assert slo.report()["bad"] == 0
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        slo = SLOTracker(objective=0.9, threshold=10.0, windows=(10,))
+        for value in [0.0] * 8 + [20.0] * 2:
+            slo.record(value)
+        (window,) = slo.burn_rates()
+        assert window["bad"] == 2
+        assert window["bad_fraction"] == pytest.approx(0.2)
+        # budget = 1 - 0.9 = 0.1 -> burn = 0.2 / 0.1 = 2.0
+        assert window["burn_rate"] == pytest.approx(2.0)
+
+    def test_threshold_is_exclusive(self):
+        slo = SLOTracker(objective=0.5, threshold=32.0, windows=(4,))
+        slo.record(32.0)  # exactly at threshold: good
+        slo.record(32.1)  # above: bad
+        assert slo.report()["bad"] == 1
+
+    def test_sustained_is_min_worst_is_max(self):
+        # A recent spike: short window burns, long window does not.
+        slo = SLOTracker(objective=0.9, threshold=1.0, windows=(4, 100))
+        for _ in range(96):
+            slo.record(0.0)
+        for _ in range(4):
+            slo.record(5.0)
+        short, long_ = slo.burn_rates()
+        assert short["burn_rate"] > long_["burn_rate"]
+        assert slo.worst_burn == pytest.approx(short["burn_rate"])
+        assert slo.sustained_burn == pytest.approx(long_["burn_rate"])
+
+    def test_burning_requires_all_windows(self):
+        slo = SLOTracker(objective=0.9, threshold=1.0, windows=(4, 100))
+        for _ in range(100):
+            slo.record(5.0)
+        report = slo.report()
+        assert report["sustained_burn"] > 1.0
+        assert report["burning"]
+
+    def test_ring_bounded_by_longest_window(self):
+        slo = SLOTracker(windows=(4, 8))
+        for i in range(100):
+            slo.record(float(i))
+        # Lifetime counters keep growing, but the ring only retains the
+        # longest window's worth of samples.
+        report = slo.report()
+        assert report["samples"] == 100
+        assert report["windows"][-1]["samples"] == 8
+        assert len(slo._ring) == 8
+
+
+class TestReport:
+    def test_report_shape(self):
+        slo = SLOTracker(objective=0.95, threshold=32.0)
+        slo.record(40.0)
+        report = slo.report()
+        assert report["objective"] == 0.95
+        assert report["threshold"] == 32.0
+        assert report["samples"] == 1
+        assert report["bad"] == 1
+        assert len(report["windows"]) == 3
+        for window in report["windows"]:
+            assert set(window) == {
+                "window", "samples", "bad", "bad_fraction", "burn_rate",
+            }
+
+    def test_report_is_json_round_trippable(self):
+        import json
+
+        slo = SLOTracker()
+        for i in range(10):
+            slo.record(float(i * 7 % 40))
+        assert json.loads(json.dumps(slo.report())) == slo.report()

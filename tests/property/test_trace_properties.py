@@ -1,0 +1,91 @@
+"""Property-based tests of the span-tree invariants.
+
+A random *program* — a sequence of push/pop/leaf operations — is
+interpreted against a Tracer, and the resulting span set must satisfy:
+
+* parent wall intervals contain their children's;
+* span and trace IDs are deterministic across two identical seeded
+  interpretations (timestamps differ, identity does not);
+* head sampling never orphans a span: a retained child's parent is
+  always retained (the keep/drop decision is made at the trace root
+  and inherited);
+* the JSONL exporter round-trips byte-identically.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.obs.trace import Tracer, load_spans, write_spans
+
+# A program is a list of ops: "push" opens a nested span, "pop" closes
+# the innermost open one, "leaf" opens and immediately closes one.
+programs = st.lists(
+    st.sampled_from(["push", "pop", "leaf"]), min_size=1, max_size=40
+)
+
+
+def run_program(program, seed=0, sample=1.0):
+    """Interpret ops against a fresh tracer; all spans get closed."""
+    tracer = Tracer(seed=seed, sample=sample)
+    open_spans = []
+    for i, op in enumerate(program):
+        if op == "push":
+            open_spans.append(tracer.start("s%d" % i))
+        elif op == "pop" and open_spans:
+            tracer.finish(open_spans.pop())
+        elif op == "leaf":
+            tracer.finish(tracer.start("leaf%d" % i))
+    while open_spans:
+        tracer.finish(open_spans.pop())
+    return tracer
+
+
+class TestSpanTreeInvariants:
+    @given(program=programs)
+    @settings(max_examples=60, deadline=None)
+    def test_parent_interval_contains_child(self, program):
+        tracer = run_program(program)
+        spans = {s.span_id: s for s in tracer.collector.spans()}
+        for span in spans.values():
+            if span.parent_id is None:
+                continue
+            parent = spans[span.parent_id]
+            assert parent.start_s <= span.start_s
+            assert span.end_s <= parent.end_s
+
+    @given(program=programs, seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=60, deadline=None)
+    def test_ids_deterministic_across_identical_runs(self, program, seed):
+        def identity(tracer):
+            return [
+                (r["trace"], r["span"], r["parent"], r["name"])
+                for r in tracer.rows()
+            ]
+
+        assert identity(run_program(program, seed=seed)) == identity(
+            run_program(program, seed=seed)
+        )
+
+    @given(
+        program=programs,
+        seed=st.integers(min_value=0, max_value=999),
+        sample=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sampling_never_orphans_a_child(self, program, seed, sample):
+        tracer = run_program(program, seed=seed, sample=sample)
+        rows = tracer.rows()
+        kept = {r["span"] for r in rows}
+        for row in rows:
+            if row["parent"] is not None:
+                assert row["parent"] in kept
+
+    @given(program=programs)
+    @settings(max_examples=30, deadline=None)
+    def test_exporter_round_trips_byte_identically(self, program, tmp_path_factory):
+        tracer = run_program(program)
+        base = tmp_path_factory.mktemp("spans")
+        first, second = base / "a.jsonl", base / "b.jsonl"
+        write_spans(str(first), tracer.rows(), {"seed": 0})
+        write_spans(str(second), load_spans(str(first)), {"seed": 0})
+        assert first.read_bytes() == second.read_bytes()

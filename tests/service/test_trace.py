@@ -1,0 +1,168 @@
+"""The trace plane end to end: span chains through the real service,
+telemetry rows, SLO wiring, determinism with tracing attached."""
+
+import json
+
+import pytest
+
+from repro.obs import SLOTracker, Tracer, critical_path_report, load_rows, validate_rows
+from repro.obs.trace import load_spans
+from repro.service.harness import HarnessConfig, build_service, run_harness
+
+#: Small but real: enough ops over a small page budget that flushes,
+#: governance, and cleaning all fire.
+CFG = HarnessConfig.quick(
+    ops=4_000, keys_per_tenant=512, tick_every=128, seed=3
+)
+
+#: High-pressure batch-cleaner shape: every flush can land a whole
+#: cleaning cycle inline, so the stall tail is populated.
+STALL_CFG = HarnessConfig.quick(
+    ops=6_000,
+    keys_per_tenant=512,
+    tick_every=128,
+    seed=3,
+    target_fill=0.70,
+    clean_trigger=2,
+    clean_batch=8,
+    batch_size=64,
+    flush_interval=2,
+    free_target=10,
+    gc_budget=128,
+).scaled(cleaner="batch")
+
+
+class TestServiceSpans:
+    @pytest.fixture(scope="class")
+    def spans(self, tmp_path_factory):
+        trace = tmp_path_factory.mktemp("trace") / "spans.jsonl"
+        run_harness(CFG, trace_out=str(trace))
+        return load_spans(str(trace)), str(trace)
+
+    def test_span_file_validates_as_schema_v2(self, spans):
+        rows, path = spans
+        all_rows = load_rows(path)
+        assert validate_rows(all_rows) == []
+        assert all_rows[0]["schema"] == 2
+        assert all_rows[0]["run"]["component"] == "trace"
+
+    def test_expected_span_kinds_present(self, spans):
+        rows, _ = spans
+        names = {r["name"] for r in rows}
+        assert "service.put" in names
+        assert "router.route" in names
+        assert "queue.flush" in names
+        assert "shard.put_many" in names
+        assert "pool.maintain" in names
+        assert "service.tick" in names
+
+    def test_flush_parents_put_many(self, spans):
+        rows, _ = spans
+        by_id = {r["span"]: r for r in rows}
+        put_manys = [r for r in rows if r["name"] == "shard.put_many"]
+        assert put_manys
+        for row in put_manys:
+            assert by_id[row["parent"]]["name"] == "queue.flush"
+
+    def test_flush_spans_carry_queue_attrs(self, spans):
+        rows, _ = spans
+        flush = next(r for r in rows if r["name"] == "queue.flush")
+        attrs = flush["attrs"]
+        assert {"shard", "ops", "queue_wait_ticks", "stall_pages",
+                "coalesced"} <= set(attrs)
+
+    def test_route_spans_only_on_memo_misses(self, spans):
+        rows, _ = spans
+        routes = [r for r in rows if r["name"] == "router.route"]
+        puts = [r for r in rows if r["name"] == "service.put"]
+        # Memoization: far fewer route lookups than puts.
+        assert 0 < len(routes) < len(puts)
+
+
+class TestDeterminismWithTracing:
+    def test_metrics_bytes_unchanged_by_tracer(self, tmp_path):
+        plain = tmp_path / "plain.jsonl"
+        traced = tmp_path / "traced.jsonl"
+        run_harness(CFG, metrics_out=str(plain))
+        run_harness(
+            CFG, metrics_out=str(traced),
+            trace_out=str(tmp_path / "spans.jsonl"),
+        )
+        assert plain.read_bytes() == traced.read_bytes()
+
+    def test_span_identity_deterministic_across_runs(self, tmp_path):
+        def identity(path):
+            run_harness(CFG, trace_out=str(path))
+            return [
+                (r["trace"], r["span"], r["parent"], r["name"], r.get("clock"))
+                for r in load_spans(str(path))
+            ]
+
+        assert identity(tmp_path / "a.jsonl") == identity(tmp_path / "b.jsonl")
+
+    def test_sample_zero_keeps_header_only(self, tmp_path):
+        trace = tmp_path / "spans.jsonl"
+        run_harness(CFG, trace_out=str(trace), trace_sample=0.0)
+        rows = load_rows(str(trace))
+        assert rows[0]["type"] == "meta"
+        assert load_spans(str(trace)) == []
+
+
+class TestStallAttribution:
+    def test_stall_spans_and_critical_path(self, tmp_path):
+        trace = tmp_path / "spans.jsonl"
+        run_harness(STALL_CFG, trace_out=str(trace))
+        rows = load_spans(str(trace))
+        names = {r["name"] for r in rows}
+        # The batch shape must actually exercise cleaning under flushes.
+        assert "store.clean_begin" in names or "store.write_stall" in names
+        report = critical_path_report(rows)
+        assert report["stalled_flushes"] > 0
+        assert report["tail_samples"] > 0
+        # The acceptance bar: >= 95% of tail samples attributed.
+        assert report["attribution_fraction"] >= 0.95
+        assert report["by_cause"]
+
+
+class TestTelemetry:
+    def test_telemetry_rows_written_and_validate(self, tmp_path):
+        out = tmp_path / "telemetry.jsonl"
+        run_harness(CFG, telemetry_out=str(out))
+        rows = load_rows(str(out))
+        assert validate_rows(rows) == []
+        assert rows[0]["run"]["component"] == "telemetry"
+        telem = [r for r in rows if r["type"] == "telemetry"]
+        assert telem
+        last = telem[-1]
+        assert len(last["shards"]) == CFG.n_shards
+        shard = last["shards"][0]
+        assert {"shard", "wamp", "fill", "free_segments", "queue_depth",
+                "write_stalls", "stall_p99_pages"} <= set(shard)
+        assert last["slo"]["objective"] == 0.95
+
+    def test_telemetry_slo_tracks_flush_stalls(self):
+        service = build_service(STALL_CFG)
+        try:
+            assert isinstance(service.slo, SLOTracker)
+            assert service.queue.on_stall == service.slo.record
+        finally:
+            service.close()
+
+
+class TestAttachDetach:
+    def test_attach_wires_every_layer_and_detach_unwires(self):
+        service = build_service(CFG)
+        try:
+            tracer = Tracer(seed=1)
+            assert service.attach_tracer(tracer) is tracer
+            assert service.queue.tracer is tracer
+            assert service.pool.tracer is tracer
+            for observer in service.observers:
+                assert observer.tracer is tracer
+            service.attach_tracer(None)
+            assert service.queue.tracer is None
+            assert service.pool.tracer is None
+            for observer in service.observers:
+                assert observer.tracer is None
+        finally:
+            service.close()

@@ -1,0 +1,77 @@
+"""Parent-side sweep spans: the executor's sweep.run/sweep.job trace."""
+
+from repro.obs.trace import Tracer
+from repro.store import StoreConfig
+from repro.sweep import run_sweep, spec_from_call
+from repro.workloads import HotColdWorkload
+
+TINY = StoreConfig(
+    n_segments=64, segment_units=8, fill_factor=0.75,
+    clean_trigger=2, clean_batch=2,
+)
+
+
+def tiny_specs(policies=("greedy", "age")):
+    return [
+        spec_from_call(
+            TINY,
+            policy,
+            HotColdWorkload.from_skew(TINY.user_pages, 80, seed=0),
+            write_multiplier=2.0,
+        )
+        for policy in policies
+    ]
+
+
+def _failing_runner(spec_dict):
+    raise ValueError("injected failure")
+
+
+class TestInlineSweepSpans:
+    def test_root_and_job_spans_recorded(self):
+        tracer = Tracer()
+        specs = tiny_specs()
+        results, stats = run_sweep(specs, workers=1, tracer=tracer)
+        assert len(results) == 2
+        rows = tracer.rows()
+        roots = [r for r in rows if r["name"] == "sweep.run"]
+        jobs = [r for r in rows if r["name"] == "sweep.job"]
+        assert len(roots) == 1
+        assert len(jobs) == 2
+        root = roots[0]
+        for job in jobs:
+            assert job["parent"] == root["span"]
+            assert job["attrs"]["status"] == "ok"
+            assert job["attrs"]["attempt"] == 1
+        assert root["attrs"]["executed"] == 2
+
+    def test_failed_jobs_span_status(self):
+        tracer = Tracer()
+        _, stats = run_sweep(
+            tiny_specs(("greedy",)), workers=1, retries=1,
+            job_runner=_failing_runner, tracer=tracer,
+        )
+        assert len(stats.failed) == 1
+        jobs = [r for r in tracer.rows() if r["name"] == "sweep.job"]
+        assert [j["attrs"]["status"] for j in jobs] == ["error", "error"]
+        assert [j["attrs"]["attempt"] for j in jobs] == [1, 2]
+
+    def test_no_tracer_is_the_default(self):
+        results, _ = run_sweep(tiny_specs(("greedy",)), workers=1)
+        assert len(results) == 1
+
+
+class TestPoolSweepSpans:
+    def test_pool_jobs_traced_from_dispatch(self):
+        tracer = Tracer()
+        results, stats = run_sweep(
+            tiny_specs(), workers=2, start_method="fork", tracer=tracer,
+        )
+        assert len(results) == 2
+        assert stats.pool_mode == "fork"
+        jobs = [r for r in tracer.rows() if r["name"] == "sweep.job"]
+        assert len(jobs) == 2
+        labels = {j["attrs"]["label"] for j in jobs}
+        assert len(labels) == 2
+        assert all(j["attrs"]["status"] == "ok" for j in jobs)
+        assert all(j["dur_us"] > 0 for j in jobs)
